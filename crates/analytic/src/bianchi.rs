@@ -1,0 +1,207 @@
+//! Bianchi's saturation-throughput model of the IEEE 802.11 DCF
+//! (Bianchi, JSAC 2000), used as the reference baseline model in the paper.
+//!
+//! The model assumes a fully connected network of `n` saturated stations and a
+//! constant, backoff-stage-independent conditional collision probability `c`.
+//! It yields the per-station attempt probability `τ` as the fixed point of
+//!
+//! ```text
+//! τ(c) = 2 (1 - 2c) / [ (1 - 2c)(W + 1) + c W (1 - (2c)^m) ]
+//! c(τ) = 1 - (1 - τ)^(n-1)
+//! ```
+//!
+//! and the system throughput from the slotted renewal equation shared with the
+//! p-persistent model.
+
+use crate::optimize::monotone_fixed_point;
+use crate::slot_model::SlotModel;
+use serde::{Deserialize, Serialize};
+
+/// Result of solving the DCF fixed point for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DcfOperatingPoint {
+    /// Per-station attempt probability τ.
+    pub tau: f64,
+    /// Conditional collision probability c.
+    pub collision_probability: f64,
+    /// Saturation system throughput in bits/s.
+    pub throughput_bps: f64,
+}
+
+/// Bianchi's attempt probability as a function of the conditional collision
+/// probability, for minimum window `w = CWmin` and `m` doubling stages.
+pub fn tau_given_collision(c: f64, w: u32, m: u8) -> f64 {
+    let w = w as f64;
+    let m = m as i32;
+    let c = c.clamp(0.0, 1.0);
+    if (1.0 - 2.0 * c).abs() < 1e-12 {
+        // Limit c -> 1/2 of the closed form.
+        return 2.0 / (w + 1.0 + 0.5 * w * m as f64);
+    }
+    let num = 2.0 * (1.0 - 2.0 * c);
+    let den = (1.0 - 2.0 * c) * (w + 1.0) + c * w * (1.0 - (2.0 * c).powi(m));
+    num / den
+}
+
+/// Conditional collision probability seen by one station when every one of the
+/// other `n - 1` stations transmits in a slot with probability `tau`.
+pub fn collision_given_tau(tau: f64, n: usize) -> f64 {
+    1.0 - (1.0 - tau).powi(n as i32 - 1)
+}
+
+/// Saturation throughput (bits/s) of `n` homogeneous slotted-CSMA stations each
+/// attempting with per-slot probability `tau` (Bianchi's renewal equation).
+pub fn slotted_throughput(model: &SlotModel, n: usize, tau: f64) -> f64 {
+    if n == 0 || tau <= 0.0 {
+        return 0.0;
+    }
+    let tau = tau.min(1.0);
+    let n_f = n as f64;
+    let p_tr = 1.0 - (1.0 - tau).powi(n as i32);
+    if p_tr <= 0.0 {
+        return 0.0;
+    }
+    let p_s = n_f * tau * (1.0 - tau).powi(n as i32 - 1) / p_tr;
+    let num = p_s * p_tr * model.payload_bits;
+    let den = (1.0 - p_tr) * model.sigma + p_tr * p_s * model.ts + p_tr * (1.0 - p_s) * model.tc;
+    num / den
+}
+
+/// Solve the DCF fixed point for `n` stations with minimum window `w` and `m`
+/// doubling stages, and evaluate the saturation throughput.
+pub fn solve_dcf(model: &SlotModel, n: usize, w: u32, m: u8) -> DcfOperatingPoint {
+    assert!(n >= 1);
+    if n == 1 {
+        let tau = tau_given_collision(0.0, w, m);
+        return DcfOperatingPoint {
+            tau,
+            collision_probability: 0.0,
+            throughput_bps: slotted_throughput(model, 1, tau),
+        };
+    }
+    // c -> 1 - (1 - τ(c))^(n-1) is decreasing in c (τ decreases with c), so the
+    // fixed point is unique.
+    let g = |c: f64| collision_given_tau(tau_given_collision(c, w, m), n);
+    let c = monotone_fixed_point(g, 0.0, 1.0 - 1e-12, 1e-12);
+    let tau = tau_given_collision(c, w, m);
+    DcfOperatingPoint {
+        tau,
+        collision_probability: c,
+        throughput_bps: slotted_throughput(model, n, tau),
+    }
+}
+
+/// Saturation throughput of standard 802.11 DCF with the Table I parameters.
+pub fn dcf_throughput(model: &SlotModel, n: usize, w: u32, m: u8) -> f64 {
+    solve_dcf(model, n, w, m).throughput_bps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SlotModel {
+        SlotModel::table1()
+    }
+
+    #[test]
+    fn tau_at_zero_collisions_matches_uniform_window() {
+        // With no collisions the mean backoff is (W-1)/2 slots → τ = 2/(W+1).
+        for w in [8u32, 16, 32, 1024] {
+            let tau = tau_given_collision(0.0, w, 7);
+            assert!((tau - 2.0 / (w as f64 + 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tau_is_decreasing_in_collision_probability() {
+        let mut prev = f64::INFINITY;
+        for i in 0..100 {
+            let c = i as f64 / 100.0;
+            let tau = tau_given_collision(c, 8, 7);
+            assert!(tau <= prev + 1e-12, "τ not decreasing at c={c}");
+            assert!(tau > 0.0 && tau <= 1.0);
+            prev = tau;
+        }
+    }
+
+    #[test]
+    fn fixed_point_is_consistent() {
+        let m = model();
+        for n in [2usize, 5, 10, 20, 40, 60] {
+            let op = solve_dcf(&m, n, 8, 7);
+            let c_back = collision_given_tau(op.tau, n);
+            assert!(
+                (c_back - op.collision_probability).abs() < 1e-9,
+                "n={n}: c={} vs recomputed {c_back}",
+                op.collision_probability
+            );
+        }
+    }
+
+    #[test]
+    fn collision_probability_grows_with_n() {
+        let m = model();
+        let mut prev = 0.0;
+        for n in [2usize, 5, 10, 20, 40, 60] {
+            let op = solve_dcf(&m, n, 8, 7);
+            assert!(op.collision_probability > prev);
+            prev = op.collision_probability;
+        }
+    }
+
+    #[test]
+    fn dcf_throughput_degrades_with_n_for_small_cwmin() {
+        // The paper's motivating observation: with CWmin = 8 the standard protocol
+        // degrades markedly as the network grows.
+        let m = model();
+        let s10 = dcf_throughput(&m, 10, 8, 7) / 1e6;
+        let s60 = dcf_throughput(&m, 60, 8, 7) / 1e6;
+        assert!(s10 > s60 * 1.1, "s10={s10} s60={s60}");
+        assert!(s10 > 10.0 && s10 < 36.0, "s10={s10}");
+        assert!(s60 > 3.0, "s60={s60}");
+    }
+
+    #[test]
+    fn dcf_is_below_the_ppersistent_optimum() {
+        let m = model();
+        for n in [10usize, 20, 40, 60] {
+            let dcf = dcf_throughput(&m, n, 8, 7);
+            let opt = crate::ppersistent::optimal_throughput(&m, &vec![1.0; n]);
+            assert!(
+                dcf < opt,
+                "n={n}: DCF {dcf} should be below the p-persistent optimum {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_station_has_no_collisions() {
+        let m = model();
+        let op = solve_dcf(&m, 1, 8, 7);
+        assert_eq!(op.collision_probability, 0.0);
+        assert!(op.throughput_bps > 0.0);
+    }
+
+    #[test]
+    fn slotted_throughput_edge_cases() {
+        let m = model();
+        assert_eq!(slotted_throughput(&m, 0, 0.1), 0.0);
+        assert_eq!(slotted_throughput(&m, 5, 0.0), 0.0);
+        // A single station transmitting in every slot uses the channel fully.
+        let s = slotted_throughput(&m, 1, 1.0);
+        assert!((s - m.payload_bits / m.ts).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slotted_throughput_matches_ppersistent_formula() {
+        // Both formulas describe the same renewal process, so they must agree
+        // for homogeneous attempt probabilities.
+        let m = model();
+        for &(n, p) in &[(5usize, 0.02), (20, 0.01), (40, 0.005), (10, 0.1)] {
+            let a = slotted_throughput(&m, n, p);
+            let b = crate::ppersistent::system_throughput_uniform(&m, p, n);
+            assert!((a - b).abs() / b < 1e-9, "n={n} p={p}: {a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # wlan-analytic
+//!
+//! Closed-form models for saturated IEEE 802.11 WLANs in fully connected
+//! networks, implementing every analytical result used by
+//! *"Stochastic Approximation Algorithm for Optimal Throughput Performance of
+//! Wireless LANs"* (Krishnan & Chaporkar, 2010):
+//!
+//! * [`slot_model`] — the σ / Ts / Tc / E\[P\] constants shared by every formula;
+//! * [`ppersistent`] — the weighted p-persistent throughput `S(p, W)` (eqs. 2–3,
+//!   6–7), the optimal control variable `p*` and its approximation (8), and the
+//!   expected idle-slot counts that IdleSense relies on;
+//! * [`bianchi`] — Bianchi's DCF fixed point and saturation throughput, the
+//!   reference model for standard 802.11;
+//! * [`randomreset`] — the RandomReset(j; p0) backoff chain (eqs. 9–11) and its
+//!   fixed point, covering Lemmas 2–8 and Theorem 3's structural results;
+//! * [`quasiconcave`] — empirical unimodality checks used to validate the
+//!   Kiefer–Wolfowitz regularity conditions on simulated curves;
+//! * [`optimize`] — the small numerical routines (bisection, golden section,
+//!   monotone fixed points) everything above is built on.
+//!
+//! These models serve two purposes in the reproduction: they provide the ground
+//! truth that the discrete-event simulator is validated against in fully
+//! connected networks, and they generate the analytical overlays of Figs. 2, 12
+//! and 13.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bianchi;
+pub mod optimize;
+pub mod ppersistent;
+pub mod quasiconcave;
+pub mod randomreset;
+pub mod slot_model;
+
+pub use bianchi::{dcf_throughput, solve_dcf, DcfOperatingPoint};
+pub use ppersistent::{
+    approx_optimal_p, optimal_p, optimal_throughput, station_probability, system_throughput,
+    system_throughput_uniform,
+};
+pub use quasiconcave::{is_quasi_concave, unimodality_defect};
+pub use randomreset::BackoffChain;
+pub use slot_model::SlotModel;

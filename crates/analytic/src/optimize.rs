@@ -1,0 +1,138 @@
+//! Small numerical routines used by the analytical models: bisection root
+//! finding, golden-section maximisation of unimodal functions, and fixed-point
+//! iteration helpers.
+
+/// Find a root of `f` in `[lo, hi]` by bisection.
+///
+/// Requires `f(lo)` and `f(hi)` to have opposite signs (or one of them to be
+/// zero). Returns the midpoint of the final bracket.
+pub fn bisect_root<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64, tol: f64) -> f64 {
+    assert!(lo < hi, "invalid bracket");
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return lo;
+    }
+    if fhi == 0.0 {
+        return hi;
+    }
+    assert!(
+        flo.signum() != fhi.signum(),
+        "bisection requires a sign change: f({lo}) = {flo}, f({hi}) = {fhi}"
+    );
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || (hi - lo) < tol {
+            return mid;
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Maximise a unimodal (quasi-concave) function on `[lo, hi]` by golden-section
+/// search. Returns `(argmax, max)`.
+pub fn golden_section_max<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64, tol: f64) -> (f64, f64) {
+    assert!(lo < hi, "invalid bracket");
+    let inv_phi = (5f64.sqrt() - 1.0) / 2.0;
+    let mut c = hi - inv_phi * (hi - lo);
+    let mut d = lo + inv_phi * (hi - lo);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..300 {
+        if (hi - lo) < tol {
+            break;
+        }
+        if fc > fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - inv_phi * (hi - lo);
+            fc = f(c);
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + inv_phi * (hi - lo);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    (x, f(x))
+}
+
+/// Solve `x = g(x)` on `[lo, hi]` where `g(x) - x` is monotone decreasing in `x`
+/// (the shape of every fixed point in this crate), by bisection on `g(x) - x`.
+pub fn monotone_fixed_point<G: Fn(f64) -> f64>(g: G, lo: f64, hi: f64, tol: f64) -> f64 {
+    let h = |x: f64| g(x) - x;
+    let hlo = h(lo);
+    let hhi = h(hi);
+    if hlo <= 0.0 {
+        return lo;
+    }
+    if hhi >= 0.0 {
+        return hi;
+    }
+    bisect_root(h, lo, hi, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisection_finds_sqrt_two() {
+        let r = bisect_root(|x| x * x - 2.0, 0.0, 2.0, 1e-12);
+        assert!((r - 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisection_accepts_exact_endpoints() {
+        assert_eq!(bisect_root(|x| x, 0.0, 1.0, 1e-12), 0.0);
+        assert_eq!(bisect_root(|x| x - 1.0, 0.0, 1.0, 1e-12), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bisection_rejects_same_sign() {
+        let _ = bisect_root(|x| x * x + 1.0, -1.0, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn golden_section_finds_parabola_peak() {
+        let (x, v) = golden_section_max(|x| -(x - 0.3).powi(2) + 5.0, 0.0, 1.0, 1e-10);
+        assert!((x - 0.3).abs() < 1e-6);
+        assert!((v - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_section_handles_monotone_functions() {
+        // Monotone increasing: max at the right endpoint.
+        let (x, _) = golden_section_max(|x| x, 0.0, 1.0, 1e-10);
+        assert!(x > 0.999);
+        // Monotone decreasing: max at the left endpoint.
+        let (x, _) = golden_section_max(|x| -x, 0.0, 1.0, 1e-10);
+        assert!(x < 0.001);
+    }
+
+    #[test]
+    fn fixed_point_of_cosine() {
+        // x = cos(x) has the Dottie number ~0.739085 as the fixed point;
+        // cos(x) - x is monotone decreasing on [0, 1].
+        let x = monotone_fixed_point(|x| x.cos(), 0.0, 1.0, 1e-12);
+        assert!((x - 0.739_085_133).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_point_clamps_to_bracket() {
+        // g(x) = x/2: fixed point at 0 which is the left endpoint.
+        let x = monotone_fixed_point(|x| x / 2.0, 0.0, 1.0, 1e-12);
+        assert!(x.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,352 @@
+//! Closed-form throughput of weighted p-persistent CSMA in a fully connected
+//! network — equations (2), (3), (6), (7) and (8) of the paper — together with
+//! the optimal control variable `p*`.
+//!
+//! The central objects are:
+//!
+//! * [`per_station_throughput`] — eq. (2): `S_t(p)` for an arbitrary vector of
+//!   attempt probabilities;
+//! * [`system_throughput`] — eq. (3): `S(p, W)` when every station maps the
+//!   common control variable `p` through the Lemma-1 weighting;
+//! * [`gradient_sign_function`] — the function `f(p, W)` from the proof of
+//!   Theorem 2, whose unique root is the throughput-maximising `p*`;
+//! * [`optimal_p`] / [`approx_optimal_p`] — the exact root and the paper's
+//!   closed-form approximation (8), `p* ≈ 1 / (N sqrt(Tc*/2))`.
+
+use crate::optimize::{bisect_root, golden_section_max};
+use crate::slot_model::SlotModel;
+
+/// The Lemma-1 mapping from the global control variable `p` to the attempt
+/// probability of a station with weight `w`: `p_t = w p / (1 + (w - 1) p)`.
+pub fn station_probability(p: f64, weight: f64) -> f64 {
+    assert!(weight > 0.0, "weights must be positive");
+    let p = p.clamp(0.0, 1.0);
+    (weight * p / (1.0 + (weight - 1.0) * p)).clamp(0.0, 1.0)
+}
+
+/// Probability that a slot is idle: `P_I = Π_i (1 - p_i)`.
+pub fn idle_probability(probs: &[f64]) -> f64 {
+    probs.iter().map(|p| 1.0 - p).product()
+}
+
+/// The paper's `P_T = Σ_i p_i / (1 - p_i)`. `P_T · P_I` is the probability that
+/// exactly one station transmits in a slot.
+pub fn transmit_sum(probs: &[f64]) -> f64 {
+    probs.iter().map(|p| p / (1.0 - p)).sum()
+}
+
+/// Eq. (2): throughput (bits/s) of station `t` given the full vector of attempt
+/// probabilities.
+pub fn per_station_throughput(model: &SlotModel, probs: &[f64], t: usize) -> f64 {
+    let pt = probs[t];
+    if pt <= 0.0 {
+        return 0.0;
+    }
+    if pt >= 1.0 {
+        // A station that transmits in every slot either monopolises a collision-free
+        // channel (alone) or collides forever.
+        return if probs.len() == 1 { model.payload_bits / model.ts } else { 0.0 };
+    }
+    let pi = idle_probability(probs);
+    let pt_sum = transmit_sum(probs);
+    let denom = pi * model.sigma + pt_sum * pi * (model.ts - model.tc) + (1.0 - pi) * model.tc;
+    (pt / (1.0 - pt)) * model.payload_bits * pi / denom
+}
+
+/// System throughput (bits/s) for an arbitrary vector of attempt probabilities:
+/// the sum of eq. (2) over all stations.
+pub fn system_throughput_vector(model: &SlotModel, probs: &[f64]) -> f64 {
+    if probs.iter().any(|p| *p >= 1.0) {
+        return if probs.len() == 1 { model.payload_bits / model.ts } else { 0.0 };
+    }
+    let pi = idle_probability(probs);
+    let pt_sum = transmit_sum(probs);
+    if pt_sum <= 0.0 {
+        return 0.0;
+    }
+    let denom = pi * model.sigma + pt_sum * pi * (model.ts - model.tc) + (1.0 - pi) * model.tc;
+    model.payload_bits * pt_sum * pi / denom
+}
+
+/// Eq. (3): system throughput (bits/s) when every station with weight `w_i` uses
+/// the Lemma-1 mapping of the common control variable `p`.
+pub fn system_throughput(model: &SlotModel, p: f64, weights: &[f64]) -> f64 {
+    let probs: Vec<f64> = weights.iter().map(|w| station_probability(p, *w)).collect();
+    system_throughput_vector(model, &probs)
+}
+
+/// Unweighted special case of [`system_throughput`]: `n` stations with weight 1.
+pub fn system_throughput_uniform(model: &SlotModel, p: f64, n: usize) -> f64 {
+    system_throughput(model, p, &vec![1.0; n])
+}
+
+/// The function `f(p, W)` from the proof of Theorem 2 (in slot units):
+///
+/// ```text
+/// f(p, W) = Tc* (1 - Σ_i p_i - P_I) + P_I
+/// ```
+///
+/// `f` is strictly decreasing in `p`, positive below the optimum and negative
+/// above it, so its unique root is the throughput-maximising control variable.
+pub fn gradient_sign_function(model: &SlotModel, p: f64, weights: &[f64]) -> f64 {
+    let probs: Vec<f64> = weights.iter().map(|w| station_probability(p, *w)).collect();
+    let pi = idle_probability(&probs);
+    let sum_p: f64 = probs.iter().sum();
+    model.tc_star() * (1.0 - sum_p - pi) + pi
+}
+
+/// The optimal control variable `p*` for a weighted fully connected network,
+/// found as the root of [`gradient_sign_function`].
+pub fn optimal_p(model: &SlotModel, weights: &[f64]) -> f64 {
+    assert!(!weights.is_empty());
+    let f = |p: f64| gradient_sign_function(model, p, weights);
+    // f(0) = 1 > 0 and f(1-) < 0 for N >= 2; for N = 1 the throughput is monotone
+    // increasing in p, so the optimum is p = 1.
+    if weights.len() == 1 {
+        return 1.0;
+    }
+    let hi = 1.0 - 1e-9;
+    if f(hi) >= 0.0 {
+        return 1.0;
+    }
+    bisect_root(f, 1e-12, hi, 1e-12)
+}
+
+/// The paper's closed-form approximation (8) for equal weights:
+/// `p* ≈ 1 / (N sqrt(Tc*/2))`.
+pub fn approx_optimal_p(model: &SlotModel, n: usize) -> f64 {
+    assert!(n >= 1);
+    1.0 / (n as f64 * (model.tc_star() / 2.0).sqrt())
+}
+
+/// The optimal p found by directly maximising eq. (3) with golden-section search
+/// (used to cross-check [`optimal_p`]).
+pub fn optimal_p_by_search(model: &SlotModel, weights: &[f64]) -> f64 {
+    golden_section_max(|p| system_throughput(model, p, weights), 1e-9, 1.0 - 1e-9, 1e-12).0
+}
+
+/// Maximum achievable system throughput (bits/s) over the class of weighted
+/// p-persistent schemes.
+pub fn optimal_throughput(model: &SlotModel, weights: &[f64]) -> f64 {
+    system_throughput(model, optimal_p(model, weights), weights)
+}
+
+/// Expected number of idle slots between consecutive channel activities when all
+/// stations use attempt probabilities `probs` (geometric with success probability
+/// `1 - P_I`): `P_I / (1 - P_I)`. This is the quantity IdleSense drives to a
+/// fixed target and the quantity reported in Table III.
+pub fn expected_idle_slots(probs: &[f64]) -> f64 {
+    let pi = idle_probability(probs);
+    if pi >= 1.0 {
+        f64::INFINITY
+    } else {
+        pi / (1.0 - pi)
+    }
+}
+
+/// Expected idle slots per transmission at the weighted optimum — the value the
+/// paper argues cannot be known a priori once hidden nodes exist.
+pub fn optimal_idle_slots(model: &SlotModel, weights: &[f64]) -> f64 {
+    let p = optimal_p(model, weights);
+    let probs: Vec<f64> = weights.iter().map(|w| station_probability(p, *w)).collect();
+    expected_idle_slots(&probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SlotModel {
+        SlotModel::table1()
+    }
+
+    #[test]
+    fn station_probability_identity_for_weight_one() {
+        for p in [0.0, 0.01, 0.3, 0.9, 1.0] {
+            assert!((station_probability(p, 1.0) - p).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn station_probability_reproduces_lemma1_ratio() {
+        // pj/(1-pj) should equal w * pi/(1-pi).
+        for &(p, w) in &[(0.05, 2.0), (0.2, 3.0), (0.01, 10.0), (0.3, 0.25)] {
+            let pj = station_probability(p, w);
+            assert!((pj / (1.0 - pj) - w * p / (1.0 - p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn per_station_throughputs_sum_to_system_throughput() {
+        let m = model();
+        let probs = vec![0.02, 0.05, 0.01, 0.08];
+        let total: f64 = (0..probs.len()).map(|t| per_station_throughput(&m, &probs, t)).sum();
+        let system = system_throughput_vector(&m, &probs);
+        assert!((total - system).abs() / system < 1e-12);
+    }
+
+    #[test]
+    fn equal_probabilities_give_equal_throughput() {
+        let m = model();
+        let probs = vec![0.03; 10];
+        let s0 = per_station_throughput(&m, &probs, 0);
+        for t in 1..10 {
+            assert!((per_station_throughput(&m, &probs, t) - s0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_probabilities_give_proportional_throughput() {
+        // Lemma 1: station with weight w gets w times the throughput of weight-1 station.
+        let m = model();
+        let weights = [1.0, 2.0, 3.0, 1.0, 2.0];
+        let p = 0.04;
+        let probs: Vec<f64> = weights.iter().map(|w| station_probability(p, *w)).collect();
+        let base = per_station_throughput(&m, &probs, 0);
+        for (t, w) in weights.iter().enumerate() {
+            let st = per_station_throughput(&m, &probs, t);
+            assert!(
+                (st / base - w).abs() < 1e-9,
+                "station {t}: ratio {} vs weight {w}",
+                st / base
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_is_zero_at_extremes() {
+        let m = model();
+        assert_eq!(system_throughput_uniform(&m, 0.0, 10), 0.0);
+        // p = 1 with more than one station: every slot collides.
+        assert_eq!(system_throughput_uniform(&m, 1.0, 10), 0.0);
+    }
+
+    #[test]
+    fn single_station_maximum_at_p_one() {
+        let m = model();
+        let s1 = system_throughput_uniform(&m, 1.0, 1);
+        assert!((s1 - m.payload_bits / m.ts).abs() < 1e-6);
+        assert_eq!(optimal_p(&m, &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn optimal_p_matches_direct_search() {
+        let m = model();
+        for n in [2usize, 5, 10, 20, 40, 60] {
+            let w = vec![1.0; n];
+            let root = optimal_p(&m, &w);
+            let search = optimal_p_by_search(&m, &w);
+            assert!(
+                (root - search).abs() < 1e-5,
+                "n={n}: root {root} vs search {search}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_p_close_to_bianchi_approximation() {
+        let m = model();
+        for n in [10usize, 20, 40, 60] {
+            let exact = optimal_p(&m, &vec![1.0; n]);
+            let approx = approx_optimal_p(&m, n);
+            let rel = (exact - approx).abs() / exact;
+            assert!(rel < 0.15, "n={n}: exact {exact} approx {approx} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn optimal_p_scales_inversely_with_n() {
+        let m = model();
+        let p10 = optimal_p(&m, &vec![1.0; 10]);
+        let p40 = optimal_p(&m, &vec![1.0; 40]);
+        let ratio = p10 / p40;
+        assert!((ratio - 4.0).abs() < 0.5, "p*(10)/p*(40) = {ratio}, expected ≈ 4");
+    }
+
+    #[test]
+    fn gradient_sign_function_has_expected_signs() {
+        let m = model();
+        let w = vec![1.0; 20];
+        let p_star = optimal_p(&m, &w);
+        assert!(gradient_sign_function(&m, p_star * 0.5, &w) > 0.0);
+        assert!(gradient_sign_function(&m, p_star * 2.0, &w) < 0.0);
+        assert!(gradient_sign_function(&m, p_star, &w).abs() < 1e-6);
+        // Boundary values from the proof: f(0) = 1, f(1) = -(N-1) Tc*.
+        assert!((gradient_sign_function(&m, 0.0, &w) - 1.0).abs() < 1e-12);
+        let f1 = gradient_sign_function(&m, 1.0, &w);
+        assert!((f1 + 19.0 * m.tc_star()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throughput_is_quasi_concave_in_p() {
+        let m = model();
+        let w = vec![1.0; 40];
+        let p_star = optimal_p(&m, &w);
+        // Strictly increasing below p*, strictly decreasing above.
+        let mut prev = 0.0;
+        for i in 1..50 {
+            let p = p_star * i as f64 / 50.0;
+            let s = system_throughput(&m, p, &w);
+            assert!(s >= prev, "not increasing at p={p}");
+            prev = s;
+        }
+        let mut prev = system_throughput(&m, p_star, &w);
+        for i in 1..50 {
+            let p = p_star + (0.5 - p_star) * i as f64 / 50.0;
+            let s = system_throughput(&m, p, &w);
+            assert!(s <= prev + 1e-9, "not decreasing at p={p}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn optimal_throughput_magnitude_matches_paper() {
+        // The paper reports ~22 Mbps optimal throughput in ns-3 with Table I
+        // parameters; the analytical model (which omits the PHY preamble the
+        // ns-3 runs pay for) lands somewhat higher, ~30 Mbps. Check the order of
+        // magnitude and that it stays well below the 54 Mbps link rate.
+        let m = model();
+        for n in [10usize, 20, 40] {
+            let s = optimal_throughput(&m, &vec![1.0; n]) / 1e6;
+            assert!(s > 19.0 && s < 36.0, "n={n}: optimal throughput {s} Mbps");
+        }
+    }
+
+    #[test]
+    fn optimal_throughput_nearly_independent_of_n() {
+        let m = model();
+        let s10 = optimal_throughput(&m, &vec![1.0; 10]);
+        let s60 = optimal_throughput(&m, &vec![1.0; 60]);
+        assert!((s10 - s60).abs() / s10 < 0.05, "s10={s10} s60={s60}");
+    }
+
+    #[test]
+    fn weighted_optimum_preserves_weighted_fairness() {
+        let m = model();
+        let weights = vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0];
+        let p = optimal_p(&m, &weights);
+        let probs: Vec<f64> = weights.iter().map(|w| station_probability(p, *w)).collect();
+        let s0 = per_station_throughput(&m, &probs, 0);
+        for (t, w) in weights.iter().enumerate() {
+            let ratio = per_station_throughput(&m, &probs, t) / s0;
+            assert!((ratio - w).abs() < 1e-9, "station {t}");
+        }
+    }
+
+    #[test]
+    fn expected_idle_slots_behaviour() {
+        // All-zero probabilities: channel always idle.
+        assert!(expected_idle_slots(&[0.0, 0.0]).is_infinite());
+        // Symmetric case: PI = (1-p)^n.
+        let probs = vec![0.1; 5];
+        let pi = 0.9f64.powi(5);
+        assert!((expected_idle_slots(&probs) - pi / (1.0 - pi)).abs() < 1e-12);
+        // At the optimum the value is a small constant (IdleSense's premise).
+        let m = model();
+        let n_idle_20 = optimal_idle_slots(&m, &vec![1.0; 20]);
+        let n_idle_40 = optimal_idle_slots(&m, &vec![1.0; 40]);
+        assert!(n_idle_20 > 1.0 && n_idle_20 < 8.0, "{n_idle_20}");
+        // Nearly independent of N in a fully connected network.
+        assert!((n_idle_20 - n_idle_40).abs() < 0.5, "{n_idle_20} vs {n_idle_40}");
+    }
+}

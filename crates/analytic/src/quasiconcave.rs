@@ -1,0 +1,148 @@
+//! Quasi-concavity (unimodality) checks.
+//!
+//! The Kiefer–Wolfowitz algorithm converges to the global maximum only when the
+//! objective is strictly quasi-concave (regularity condition 1 in Section III-B).
+//! The paper proves this analytically for fully connected networks (Theorem 2)
+//! and argues it empirically, via simulation sweeps, for networks with hidden
+//! nodes (Figs. 4 and 5). These helpers perform exactly that empirical check on
+//! sampled curves.
+
+/// Is the sampled curve quasi-concave (single-peaked) up to an absolute noise
+/// tolerance `tol`?
+///
+/// The curve is accepted iff, after locating its maximum, every step before the
+/// maximum does not *decrease* by more than `tol` and every step after it does
+/// not *increase* by more than `tol`.
+pub fn is_quasi_concave(ys: &[f64], tol: f64) -> bool {
+    violations(ys, tol).is_empty()
+}
+
+/// Indices at which the sampled curve violates unimodality by more than `tol`.
+pub fn violations(ys: &[f64], tol: f64) -> Vec<usize> {
+    if ys.len() < 3 {
+        return Vec::new();
+    }
+    let peak = argmax(ys);
+    let mut out = Vec::new();
+    for i in 1..=peak {
+        if ys[i] < ys[i - 1] - tol {
+            out.push(i);
+        }
+    }
+    for i in (peak + 1)..ys.len() {
+        if ys[i] > ys[i - 1] + tol {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// A normalised measure of how far from unimodal the curve is: the total
+/// magnitude of violations divided by the curve's range. Zero for perfectly
+/// unimodal data.
+pub fn unimodality_defect(ys: &[f64]) -> f64 {
+    if ys.len() < 3 {
+        return 0.0;
+    }
+    let peak = argmax(ys);
+    let mut defect = 0.0;
+    for i in 1..=peak {
+        defect += (ys[i - 1] - ys[i]).max(0.0);
+    }
+    for i in (peak + 1)..ys.len() {
+        defect += (ys[i] - ys[i - 1]).max(0.0);
+    }
+    let min = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ys[peak];
+    if max - min <= 0.0 {
+        0.0
+    } else {
+        defect / (max - min)
+    }
+}
+
+/// Sample `f` at `samples` evenly spaced points on `[lo, hi]` and check
+/// quasi-concavity of the samples.
+pub fn is_quasi_concave_fn<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    samples: usize,
+    tol: f64,
+) -> bool {
+    assert!(samples >= 3 && hi > lo);
+    let ys: Vec<f64> = (0..samples)
+        .map(|i| f(lo + (hi - lo) * i as f64 / (samples - 1) as f64))
+        .collect();
+    is_quasi_concave(&ys, tol)
+}
+
+fn argmax(ys: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, y) in ys.iter().enumerate() {
+        if *y > ys[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_unimodal_curves() {
+        assert!(is_quasi_concave(&[0.0, 1.0, 3.0, 2.0, 0.5], 0.0));
+        assert!(is_quasi_concave(&[1.0, 2.0, 3.0, 4.0], 0.0)); // monotone increasing
+        assert!(is_quasi_concave(&[4.0, 3.0, 2.0, 1.0], 0.0)); // monotone decreasing
+        assert!(is_quasi_concave(&[1.0, 1.0, 1.0], 0.0)); // flat
+    }
+
+    #[test]
+    fn rejects_bimodal_curves() {
+        let ys = [0.0, 3.0, 1.0, 3.0, 0.0];
+        assert!(!is_quasi_concave(&ys, 0.0));
+        assert!(!violations(&ys, 0.0).is_empty());
+        assert!(unimodality_defect(&ys) > 0.3);
+    }
+
+    #[test]
+    fn tolerance_forgives_small_noise() {
+        let ys = [0.0, 1.0, 2.0, 1.95, 2.5, 1.0, 0.5];
+        assert!(!is_quasi_concave(&ys, 0.0));
+        assert!(is_quasi_concave(&ys, 0.1));
+    }
+
+    #[test]
+    fn short_curves_are_trivially_quasi_concave() {
+        assert!(is_quasi_concave(&[], 0.0));
+        assert!(is_quasi_concave(&[1.0], 0.0));
+        assert!(is_quasi_concave(&[2.0, 1.0], 0.0));
+        assert_eq!(unimodality_defect(&[1.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn function_sampling_checker() {
+        assert!(is_quasi_concave_fn(|x| -(x - 0.4).powi(2), 0.0, 1.0, 101, 1e-12));
+        assert!(!is_quasi_concave_fn(|x| (6.0 * x).sin(), 0.0, 3.0, 301, 1e-9));
+    }
+
+    #[test]
+    fn analytic_throughput_curve_is_quasi_concave() {
+        // End-to-end: the paper's S(p, W) should pass the empirical checker.
+        let model = crate::slot_model::SlotModel::table1();
+        assert!(is_quasi_concave_fn(
+            |p| crate::ppersistent::system_throughput_uniform(&model, p, 20),
+            1e-6,
+            0.9,
+            400,
+            1e-9,
+        ));
+    }
+
+    #[test]
+    fn defect_is_zero_for_unimodal() {
+        assert_eq!(unimodality_defect(&[0.0, 2.0, 5.0, 3.0, 1.0]), 0.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! The Markov-chain model of the paper's RandomReset(j; p0) exponential-backoff
+//! policy — equations (9), (10) and (11) and Lemmas 2–8 of the appendix.
+//!
+//! For a reset distribution `q = [q0, ..., qm]` the attempt probability given a
+//! conditional collision probability `c` is
+//!
+//! ```text
+//! τ̂_c(q) = κ0 / Σ_j q_j α_j(c)            (9)
+//! α_m(c) = 2^m,   α_j(c) = (1-c) 2^j + c α_{j+1}(c)
+//! κ0     = 2 / CWmin
+//! ```
+//!
+//! and the operating point is the unique fixed point with
+//! `c = 1 - (1 - τ)^(N-1)` (10). RandomReset(j; p0) is the special case
+//! `q_j = p0`, `q_i = (1 - p0)/(m - j)` for `i > j` (11).
+
+use crate::bianchi::{collision_given_tau, slotted_throughput};
+use crate::optimize::monotone_fixed_point;
+use crate::slot_model::SlotModel;
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of the backoff chain: minimum window and number of stages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackoffChain {
+    /// Minimum contention window CWmin.
+    pub cw_min: u32,
+    /// Maximum backoff stage `m` (CWmax = 2^m CWmin).
+    pub max_stage: u8,
+}
+
+impl BackoffChain {
+    /// Construct a chain; panics on a zero window.
+    pub fn new(cw_min: u32, max_stage: u8) -> Self {
+        assert!(cw_min >= 1);
+        BackoffChain { cw_min, max_stage }
+    }
+
+    /// The chain implied by the Table I parameters: CWmin = 8, m = 7.
+    pub fn table1() -> Self {
+        BackoffChain::new(8, 7)
+    }
+
+    /// `κ0 = 2 / CWmin` — the attempt rate of a station pinned at stage 0 with no
+    /// collisions (mean backoff (CWmin-1)/2 ≈ CWmin/2 slots).
+    pub fn kappa0(&self) -> f64 {
+        2.0 / self.cw_min as f64
+    }
+
+    /// The paper's `α_j(c)` weights, for all stages `j = 0..=m`.
+    pub fn alpha(&self, c: f64) -> Vec<f64> {
+        let m = self.max_stage as usize;
+        let c = c.clamp(0.0, 1.0);
+        let mut alpha = vec![0.0; m + 1];
+        alpha[m] = (2f64).powi(m as i32);
+        for j in (0..m).rev() {
+            alpha[j] = (1.0 - c) * (2f64).powi(j as i32) + c * alpha[j + 1];
+        }
+        alpha
+    }
+
+    /// Eq. (9): attempt probability given the conditional collision probability
+    /// `c`, for an arbitrary reset distribution `q` (must sum to 1).
+    pub fn tau_given_collision(&self, c: f64, q: &[f64]) -> f64 {
+        assert_eq!(q.len(), self.max_stage as usize + 1, "q must have m+1 entries");
+        let total: f64 = q.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "reset distribution must sum to 1, got {total}");
+        let alpha = self.alpha(c);
+        let denom: f64 = q.iter().zip(&alpha).map(|(qi, ai)| qi * ai).sum();
+        (self.kappa0() / denom).min(1.0)
+    }
+
+    /// Eq. (11): attempt probability of RandomReset(j; p0) given `c`.
+    pub fn tau_given_collision_random_reset(&self, c: f64, j: u8, p0: f64) -> f64 {
+        self.tau_given_collision(c, &self.random_reset_distribution(j, p0))
+    }
+
+    /// The reset distribution of RandomReset(j; p0): mass `p0` on stage `j` and
+    /// `(1 - p0)/(m - j)` on each stage above `j`.
+    pub fn random_reset_distribution(&self, j: u8, p0: f64) -> Vec<f64> {
+        let m = self.max_stage;
+        assert!(j < m, "reset stage j must be < m");
+        assert!((0.0..=1.0).contains(&p0));
+        let mut q = vec![0.0; m as usize + 1];
+        q[j as usize] = p0;
+        let rest = (1.0 - p0) / (m - j) as f64;
+        for i in (j + 1)..=m {
+            q[i as usize] = rest;
+        }
+        q
+    }
+
+    /// The reset distribution of the standard DCF (always return to stage 0).
+    pub fn dcf_distribution(&self) -> Vec<f64> {
+        let mut q = vec![0.0; self.max_stage as usize + 1];
+        q[0] = 1.0;
+        q
+    }
+
+    /// Solve the fixed point of (9)–(10) for an arbitrary reset distribution in a
+    /// fully connected network of `n` stations; returns `(tau, c)`.
+    pub fn fixed_point(&self, n: usize, q: &[f64]) -> (f64, f64) {
+        assert!(n >= 1);
+        if n == 1 {
+            return (self.tau_given_collision(0.0, q), 0.0);
+        }
+        let g = |c: f64| collision_given_tau(self.tau_given_collision(c, q), n);
+        let c = monotone_fixed_point(g, 0.0, 1.0 - 1e-12, 1e-12);
+        (self.tau_given_collision(c, q), c)
+    }
+
+    /// Fixed-point attempt probability of RandomReset(j; p0) with `n` stations.
+    pub fn random_reset_attempt_probability(&self, n: usize, j: u8, p0: f64) -> f64 {
+        self.fixed_point(n, &self.random_reset_distribution(j, p0)).0
+    }
+
+    /// Saturation throughput (bits/s) of `n` stations all running
+    /// RandomReset(j; p0) in a fully connected network.
+    pub fn random_reset_throughput(&self, model: &SlotModel, n: usize, j: u8, p0: f64) -> f64 {
+        let tau = self.random_reset_attempt_probability(n, j, p0);
+        slotted_throughput(model, n, tau)
+    }
+
+    /// The attainable attempt-probability range of the whole exponential-backoff
+    /// class (Lemma 6): `[τ(m-1; 0), τ(0; 1)]`.
+    pub fn attempt_probability_range(&self, n: usize) -> (f64, f64) {
+        let low = self.random_reset_attempt_probability(n, self.max_stage - 1, 0.0);
+        let high = self.random_reset_attempt_probability(n, 0, 1.0);
+        (low, high)
+    }
+
+    /// The number-of-stations range `[Nl, Nh]` over which some RandomReset policy
+    /// can realise the unconstrained optimal attempt probability `p*` (the remark
+    /// after Theorem 3).
+    pub fn optimal_coverage_range(&self, model: &SlotModel, max_n: usize) -> (usize, usize) {
+        let mut lo = usize::MAX;
+        let mut hi = 0;
+        for n in 1..=max_n {
+            let p_star = crate::ppersistent::optimal_p(model, &vec![1.0; n]);
+            let (tau_min, tau_max) = self.attempt_probability_range(n);
+            if p_star >= tau_min && p_star <= tau_max {
+                lo = lo.min(n);
+                hi = hi.max(n);
+            }
+        }
+        if hi == 0 {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> BackoffChain {
+        BackoffChain::table1()
+    }
+
+    #[test]
+    fn alpha_is_monotone_in_stage() {
+        // Lemma 4: α_0(c) <= α_1(c) <= ... <= α_m(c), equality only at c = 1.
+        let ch = chain();
+        for &c in &[0.0, 0.1, 0.3, 0.7, 0.99] {
+            let alpha = ch.alpha(c);
+            for j in 0..alpha.len() - 1 {
+                assert!(alpha[j] < alpha[j + 1] + 1e-12, "c={c} j={j}");
+            }
+            assert!(alpha[0] >= 1.0);
+        }
+        let alpha1 = ch.alpha(1.0);
+        for a in &alpha1 {
+            assert!((a - alpha1[alpha1.len() - 1]).abs() < 1e-9, "all equal at c=1");
+        }
+    }
+
+    #[test]
+    fn alpha_at_zero_collisions_is_power_of_two() {
+        let ch = chain();
+        let alpha = ch.alpha(0.0);
+        for (j, a) in alpha.iter().enumerate() {
+            assert!((a - (2f64).powi(j as i32)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dcf_distribution_recovers_bianchi_tau() {
+        // With q = e_0 the chain is exactly Bianchi's: τ̂_c(e0) must equal his formula.
+        let ch = chain();
+        let q = ch.dcf_distribution();
+        for &c in &[0.0, 0.1, 0.25, 0.5, 0.8] {
+            let ours = ch.tau_given_collision(c, &q);
+            let bianchi = crate::bianchi::tau_given_collision(c, ch.cw_min, ch.max_stage);
+            assert!(
+                (ours - bianchi).abs() / bianchi < 0.15,
+                "c={c}: chain {ours} vs bianchi {bianchi}"
+            );
+        }
+    }
+
+    #[test]
+    fn tau_is_monotone_increasing_in_p0() {
+        // Lemma 5: for fixed j, τ(j; p0) increases with p0.
+        let ch = chain();
+        let model = SlotModel::table1();
+        let _ = model;
+        for n in [5usize, 20, 40] {
+            for j in [0u8, 2, 5] {
+                let mut prev = 0.0;
+                for i in 0..=10 {
+                    let p0 = i as f64 / 10.0;
+                    let tau = ch.random_reset_attempt_probability(n, j, p0);
+                    assert!(tau >= prev - 1e-12, "n={n} j={j} p0={p0}");
+                    prev = tau;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tau_is_monotone_decreasing_in_j() {
+        let ch = chain();
+        for n in [10usize, 40] {
+            let mut prev = f64::INFINITY;
+            for j in 0..ch.max_stage {
+                let tau = ch.random_reset_attempt_probability(n, j, 0.7);
+                assert!(tau <= prev + 1e-12, "n={n} j={j}");
+                prev = tau;
+            }
+        }
+    }
+
+    #[test]
+    fn stage_continuity_lemma7() {
+        // τ_c(j+1; 1/(m-j)) == τ_c(j; 0): the parameterisation is continuous across
+        // stage boundaries, which is what lets TORA-CSMA walk j up and down.
+        let ch = chain();
+        for &c in &[0.1, 0.4, 0.8] {
+            for j in 0..ch.max_stage - 1 {
+                let a = ch.tau_given_collision_random_reset(c, j + 1, 1.0 / (ch.max_stage - j) as f64);
+                let b = ch.tau_given_collision_random_reset(c, j, 0.0);
+                assert!((a - b).abs() < 1e-12, "c={c} j={j}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_range_brackets_all_reset_distributions() {
+        // Lemma 6: any reset distribution's fixed point lies within
+        // [τ(m-1; 0), τ(0; 1)].
+        let ch = chain();
+        let n = 20;
+        let (lo, hi) = ch.attempt_probability_range(n);
+        assert!(lo < hi);
+        let distributions = [
+            ch.dcf_distribution(),
+            ch.random_reset_distribution(3, 0.5),
+            vec![1.0 / 8.0; 8],
+            ch.random_reset_distribution(6, 0.25),
+        ];
+        for q in &distributions {
+            let (tau, _) = ch.fixed_point(n, q);
+            assert!(tau >= lo - 1e-9 && tau <= hi + 1e-9, "tau {tau} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn fixed_point_consistency() {
+        let ch = chain();
+        for n in [2usize, 10, 40] {
+            let q = ch.random_reset_distribution(1, 0.3);
+            let (tau, c) = ch.fixed_point(n, &q);
+            assert!((collision_given_tau(tau, n) - c).abs() < 1e-9);
+            assert!((ch.tau_given_collision(c, &q) - tau).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_reset_throughput_is_quasi_concave_in_p0() {
+        // Lemma 8 / Fig. 13: the throughput as a function of p0 (j = 0) rises to a
+        // single maximum and then falls (or is monotone when the optimum is at a
+        // boundary).
+        let ch = chain();
+        let model = SlotModel::table1();
+        for n in [20usize, 40] {
+            let ys: Vec<f64> = (0..=40)
+                .map(|i| ch.random_reset_throughput(&model, n, 0, i as f64 / 40.0))
+                .collect();
+            assert!(
+                crate::quasiconcave::is_quasi_concave(&ys, 1e-6),
+                "throughput vs p0 not unimodal for n={n}: {ys:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_coverage_range_is_wide() {
+        // The remark after Theorem 3: with CWmin = 8 and m = 7 the exponential
+        // backoff class covers the optimal attempt probability for a wide range of N
+        // (the paper quotes roughly 2..140).
+        let ch = chain();
+        let model = SlotModel::table1();
+        let (lo, hi) = ch.optimal_coverage_range(&model, 160);
+        assert!(lo <= 3, "lower end {lo}");
+        assert!(hi >= 100, "upper end {hi}");
+    }
+
+    #[test]
+    fn throughput_near_optimum_approaches_ppersistent_optimum() {
+        // The best RandomReset throughput should be close to the p-persistent
+        // optimum for moderate N (both realise ≈ the same optimal attempt rate).
+        let ch = chain();
+        let model = SlotModel::table1();
+        for n in [20usize, 40] {
+            let best = (0..=50)
+                .map(|i| ch.random_reset_throughput(&model, n, 0, i as f64 / 50.0))
+                .fold(0.0f64, f64::max);
+            let opt = crate::ppersistent::optimal_throughput(&model, &vec![1.0; n]);
+            assert!(best > 0.93 * opt, "n={n}: best RandomReset {best} vs optimum {opt}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn reset_distribution_rejects_stage_m() {
+        let ch = chain();
+        let _ = ch.random_reset_distribution(ch.max_stage, 0.5);
+    }
+
+    #[test]
+    fn fig12_parameters_behave_sensibly() {
+        // Fig. 12 uses N = 10, m = 5, CWmin = 2: attempt probabilities up to ~0.4.
+        let ch = BackoffChain::new(2, 5);
+        let tau0 = ch.tau_given_collision_random_reset(0.0, 0, 0.8);
+        assert!(tau0 > 0.2 && tau0 < 0.5, "{tau0}");
+        // Monotone in p0 at fixed c (Fig. 12's family of curves).
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let p0 = i as f64 / 10.0;
+            let tau = ch.tau_given_collision_random_reset(0.3, 0, p0);
+            assert!(tau >= prev);
+            prev = tau;
+        }
+    }
+}

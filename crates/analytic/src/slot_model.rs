@@ -1,0 +1,79 @@
+//! The slotted renewal model parameters shared by every analytical formula.
+//!
+//! All of the paper's closed-form expressions (eqs. 2, 3, 6–11) are written in
+//! terms of four constants: the idle-slot duration `σ`, the durations `Ts` and
+//! `Tc` of a successful and a collided channel access, and the expected payload
+//! `E[P]`. [`SlotModel`] packages them (in seconds and bits) and can be derived
+//! directly from the simulator's [`PhyParams`].
+
+use serde::{Deserialize, Serialize};
+use wlan_sim::PhyParams;
+
+/// The four constants of the paper's slotted channel model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotModel {
+    /// Idle slot duration σ in seconds.
+    pub sigma: f64,
+    /// Duration of a successful transmission (`Ts`) in seconds.
+    pub ts: f64,
+    /// Duration of a collision (`Tc`) in seconds.
+    pub tc: f64,
+    /// Expected MAC payload per successful transmission, in bits.
+    pub payload_bits: f64,
+}
+
+impl SlotModel {
+    /// Construct from explicit values (all strictly positive, `ts >= tc` not required).
+    pub fn new(sigma: f64, ts: f64, tc: f64, payload_bits: f64) -> Self {
+        assert!(sigma > 0.0 && ts > 0.0 && tc > 0.0 && payload_bits > 0.0);
+        SlotModel { sigma, ts, tc, payload_bits }
+    }
+
+    /// The Table I parameters of the paper.
+    pub fn table1() -> Self {
+        Self::from_phy(&PhyParams::table1())
+    }
+
+    /// Derive the model from PHY parameters, matching the paper's definitions:
+    /// `Ts = (LH + EP)/R + SIFS + LACK/R + DIFS`, `Tc = (LH + EP)/R + DIFS`.
+    pub fn from_phy(phy: &PhyParams) -> Self {
+        SlotModel {
+            sigma: phy.slot.as_secs_f64(),
+            ts: phy.ts().as_secs_f64(),
+            tc: phy.tc().as_secs_f64(),
+            payload_bits: phy.payload_bits as f64,
+        }
+    }
+
+    /// `Ts*` — successful-transmission duration in slot units.
+    pub fn ts_star(&self) -> f64 {
+        self.ts / self.sigma
+    }
+
+    /// `Tc*` — collision duration in slot units.
+    pub fn tc_star(&self) -> f64 {
+        self.tc / self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_phy_matches_phy_helpers() {
+        let phy = PhyParams::table1();
+        let m = SlotModel::from_phy(&phy);
+        assert!((m.sigma - 9e-6).abs() < 1e-12);
+        assert!((m.ts_star() - phy.ts_star()).abs() < 1e-9);
+        assert!((m.tc_star() - phy.tc_star()).abs() < 1e-9);
+        assert_eq!(m.payload_bits, 8000.0);
+        assert!(m.ts > m.tc);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_values() {
+        let _ = SlotModel::new(0.0, 1.0, 1.0, 1.0);
+    }
+}

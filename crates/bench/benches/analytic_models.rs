@@ -1,0 +1,34 @@
+//! Criterion benches of the analytical models: the closed-form throughput, the
+//! optimal-p root finder, Bianchi's fixed point and the RandomReset chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wlan_analytic::{BackoffChain, SlotModel};
+
+fn bench_analytic(c: &mut Criterion) {
+    let model = SlotModel::table1();
+    let chain = BackoffChain::table1();
+    let mut group = c.benchmark_group("analytic");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for &n in &[10usize, 60] {
+        let weights = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::new("system_throughput", n), &n, |b, _| {
+            b.iter(|| wlan_analytic::system_throughput(&model, black_box(0.01), &weights));
+        });
+        group.bench_with_input(BenchmarkId::new("optimal_p", n), &n, |b, _| {
+            b.iter(|| wlan_analytic::optimal_p(&model, &weights));
+        });
+        group.bench_with_input(BenchmarkId::new("bianchi_fixed_point", n), &n, |b, &n| {
+            b.iter(|| wlan_analytic::solve_dcf(&model, n, 8, 7));
+        });
+        group.bench_with_input(BenchmarkId::new("randomreset_fixed_point", n), &n, |b, &n| {
+            b.iter(|| chain.random_reset_attempt_probability(n, 0, black_box(0.5)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytic);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches of the discrete-event engine itself: how much wall-clock
+//! time one simulated second costs as the network grows, for the cheapest
+//! (static p-persistent) and the most event-heavy (standard DCF) policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wlan_sim::backoff::{ExponentialBackoff, PPersistent};
+use wlan_sim::{PhyParams, SimDuration, SimulatorBuilder, Topology};
+
+fn run_dcf(n: usize, millis: u64) -> u64 {
+    let phy = PhyParams::table1();
+    let mut sim = SimulatorBuilder::new(phy, Topology::fully_connected(n))
+        .seed(1)
+        .with_stations(|_, phy| Box::new(ExponentialBackoff::new(phy)))
+        .build();
+    sim.run_for(SimDuration::from_millis(millis));
+    sim.stats().total_successes()
+}
+
+fn run_ppersistent(n: usize, millis: u64) -> u64 {
+    let phy = PhyParams::table1();
+    let p = 2.0 / (n as f64 * 4.5);
+    let mut sim = SimulatorBuilder::new(phy, Topology::fully_connected(n))
+        .seed(1)
+        .with_stations(move |_, _| Box::new(PPersistent::new(p)))
+        .build();
+    sim.run_for(SimDuration::from_millis(millis));
+    sim.stats().total_successes()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[10usize, 40] {
+        group.bench_with_input(BenchmarkId::new("dcf_200ms", n), &n, |b, &n| {
+            b.iter(|| run_dcf(n, 200));
+        });
+        group.bench_with_input(BenchmarkId::new("ppersistent_200ms", n), &n, |b, &n| {
+            b.iter(|| run_ppersistent(n, 200));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

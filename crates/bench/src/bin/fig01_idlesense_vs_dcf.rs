@@ -1,0 +1,6 @@
+//! Fig. 1: IdleSense vs standard 802.11, with and without hidden nodes.
+fn main() {
+    let cfg = wlan_bench::harness::RunConfig::from_env();
+    let summary = wlan_bench::experiments::fig01(&cfg);
+    println!("\n{summary}");
+}

@@ -1,0 +1,6 @@
+//! Fig. 2: p-persistent throughput vs attempt probability (fully connected).
+fn main() {
+    let cfg = wlan_bench::harness::RunConfig::from_env();
+    let summary = wlan_bench::experiments::fig02(&cfg);
+    println!("\n{summary}");
+}

@@ -1,0 +1,6 @@
+//! Fig. 3: protocol comparison in a fully connected network.
+fn main() {
+    let cfg = wlan_bench::harness::RunConfig::from_env();
+    let summary = wlan_bench::experiments::fig03(&cfg);
+    println!("\n{summary}");
+}

@@ -1,0 +1,6 @@
+//! Fig. 4: p-persistent throughput vs p with hidden nodes.
+fn main() {
+    let cfg = wlan_bench::harness::RunConfig::from_env();
+    let summary = wlan_bench::experiments::fig04(&cfg);
+    println!("\n{summary}");
+}

@@ -1,0 +1,6 @@
+//! Fig. 5: RandomReset throughput vs p0 with hidden nodes.
+fn main() {
+    let cfg = wlan_bench::harness::RunConfig::from_env();
+    let summary = wlan_bench::experiments::fig05(&cfg);
+    println!("\n{summary}");
+}

@@ -1,0 +1,6 @@
+//! Fig. 6: protocol comparison, nodes in a 16 m disc (hidden nodes).
+fn main() {
+    let cfg = wlan_bench::harness::RunConfig::from_env();
+    let summary = wlan_bench::experiments::fig06(&cfg);
+    println!("\n{summary}");
+}

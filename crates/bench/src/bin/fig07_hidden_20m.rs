@@ -1,0 +1,6 @@
+//! Fig. 7: protocol comparison, nodes in a 20 m disc (hidden nodes).
+fn main() {
+    let cfg = wlan_bench::harness::RunConfig::from_env();
+    let summary = wlan_bench::experiments::fig07(&cfg);
+    println!("\n{summary}");
+}

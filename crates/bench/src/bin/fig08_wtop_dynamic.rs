@@ -1,0 +1,6 @@
+//! Figs. 8-9: wTOP-CSMA throughput and control variable under dynamic membership.
+fn main() {
+    let cfg = wlan_bench::harness::RunConfig::from_env();
+    let summary = wlan_bench::experiments::fig08_09(&cfg);
+    println!("\n{summary}");
+}

@@ -1,0 +1,6 @@
+//! Figs. 10-11: TORA-CSMA throughput and reset probability under dynamic membership.
+fn main() {
+    let cfg = wlan_bench::harness::RunConfig::from_env();
+    let summary = wlan_bench::experiments::fig10_11(&cfg);
+    println!("\n{summary}");
+}

@@ -1,0 +1,6 @@
+//! Fig. 12: RandomReset fixed-point curves (analytic).
+fn main() {
+    let cfg = wlan_bench::harness::RunConfig::from_env();
+    let summary = wlan_bench::experiments::fig12(&cfg);
+    println!("\n{summary}");
+}

@@ -1,0 +1,6 @@
+//! Fig. 13: RandomReset throughput vs p0 (fully connected).
+fn main() {
+    let cfg = wlan_bench::harness::RunConfig::from_env();
+    let summary = wlan_bench::experiments::fig13(&cfg);
+    println!("\n{summary}");
+}

@@ -1,0 +1,45 @@
+//! Quick calibration probe (not one of the paper's experiments): measures
+//! simulator wall-clock speed and checks that the adaptive controllers converge
+//! toward the analytic optimum within a practical amount of simulated time.
+
+use std::time::Instant;
+use wlan_analytic::SlotModel;
+use wlan_core::{Protocol, Scenario, TopologySpec};
+use wlan_sim::SimDuration;
+
+fn main() {
+    let model = SlotModel::table1();
+
+    for &n in &[10usize, 20, 40] {
+        let opt = wlan_analytic::optimal_throughput(&model, &vec![1.0; n]) / 1e6;
+        let dcf = wlan_analytic::dcf_throughput(&model, n, 8, 7) / 1e6;
+        println!("n={n}: analytic optimum {opt:.2} Mbps, analytic DCF {dcf:.2} Mbps");
+    }
+
+    for (label, proto, n, warm, meas) in [
+        ("802.11 n=40", Protocol::Standard80211, 40, 2, 5),
+        ("static p* n=40", Protocol::StaticPPersistent { p: 0.0077 }, 40, 2, 5),
+        ("wTOP n=20", Protocol::WTopCsma, 20, 30, 10),
+        ("wTOP n=40", Protocol::WTopCsma, 40, 40, 10),
+        ("TORA n=40", Protocol::ToraCsma, 40, 40, 10),
+        ("IdleSense n=40", Protocol::IdleSense, 40, 10, 5),
+    ] {
+        let start = Instant::now();
+        let r = Scenario::new(proto, TopologySpec::FullyConnected, n)
+            .durations(SimDuration::from_secs(warm), SimDuration::from_secs(meas))
+            .seed(3)
+            .run();
+        let wall = start.elapsed().as_secs_f64();
+        let sim_secs = (warm + meas) as f64;
+        println!(
+            "{label:<18} throughput {:>6.2} Mbps  idle/tx {:>5.2}  coll {:>4.2}  ctrl_end {:?}  [{:.1} sim-s in {:.1} wall-s = {:.0} sim-s/s]",
+            r.throughput_mbps,
+            r.avg_idle_slots,
+            r.collision_fraction,
+            r.control_trace.last().map(|x| x.1),
+            sim_secs,
+            wall,
+            sim_secs / wall
+        );
+    }
+}

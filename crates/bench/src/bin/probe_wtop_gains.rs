@@ -1,0 +1,50 @@
+//! Calibration probe for the wTOP-CSMA gain scale: sweeps the step-size
+//! numerator a0 and the initial control value, and reports converged throughput
+//! and final estimate against the analytic optimum.
+
+use std::time::Instant;
+use stochastic_approx::PowerLawGains;
+use wlan_analytic::SlotModel;
+use wlan_core::{WtopConfig, WtopController};
+use wlan_sim::{PhyParams, SimDuration, SimulatorBuilder, Topology};
+
+fn run(n: usize, a0: f64, initial_p: f64, warm: u64, meas: u64, seed: u64) -> (f64, f64) {
+    let phy = PhyParams::table1();
+    let mut cfg = WtopConfig::for_phy(&phy);
+    cfg.gains = PowerLawGains::new(a0, 1.0, 1.0, 1.0 / 3.0);
+    cfg.initial_p = initial_p;
+    let controller = WtopController::new(cfg);
+    let mut sim = SimulatorBuilder::new(phy, Topology::fully_connected(n))
+        .seed(seed)
+        .with_stations(|_, _| WtopController::station_policy(1.0))
+        .ap_algorithm(Box::new(controller))
+        .build();
+    sim.run_for(SimDuration::from_secs(warm));
+    sim.reset_measurements();
+    sim.run_for(SimDuration::from_secs(meas));
+    let stats = sim.stats();
+    let p_end = sim.ap_algorithm().control_trace().last().map(|x| x.1).unwrap_or(f64::NAN);
+    (stats.system_throughput_mbps(), p_end)
+}
+
+fn main() {
+    let model = SlotModel::table1();
+    for &n in &[10usize, 40] {
+        let opt = wlan_analytic::optimal_throughput(&model, &vec![1.0; n]) / 1e6;
+        let p_star = wlan_analytic::optimal_p(&model, &vec![1.0; n]);
+        println!("== n={n}: optimum {opt:.1} Mbps at p*={p_star:.4}");
+        for &a0 in &[8.0, 16.0, 32.0] {
+            for &p0 in &[0.5, 0.1] {
+                let t = Instant::now();
+                let results: Vec<(f64, f64)> =
+                    (1..=5).map(|s| run(n, a0, p0, 60, 10, s)).collect();
+                let mbps: Vec<String> = results.iter().map(|r| format!("{:.1}", r.0)).collect();
+                println!(
+                    "  a0={a0:>4} init={p0:<4} -> [{}] Mbps  ({:.1}s wall)",
+                    mbps.join(", "),
+                    t.elapsed().as_secs_f64()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Run every experiment of the paper's evaluation (Figs. 1-13, Tables I-III)
+//! and collect a one-line summary per experiment into `results/summary.txt`.
+//!
+//! Quick mode (default) uses fewer seeds and shorter runs; pass `--full` for the
+//! heavyweight version that averages over more seeds like the paper does.
+
+use std::time::Instant;
+use wlan_bench::experiments as ex;
+use wlan_bench::harness::{out_dir, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    println!(
+        "Reproducing all experiments in {} mode (results in {})\n",
+        if cfg.quick { "QUICK" } else { "FULL" },
+        out_dir().display()
+    );
+    let experiments: Vec<(&str, fn(&RunConfig) -> String)> = vec![
+        ("table1", ex::table1),
+        ("fig12", ex::fig12),
+        ("fig02", ex::fig02),
+        ("fig13", ex::fig13),
+        ("fig04", ex::fig04),
+        ("fig05", ex::fig05),
+        ("table2", ex::table2),
+        ("table3", ex::table3),
+        ("fig01", ex::fig01),
+        ("fig03", ex::fig03),
+        ("fig06", ex::fig06),
+        ("fig07", ex::fig07),
+        ("fig08_09", ex::fig08_09),
+        ("fig10_11", ex::fig10_11),
+    ];
+    let mut summaries = Vec::new();
+    let total = Instant::now();
+    for (_name, f) in experiments {
+        let start = Instant::now();
+        let summary = f(&cfg);
+        println!("-> {summary}  [{:.1}s]\n", start.elapsed().as_secs_f64());
+        summaries.push(summary);
+    }
+    let text = summaries.join("\n") + "\n";
+    std::fs::write(out_dir().join("summary.txt"), &text).expect("write summary");
+    println!("== All experiments done in {:.1}s ==\n{text}", total.elapsed().as_secs_f64());
+}

@@ -1,0 +1,6 @@
+//! Table I: simulation parameters.
+fn main() {
+    let cfg = wlan_bench::harness::RunConfig::from_env();
+    let summary = wlan_bench::experiments::table1(&cfg);
+    println!("\n{summary}");
+}

@@ -1,0 +1,6 @@
+//! Table II: wTOP-CSMA weighted fairness.
+fn main() {
+    let cfg = wlan_bench::harness::RunConfig::from_env();
+    let summary = wlan_bench::experiments::table2(&cfg);
+    println!("\n{summary}");
+}

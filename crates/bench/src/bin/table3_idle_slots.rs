@@ -1,0 +1,6 @@
+//! Table III: idle slots and throughput with and without hidden nodes.
+fn main() {
+    let cfg = wlan_bench::harness::RunConfig::from_env();
+    let summary = wlan_bench::experiments::table3(&cfg);
+    println!("\n{summary}");
+}

@@ -1,0 +1,189 @@
+//! Shared infrastructure for the per-figure experiment binaries: run
+//! configuration, result output (`results/*.dat` gnuplot-style series and
+//! `results/*.json` dumps), and the throughput-versus-N sweep that several
+//! figures share.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+use wlan_core::{mean_throughput, run_seeds, Protocol, Scenario, TopologySpec};
+use wlan_sim::SimDuration;
+
+/// Global run configuration for the experiment harness.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Quick mode: fewer seeds, fewer sweep points and shorter runs. Intended for
+    /// CI and for smoke-testing the harness; the full mode reproduces the paper's
+    /// averaging (20 iterations) more closely.
+    pub quick: bool,
+}
+
+impl RunConfig {
+    /// Read the configuration from the command line (`--quick` / `--full`) and the
+    /// `WLAN_REPRO_QUICK` environment variable. Quick mode is the default so that
+    /// `repro_all` finishes in minutes; pass `--full` for the heavyweight version.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = if args.iter().any(|a| a == "--full") {
+            false
+        } else if args.iter().any(|a| a == "--quick") {
+            true
+        } else {
+            std::env::var("WLAN_REPRO_QUICK").map(|v| v != "0").unwrap_or(true)
+        };
+        RunConfig { quick }
+    }
+
+    /// Seeds to average over.
+    pub fn seeds(&self) -> Vec<u64> {
+        if self.quick {
+            vec![1, 2]
+        } else {
+            (1..=10).collect()
+        }
+    }
+
+    /// Station counts for throughput-vs-N sweeps (the paper uses 10..60).
+    pub fn node_counts(&self) -> Vec<usize> {
+        if self.quick {
+            vec![10, 20, 40, 60]
+        } else {
+            vec![10, 20, 30, 40, 50, 60]
+        }
+    }
+
+    /// Warm-up time granted to adaptive protocols before measuring.
+    pub fn adaptive_warmup(&self) -> SimDuration {
+        SimDuration::from_secs(if self.quick { 60 } else { 90 })
+    }
+
+    /// Warm-up time for static protocols.
+    pub fn static_warmup(&self) -> SimDuration {
+        SimDuration::from_secs(if self.quick { 2 } else { 5 })
+    }
+
+    /// Measurement time.
+    pub fn measure(&self) -> SimDuration {
+        SimDuration::from_secs(if self.quick { 8 } else { 20 })
+    }
+
+    /// Total simulated time of the dynamic-membership runs (the paper uses 500 s).
+    pub fn dynamic_total_secs(&self) -> u64 {
+        if self.quick {
+            200
+        } else {
+            500
+        }
+    }
+}
+
+/// Directory into which all experiment outputs are written.
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var("WLAN_REPRO_OUT").unwrap_or_else(|_| "results".to_string());
+    let path = PathBuf::from(dir);
+    fs::create_dir_all(&path).expect("cannot create results directory");
+    path
+}
+
+/// Write a whitespace-separated data file (one comment header line, then rows).
+pub fn write_dat(name: &str, header: &str, rows: &[Vec<f64>]) {
+    let mut text = format!("# {header}\n");
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
+        text.push_str(&cells.join(" "));
+        text.push('\n');
+    }
+    let path = out_dir().join(name);
+    fs::write(&path, text).expect("cannot write data file");
+    println!("  wrote {}", path.display());
+}
+
+/// Write a JSON dump of any serialisable result.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = out_dir().join(name);
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))
+        .expect("cannot write json file");
+    println!("  wrote {}", path.display());
+}
+
+/// One protocol's mean throughput as a function of the number of stations.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputCurve {
+    /// Protocol label.
+    pub protocol: String,
+    /// `(n, mean Mbps, min Mbps, max Mbps)` per sweep point.
+    pub points: Vec<(usize, f64, f64, f64)>,
+}
+
+/// Run a throughput-vs-N sweep for several protocols on one topology.
+pub fn throughput_vs_n(
+    cfg: &RunConfig,
+    protocols: &[Protocol],
+    topology: &TopologySpec,
+    label: &str,
+) -> Vec<ThroughputCurve> {
+    let seeds = cfg.seeds();
+    let mut curves = Vec::new();
+    for proto in protocols {
+        let mut points = Vec::new();
+        for &n in &cfg.node_counts() {
+            let warm = if proto.is_adaptive() { cfg.adaptive_warmup() } else { cfg.static_warmup() };
+            let base = Scenario::new(*proto, topology.clone(), n)
+                .durations(warm, cfg.measure());
+            let results = run_seeds(&base, &seeds);
+            let mean = mean_throughput(&results);
+            let min = results.iter().map(|r| r.throughput_mbps).fold(f64::INFINITY, f64::min);
+            let max = results.iter().map(|r| r.throughput_mbps).fold(0.0f64, f64::max);
+            println!(
+                "  [{label}] {:<18} n={n:<3} -> {mean:>6.2} Mbps (min {min:.2}, max {max:.2})",
+                proto.label()
+            );
+            points.push((n, mean, min, max));
+        }
+        curves.push(ThroughputCurve { protocol: proto.label().to_string(), points });
+    }
+    curves
+}
+
+/// Write a set of throughput curves as one .dat file per protocol plus a JSON dump.
+pub fn save_curves(stem: &str, curves: &[ThroughputCurve]) {
+    for curve in curves {
+        let fname = format!(
+            "{stem}_{}.dat",
+            curve.protocol.to_lowercase().replace([' ', '.', '(', ')'], "_")
+        );
+        let rows: Vec<Vec<f64>> = curve
+            .points
+            .iter()
+            .map(|(n, mean, min, max)| vec![*n as f64, *mean, *min, *max])
+            .collect();
+        write_dat(&fname, "n mean_mbps min_mbps max_mbps", &rows);
+    }
+    write_json(&format!("{stem}.json"), &curves);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_smaller_than_full() {
+        let quick = RunConfig { quick: true };
+        let full = RunConfig { quick: false };
+        assert!(quick.seeds().len() < full.seeds().len());
+        assert!(quick.node_counts().len() <= full.node_counts().len());
+        assert!(quick.measure() < full.measure());
+        assert!(quick.dynamic_total_secs() < full.dynamic_total_secs());
+    }
+
+    #[test]
+    fn dat_files_are_written() {
+        std::env::set_var("WLAN_REPRO_OUT", std::env::temp_dir().join("wlan_repro_test"));
+        write_dat("unit_test.dat", "a b", &[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let path = out_dir().join("unit_test.dat");
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("# a b\n"));
+        assert!(text.contains("3.000000 4.000000"));
+        std::env::remove_var("WLAN_REPRO_OUT");
+    }
+}

@@ -1,0 +1,49 @@
+//! # wlan-core
+//!
+//! The paper's primary contribution: stochastic-approximation MAC controllers
+//! that maximise WLAN throughput **without any underlying analytical model**,
+//! which is what lets them keep working when hidden terminals invalidate the
+//! fully-connected-network models that every previous tuning scheme relies on.
+//!
+//! * [`wtop`] — **wTOP-CSMA** (Algorithm 1): the AP tunes the attempt
+//!   probability of p-persistent CSMA with Kiefer–Wolfowitz throughput
+//!   measurements; stations apply a per-weight mapping for weighted fairness.
+//! * [`tora`] — **TORA-CSMA** (Algorithm 2): the AP tunes the RandomReset(j; p0)
+//!   exponential-backoff policy, walking the reset stage when `p0` saturates.
+//! * [`idlesense`] — the IdleSense baseline (Heusse et al. 2005).
+//! * [`protocol`] — the catalogue of schemes compared in the evaluation and
+//!   factories to instantiate them.
+//! * [`scenario`] — the experiment runner (protocol × topology × N × seed →
+//!   metrics), the API used by the examples, integration tests and benches.
+//! * [`dynamics`] — dynamic-membership runs (stations joining/leaving) used for
+//!   the convergence experiments of Figs. 8–11.
+//!
+//! ```
+//! use wlan_core::{Protocol, Scenario, TopologySpec};
+//! use wlan_sim::SimDuration;
+//!
+//! // wTOP-CSMA on a small fully connected WLAN (short run for the doctest).
+//! let result = Scenario::new(Protocol::WTopCsma, TopologySpec::FullyConnected, 5)
+//!     .durations(SimDuration::from_millis(200), SimDuration::from_millis(300))
+//!     .update_period(SimDuration::from_millis(50))
+//!     .seed(42)
+//!     .run();
+//! assert!(result.throughput_mbps > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamics;
+pub mod idlesense;
+pub mod protocol;
+pub mod scenario;
+pub mod tora;
+pub mod wtop;
+
+pub use dynamics::{run_dynamic, DynamicResult, MembershipChange, MembershipSchedule};
+pub use idlesense::{IdleSenseConfig, IdleSensePolicy};
+pub use protocol::Protocol;
+pub use scenario::{mean_throughput, run_seeds, Scenario, ScenarioResult, TopologySpec};
+pub use tora::{ToraConfig, ToraController};
+pub use wtop::{WtopConfig, WtopController};

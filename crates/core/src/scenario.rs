@@ -1,0 +1,344 @@
+//! The scenario runner: the high-level public API that examples, integration
+//! tests and the benchmark harness use to run one experiment
+//! (protocol × topology × N × seed) and collect the metrics the paper reports.
+
+use crate::protocol::Protocol;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use wlan_sim::{
+    CaptureModel, PhyParams, SimDuration, SimStats, Simulator, SimulatorBuilder, ThroughputSample,
+    Topology,
+};
+
+/// How the stations are laid out around the AP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// Idealised fully connected network (every station senses every other).
+    FullyConnected,
+    /// Stations evenly spaced on a ring of the given radius (metres). With the
+    /// default ranges a radius of 8 m is fully connected.
+    Ring {
+        /// Ring radius in metres.
+        radius: f64,
+    },
+    /// Stations placed uniformly at random in a disc of the given radius (metres);
+    /// 16 m and 20 m are the paper's hidden-node configurations.
+    UniformDisc {
+        /// Disc radius in metres.
+        radius: f64,
+    },
+}
+
+impl TopologySpec {
+    /// Materialise the topology for `n` stations using `seed` for random placement.
+    pub fn build(&self, n: usize, seed: u64) -> Topology {
+        match self {
+            TopologySpec::FullyConnected => Topology::fully_connected(n),
+            TopologySpec::Ring { radius } => Topology::ring(n, *radius),
+            TopologySpec::UniformDisc { radius } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+                Topology::uniform_disc(n, *radius, &mut rng)
+            }
+        }
+    }
+}
+
+/// Full description of one simulation run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The channel-access scheme under test.
+    pub protocol: Protocol,
+    /// Station layout.
+    pub topology: TopologySpec,
+    /// Number of stations.
+    pub n: usize,
+    /// Per-station weights (defaults to all ones). Only wTOP-CSMA honours them.
+    pub weights: Option<Vec<f64>>,
+    /// RNG seed (placement + all contention randomness).
+    pub seed: u64,
+    /// Warm-up time excluded from measurements (lets adaptive schemes converge).
+    pub warmup: SimDuration,
+    /// Measurement time.
+    pub measure: SimDuration,
+    /// `UPDATE_PERIOD` for the stochastic-approximation controllers.
+    pub update_period: SimDuration,
+    /// PHY parameters (Table I by default).
+    pub phy: PhyParams,
+    /// Width of the throughput time-series bins.
+    pub throughput_bin: SimDuration,
+    /// Physical-layer capture model at the AP. Defaults to the indoor SIR model,
+    /// mirroring the SINR-based reception of the ns-3 PHY the paper evaluates on.
+    /// Set to `None` for the paper's idealised "any overlap is a loss" channel
+    /// (which is also what the analytical models assume). Irrelevant for ring /
+    /// fully-connected layouts, where all stations are equidistant from the AP.
+    pub capture: Option<CaptureModel>,
+}
+
+impl Scenario {
+    /// A scenario with the paper's defaults: Table I PHY, 250 ms update period,
+    /// 1 s throughput bins, no warm-up configured yet.
+    pub fn new(protocol: Protocol, topology: TopologySpec, n: usize) -> Self {
+        Scenario {
+            protocol,
+            topology,
+            n,
+            weights: None,
+            seed: 1,
+            warmup: SimDuration::from_secs(10),
+            measure: SimDuration::from_secs(10),
+            update_period: SimDuration::from_millis(250),
+            phy: PhyParams::table1(),
+            throughput_bin: SimDuration::from_secs(1),
+            capture: Some(CaptureModel::default_indoor()),
+        }
+    }
+
+    /// Disable (or replace) the physical-layer capture model.
+    pub fn capture(mut self, capture: Option<CaptureModel>) -> Self {
+        self.capture = capture;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set warm-up and measurement durations.
+    pub fn durations(mut self, warmup: SimDuration, measure: SimDuration) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self
+    }
+
+    /// Set per-station weights.
+    pub fn weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.n);
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Set the controller update period.
+    pub fn update_period(mut self, period: SimDuration) -> Self {
+        self.update_period = period;
+        self
+    }
+
+    /// Build the simulator for this scenario without running it.
+    pub fn build_simulator(&self) -> Simulator {
+        let topology = self.topology.build(self.n, self.seed);
+        let weights = self.weights.clone().unwrap_or_else(|| vec![1.0; self.n]);
+        let protocol = self.protocol;
+        let phy = self.phy.clone();
+        SimulatorBuilder::new(self.phy.clone(), topology)
+            .seed(self.seed)
+            .weights(weights.clone())
+            .with_stations(move |i, _| protocol.station_policy(&phy, weights[i]))
+            .ap_algorithm(self.protocol.ap_algorithm(&self.phy, self.update_period))
+            .throughput_bin(self.throughput_bin)
+            .capture_model(self.capture)
+            .build()
+    }
+
+    /// Run the scenario: warm up, reset measurements, measure, and summarise.
+    pub fn run(&self) -> ScenarioResult {
+        let mut sim = self.build_simulator();
+        let hidden_pairs = sim.topology().num_hidden_pairs();
+        if !self.warmup.is_zero() {
+            sim.run_for(self.warmup);
+            sim.reset_measurements();
+        }
+        sim.run_for(self.measure);
+        let stats = sim.stats();
+        let weights = sim.weights();
+        let control_trace = sim
+            .ap_algorithm()
+            .control_trace()
+            .into_iter()
+            .map(|(t, v)| (t.as_secs_f64(), v))
+            .collect();
+        let station_attempt_probabilities =
+            (0..self.n).map(|i| sim.station_attempt_probability(i)).collect();
+        ScenarioResult::from_stats(
+            self.protocol.label().to_string(),
+            self.n,
+            hidden_pairs,
+            &stats,
+            &weights,
+            control_trace,
+            station_attempt_probabilities,
+        )
+    }
+}
+
+/// Summary of one scenario run — every quantity the paper's tables and figures use.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Protocol label.
+    pub protocol: String,
+    /// Number of stations.
+    pub n: usize,
+    /// Number of hidden station pairs in the generated topology.
+    pub hidden_pairs: usize,
+    /// System throughput in Mbps.
+    pub throughput_mbps: f64,
+    /// Per-station throughput in Mbps.
+    pub per_node_mbps: Vec<f64>,
+    /// Per-station throughput divided by the station's weight (Table II's
+    /// "normalized throughput").
+    pub normalized_mbps: Vec<f64>,
+    /// Average idle slots per transmission observed at the AP (Table III).
+    pub avg_idle_slots: f64,
+    /// Fraction of busy periods that were collisions.
+    pub collision_fraction: f64,
+    /// Jain fairness index over raw per-station throughput.
+    pub jain_index: f64,
+    /// Jain fairness index over weight-normalised throughput.
+    pub weighted_jain_index: f64,
+    /// Throughput time series (seconds, Mbps, active stations).
+    pub throughput_series: Vec<(f64, f64, usize)>,
+    /// Controller control-variable trace (seconds, value), if the protocol has one.
+    pub control_trace: Vec<(f64, f64)>,
+    /// Final per-station attempt probabilities reported by the policies.
+    pub station_attempt_probabilities: Vec<Option<f64>>,
+}
+
+impl ScenarioResult {
+    fn from_stats(
+        protocol: String,
+        n: usize,
+        hidden_pairs: usize,
+        stats: &SimStats,
+        weights: &[f64],
+        control_trace: Vec<(f64, f64)>,
+        station_attempt_probabilities: Vec<Option<f64>>,
+    ) -> Self {
+        let per_node = stats.per_node_throughput_mbps();
+        let normalized = per_node.iter().zip(weights).map(|(x, w)| x / w).collect();
+        ScenarioResult {
+            protocol,
+            n,
+            hidden_pairs,
+            throughput_mbps: stats.system_throughput_mbps(),
+            per_node_mbps: per_node,
+            normalized_mbps: normalized,
+            avg_idle_slots: stats.avg_idle_slots_per_transmission(),
+            collision_fraction: stats.collision_fraction(),
+            jain_index: stats.jain_fairness_index(),
+            weighted_jain_index: stats.weighted_jain_fairness_index(weights),
+            throughput_series: stats
+                .throughput_series
+                .iter()
+                .map(|s: &ThroughputSample| (s.time.as_secs_f64(), s.bps / 1e6, s.active_nodes))
+                .collect(),
+            control_trace,
+            station_attempt_probabilities,
+        }
+    }
+}
+
+/// Run the same scenario over several seeds and return the per-seed results
+/// (used for the averaged curves of Figs. 1, 3, 6 and 7).
+pub fn run_seeds(base: &Scenario, seeds: &[u64]) -> Vec<ScenarioResult> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let mut s = base.clone();
+            s.seed = seed;
+            s.run()
+        })
+        .collect()
+}
+
+/// Mean system throughput (Mbps) over a set of results.
+pub fn mean_throughput(results: &[ScenarioResult]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(|r| r.throughput_mbps).sum::<f64>() / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short(protocol: Protocol, topo: TopologySpec, n: usize) -> Scenario {
+        Scenario::new(protocol, topo, n)
+            .durations(SimDuration::from_millis(300), SimDuration::from_millis(700))
+            .update_period(SimDuration::from_millis(50))
+            .seed(7)
+    }
+
+    #[test]
+    fn topology_specs_build_expected_layouts() {
+        assert!(TopologySpec::FullyConnected.build(30, 1).is_fully_connected());
+        assert!(TopologySpec::Ring { radius: 8.0 }.build(30, 1).is_fully_connected());
+        let disc = TopologySpec::UniformDisc { radius: 20.0 }.build(30, 3);
+        assert_eq!(disc.num_nodes(), 30);
+    }
+
+    #[test]
+    fn static_ppersistent_scenario_runs() {
+        let r = short(Protocol::StaticPPersistent { p: 0.02 }, TopologySpec::FullyConnected, 10)
+            .run();
+        assert!(r.throughput_mbps > 5.0, "{}", r.throughput_mbps);
+        assert_eq!(r.per_node_mbps.len(), 10);
+        assert_eq!(r.hidden_pairs, 0);
+        assert!(r.jain_index > 0.5);
+    }
+
+    #[test]
+    fn standard_dcf_scenario_runs() {
+        let r = short(Protocol::Standard80211, TopologySpec::Ring { radius: 8.0 }, 10).run();
+        assert!(r.throughput_mbps > 5.0, "{}", r.throughput_mbps);
+        assert!(r.collision_fraction > 0.0 && r.collision_fraction < 1.0);
+    }
+
+    #[test]
+    fn adaptive_scenarios_produce_control_traces() {
+        let r = short(Protocol::WTopCsma, TopologySpec::FullyConnected, 5).run();
+        assert!(!r.control_trace.is_empty(), "wTOP should record its control variable");
+        let r = short(Protocol::ToraCsma, TopologySpec::FullyConnected, 5).run();
+        assert!(!r.control_trace.is_empty(), "TORA should record its control variable");
+    }
+
+    #[test]
+    fn hidden_disc_reports_hidden_pairs() {
+        let r = short(Protocol::StaticPPersistent { p: 0.02 }, TopologySpec::UniformDisc { radius: 20.0 }, 20)
+            .seed(11)
+            .run();
+        assert!(r.hidden_pairs > 0, "expected hidden pairs in a 20 m disc with 20 nodes");
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let a = short(Protocol::Standard80211, TopologySpec::FullyConnected, 6).run();
+        let b = short(Protocol::Standard80211, TopologySpec::FullyConnected, 6).run();
+        assert_eq!(a.throughput_mbps, b.throughput_mbps);
+        assert_eq!(a.per_node_mbps, b.per_node_mbps);
+    }
+
+    #[test]
+    fn run_seeds_aggregates() {
+        let base = short(Protocol::StaticPPersistent { p: 0.03 }, TopologySpec::FullyConnected, 5);
+        let results = run_seeds(&base, &[1, 2, 3]);
+        assert_eq!(results.len(), 3);
+        let mean = mean_throughput(&results);
+        assert!(mean > 0.0);
+        assert!(results.iter().any(|r| (r.throughput_mbps - mean).abs() > 1e-12));
+        assert_eq!(mean_throughput(&[]), 0.0);
+    }
+
+    #[test]
+    fn weights_flow_through_to_normalisation() {
+        let r = short(Protocol::WTopCsma, TopologySpec::FullyConnected, 4)
+            .weights(vec![1.0, 1.0, 2.0, 2.0])
+            .run();
+        for (i, (raw, norm)) in r.per_node_mbps.iter().zip(&r.normalized_mbps).enumerate() {
+            let w = if i < 2 { 1.0 } else { 2.0 };
+            assert!((raw / w - norm).abs() < 1e-12);
+        }
+    }
+}

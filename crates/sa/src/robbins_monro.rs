@@ -1,0 +1,130 @@
+//! The Robbins–Monro root-finding stochastic approximation.
+//!
+//! Kiefer–Wolfowitz (the algorithm the paper builds on) is the maximisation
+//! variant of Robbins–Monro. The root-finding form is included both for
+//! completeness of the stochastic-approximation toolkit and because several of
+//! the baselines cited by the paper (e.g. tuning toward a target number of idle
+//! slots, as IdleSense does) are naturally expressed as driving a noisy
+//! observation to a set-point — i.e. finding the root of
+//! `g(x) = E[observation | x] - target`.
+
+use serde::{Deserialize, Serialize};
+
+/// Robbins–Monro iteration `x_{k+1} = x_k - a_k * y_k`, where `y_k` is a noisy
+/// observation of `g(x_k)` and the goal is `g(x*) = 0`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RobbinsMonro {
+    a0: f64,
+    alpha: f64,
+    k: u64,
+    estimate: f64,
+    bounds: (f64, f64),
+    /// +1 when `g` is increasing in `x`, -1 when decreasing; the update moves
+    /// against the sign so it always walks toward the root.
+    direction: f64,
+}
+
+impl RobbinsMonro {
+    /// Create a root finder with step sizes `a_k = a0 / k^alpha` (alpha in (0.5, 1]),
+    /// starting at `initial` and confined to `bounds`. `increasing` states whether
+    /// the regression function is increasing in `x`.
+    pub fn new(initial: f64, bounds: (f64, f64), a0: f64, alpha: f64, increasing: bool) -> Self {
+        assert!(bounds.0 < bounds.1);
+        assert!(a0 > 0.0 && alpha > 0.5 && alpha <= 1.0, "need alpha in (0.5, 1]");
+        RobbinsMonro {
+            a0,
+            alpha,
+            k: 1,
+            estimate: initial.clamp(bounds.0, bounds.1),
+            bounds,
+            direction: if increasing { 1.0 } else { -1.0 },
+        }
+    }
+
+    /// Current estimate of the root.
+    pub fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    /// Current iteration count.
+    pub fn iteration(&self) -> u64 {
+        self.k
+    }
+
+    /// Feed a noisy observation of `g` at the current estimate and move the
+    /// estimate. Returns the new estimate.
+    pub fn record(&mut self, observation: f64) -> f64 {
+        assert!(observation.is_finite());
+        let a = self.a0 / (self.k as f64).powf(self.alpha);
+        self.estimate =
+            (self.estimate - self.direction * a * observation).clamp(self.bounds.0, self.bounds.1);
+        self.k += 1;
+        self.estimate
+    }
+
+    /// Convenience driver against a noisy oracle.
+    pub fn solve<F: FnMut(f64) -> f64>(&mut self, mut observe: F, iterations: usize) -> f64 {
+        for _ in 0..iterations {
+            let y = observe(self.estimate);
+            self.record(y);
+        }
+        self.estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn finds_root_of_increasing_function() {
+        let mut rm = RobbinsMonro::new(0.9, (0.0, 1.0), 0.5, 1.0, true);
+        let est = rm.solve(|x| 2.0 * (x - 0.25), 2000);
+        assert!((est - 0.25).abs() < 1e-3, "estimate {est}");
+    }
+
+    #[test]
+    fn finds_root_of_decreasing_function() {
+        let mut rm = RobbinsMonro::new(0.1, (0.0, 1.0), 0.5, 1.0, false);
+        let est = rm.solve(|x| 3.0 * (0.6 - x), 2000);
+        assert!((est - 0.6).abs() < 1e-3, "estimate {est}");
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rm = RobbinsMonro::new(0.5, (0.0, 1.0), 0.3, 0.8, true);
+        let est = rm.solve(|x| (x - 0.35) + rng.gen_range(-0.5..0.5), 20_000);
+        assert!((est - 0.35).abs() < 0.03, "estimate {est}");
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut rm = RobbinsMonro::new(0.5, (0.2, 0.8), 1.0, 1.0, true);
+        for _ in 0..100 {
+            rm.record(100.0);
+        }
+        assert!(rm.estimate() >= 0.2);
+        for _ in 0..100 {
+            rm.record(-100.0);
+        }
+        assert!(rm.estimate() <= 0.8);
+    }
+
+    #[test]
+    fn iteration_counter_advances() {
+        let mut rm = RobbinsMonro::new(0.5, (0.0, 1.0), 1.0, 1.0, true);
+        assert_eq!(rm.iteration(), 1);
+        rm.record(0.0);
+        rm.record(0.0);
+        assert_eq!(rm.iteration(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_alpha() {
+        let _ = RobbinsMonro::new(0.5, (0.0, 1.0), 1.0, 0.4, true);
+    }
+}

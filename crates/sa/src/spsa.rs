@@ -1,0 +1,168 @@
+//! Simultaneous-perturbation stochastic approximation (SPSA).
+//!
+//! The paper tunes a single scalar per algorithm (Theorem 1 reduces the
+//! N-dimensional weighted-fairness problem to one variable), so plain
+//! Kiefer–Wolfowitz suffices. SPSA is the natural multi-dimensional extension —
+//! it estimates the full gradient from only two measurements per iteration by
+//! perturbing all coordinates simultaneously with random ±1 signs — and is
+//! provided as an extension point for future-work experiments such as jointly
+//! tuning `(p0, j)` or per-class probabilities without the Theorem 1 reduction.
+
+use crate::gain::PowerLawGains;
+use rand::Rng;
+use rand::RngCore;
+
+/// SPSA maximiser over a box-constrained parameter vector.
+#[derive(Debug, Clone)]
+pub struct Spsa {
+    gains: PowerLawGains,
+    k: u64,
+    estimate: Vec<f64>,
+    bounds: Vec<(f64, f64)>,
+    /// The perturbation directions of the iteration currently in flight.
+    pending: Option<Vec<f64>>,
+    awaiting_minus: Option<f64>,
+}
+
+impl Spsa {
+    /// Create an SPSA maximiser from an initial point and per-coordinate bounds.
+    pub fn new(initial: Vec<f64>, bounds: Vec<(f64, f64)>) -> Self {
+        Self::with_gains(initial, bounds, PowerLawGains::paper_defaults())
+    }
+
+    /// Create with explicit gain sequences.
+    pub fn with_gains(initial: Vec<f64>, bounds: Vec<(f64, f64)>, gains: PowerLawGains) -> Self {
+        assert_eq!(initial.len(), bounds.len());
+        assert!(!initial.is_empty());
+        for (x, (lo, hi)) in initial.iter().zip(&bounds) {
+            assert!(lo < hi && x >= lo && x <= hi, "initial point outside bounds");
+        }
+        Spsa { gains, k: 2, estimate: initial, bounds, pending: None, awaiting_minus: None }
+    }
+
+    /// Current estimate.
+    pub fn estimate(&self) -> &[f64] {
+        &self.estimate
+    }
+
+    /// Current iteration.
+    pub fn iteration(&self) -> u64 {
+        self.k
+    }
+
+    /// The next point to measure at. Each iteration produces two probe points
+    /// (`theta + c_k Δ` then `theta - c_k Δ`); the perturbation direction Δ is
+    /// drawn once per iteration from the given RNG.
+    pub fn probe(&mut self, rng: &mut dyn RngCore) -> Vec<f64> {
+        let c = self.gains.b(self.k);
+        if self.pending.is_none() {
+            let delta: Vec<f64> =
+                (0..self.estimate.len()).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            self.pending = Some(delta);
+        }
+        let delta = self.pending.as_ref().unwrap();
+        let sign = if self.awaiting_minus.is_none() { 1.0 } else { -1.0 };
+        self.estimate
+            .iter()
+            .zip(delta)
+            .zip(&self.bounds)
+            .map(|((x, d), (lo, hi))| (x + sign * c * d).clamp(*lo, *hi))
+            .collect()
+    }
+
+    /// Feed the measurement taken at the last probe point. Returns `true` when a
+    /// full iteration completed and the estimate moved.
+    pub fn record(&mut self, measurement: f64) -> bool {
+        assert!(measurement.is_finite());
+        match self.awaiting_minus {
+            None => {
+                self.awaiting_minus = Some(measurement);
+                false
+            }
+            Some(y_plus) => {
+                let y_minus = measurement;
+                let delta = self.pending.take().expect("missing perturbation");
+                self.awaiting_minus = None;
+                let a = self.gains.a(self.k);
+                let c = self.gains.b(self.k);
+                for ((x, d), (lo, hi)) in
+                    self.estimate.iter_mut().zip(&delta).zip(&self.bounds)
+                {
+                    let grad = (y_plus - y_minus) / (2.0 * c * d);
+                    *x = (*x + a * grad).clamp(*lo, *hi);
+                }
+                self.k += 1;
+                true
+            }
+        }
+    }
+
+    /// Convenience driver against a noisy oracle.
+    pub fn maximize<F: FnMut(&[f64]) -> f64>(
+        &mut self,
+        mut measure: F,
+        iterations: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<f64> {
+        for _ in 0..iterations {
+            let p1 = self.probe(rng);
+            let m1 = measure(&p1);
+            self.record(m1);
+            let p2 = self.probe(rng);
+            let m2 = measure(&p2);
+            self.record(m2);
+        }
+        self.estimate.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn maximises_a_two_dimensional_quadratic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut spsa = Spsa::new(vec![0.8, 0.2], vec![(0.0, 1.0), (0.0, 1.0)]);
+        let target = [0.3, 0.6];
+        let est = spsa.maximize(
+            |x| -(x[0] - target[0]).powi(2) - (x[1] - target[1]).powi(2),
+            2000,
+            &mut rng,
+        );
+        assert!((est[0] - target[0]).abs() < 0.08, "{est:?}");
+        assert!((est[1] - target[1]).abs() < 0.08, "{est:?}");
+    }
+
+    #[test]
+    fn probe_points_respect_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut spsa = Spsa::new(vec![0.0, 1.0], vec![(0.0, 1.0), (0.0, 1.0)]);
+        for _ in 0..10 {
+            let p = spsa.probe(&mut rng);
+            assert!(p.iter().all(|x| (0.0..=1.0).contains(x)), "{p:?}");
+            spsa.record(0.0);
+        }
+    }
+
+    #[test]
+    fn iteration_advances_only_after_both_measurements() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut spsa = Spsa::new(vec![0.5], vec![(0.0, 1.0)]);
+        assert_eq!(spsa.iteration(), 2);
+        let _ = spsa.probe(&mut rng);
+        assert!(!spsa.record(1.0));
+        assert_eq!(spsa.iteration(), 2);
+        let _ = spsa.probe(&mut rng);
+        assert!(spsa.record(0.0));
+        assert_eq!(spsa.iteration(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_initial_point_outside_bounds() {
+        let _ = Spsa::new(vec![2.0], vec![(0.0, 1.0)]);
+    }
+}

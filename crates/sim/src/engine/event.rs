@@ -1,0 +1,132 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by timestamp with FIFO tie-breaking (a monotonically
+//! increasing sequence number), which makes every run exactly reproducible for a
+//! given seed.
+
+use crate::time::SimTime;
+use crate::topology::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Kinds of events processed by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Event {
+    /// A station's backoff counter is due to reach zero and the station transmits.
+    /// `gen` lazily invalidates timers that were frozen by carrier sensing.
+    TxStart { station: NodeId, gen: u64 },
+    /// A data transmission ends.
+    TxEnd { tx_id: usize },
+    /// The AP starts transmitting the ACK for transmission `tx_id`.
+    AckStart { tx_id: usize },
+    /// The AP finishes transmitting the ACK for transmission `tx_id`.
+    AckEnd { tx_id: usize },
+    /// A station gives up waiting for an ACK. `gen` invalidates stale timeouts.
+    AckTimeout { station: NodeId, gen: u64 },
+    /// Periodic statistics sampling tick.
+    StatsTick,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: the BinaryHeap is a max-heap, we want earliest first.
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    pub(crate) fn schedule(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Pop the earliest pending event.
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), Event::StatsTick);
+        q.schedule(SimTime::from_micros(10), Event::TxEnd { tx_id: 1 });
+        q.schedule(SimTime::from_micros(20), Event::TxEnd { tx_id: 2 });
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().0, SimTime::from_micros(10));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_micros(20));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_micros(30));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_in_fifo_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        q.schedule(t, Event::TxStart { station: 0, gen: 0 });
+        q.schedule(t, Event::TxStart { station: 1, gen: 0 });
+        q.schedule(t, Event::TxStart { station: 2, gen: 0 });
+        for expected in 0..3 {
+            match q.pop().unwrap().1 {
+                Event::TxStart { station, .. } => assert_eq!(station, expected),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(1), Event::StatsTick);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(1)));
+        assert_eq!(q.len(), 1);
+    }
+}

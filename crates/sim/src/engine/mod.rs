@@ -1,0 +1,963 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Simulator`] wires together the PHY timing, the topology's sensing relation,
+//! one [`BackoffPolicy`](crate::backoff::BackoffPolicy) per station, and an
+//! [`ApAlgorithm`](crate::ap::ApAlgorithm) at the access point, and advances a
+//! deterministic event queue. The model is the saturated uplink of the paper's
+//! Section II: every station always has a frame queued for the AP, a frame is
+//! received iff no other transmission overlaps it in time and the AP itself is
+//! not transmitting, and the AP answers every received frame with an ACK after
+//! SIFS, piggy-backing the controller's current control variable.
+
+mod event;
+mod station;
+
+use crate::ap::{ApAlgorithm, NullController};
+use crate::backoff::BackoffPolicy;
+use crate::capture::CaptureModel;
+use crate::control::{BusyOutcome, ChannelObservation, ControlPayload};
+use crate::phy::PhyParams;
+use crate::stats::{SimStats, ThroughputSample};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, Topology};
+use event::{Event, EventQueue};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use station::{Phase, StationState};
+
+/// An in-flight (or completed) data transmission.
+#[derive(Debug, Clone)]
+struct Transmission {
+    source: NodeId,
+    #[allow(dead_code)]
+    start: SimTime,
+    #[allow(dead_code)]
+    end: SimTime,
+    payload_bits: u64,
+    /// Received power at the AP (1.0 when no capture model is configured).
+    rx_power: f64,
+    /// Total received power of every other transmission that overlapped this one.
+    interference: f64,
+    /// Hard loss: the AP was transmitting (an ACK) during part of this frame, so it
+    /// cannot be decoded regardless of signal strength.
+    collided: bool,
+}
+
+impl Transmission {
+    fn decodable(&self, capture: Option<&CaptureModel>) -> bool {
+        if self.collided {
+            return false;
+        }
+        match capture {
+            Some(c) => c.decodable(self.rx_power, self.interference),
+            None => self.interference <= 0.0,
+        }
+    }
+}
+
+/// A pending ACK the AP is about to transmit / is transmitting.
+#[derive(Debug, Clone)]
+struct PendingAck {
+    dest: NodeId,
+    payload: ControlPayload,
+}
+
+/// Builder for [`Simulator`].
+///
+/// ```
+/// use wlan_sim::{SimulatorBuilder, PhyParams, Topology};
+/// use wlan_sim::backoff::PPersistent;
+///
+/// let phy = PhyParams::table1();
+/// let topo = Topology::fully_connected(10);
+/// let mut sim = SimulatorBuilder::new(phy, topo)
+///     .seed(7)
+///     .with_stations(|_, phy| Box::new(PPersistent::new(2.0 / (10.0 * phy.tc_star().sqrt()))))
+///     .build();
+/// sim.run_for(wlan_sim::SimDuration::from_millis(200));
+/// assert!(sim.stats().system_throughput_mbps() > 1.0);
+/// ```
+pub struct SimulatorBuilder {
+    phy: PhyParams,
+    topology: Topology,
+    seed: u64,
+    weights: Vec<f64>,
+    policies: Vec<Option<Box<dyn BackoffPolicy>>>,
+    ap: Box<dyn ApAlgorithm>,
+    throughput_bin: SimDuration,
+    frame_error_rate: f64,
+    initially_active: Option<usize>,
+    capture: Option<CaptureModel>,
+}
+
+impl SimulatorBuilder {
+    /// Start building a simulator for the given PHY parameters and topology.
+    pub fn new(phy: PhyParams, topology: Topology) -> Self {
+        let n = topology.num_nodes();
+        SimulatorBuilder {
+            phy,
+            topology,
+            seed: 0,
+            weights: vec![1.0; n],
+            policies: (0..n).map(|_| None).collect(),
+            ap: Box::new(NullController::new()),
+            throughput_bin: SimDuration::from_secs(1),
+            frame_error_rate: 0.0,
+            initially_active: None,
+            capture: None,
+        }
+    }
+
+    /// Master RNG seed; every station derives an independent stream from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Install the same policy constructor on every station.
+    pub fn with_stations<F>(mut self, mut factory: F) -> Self
+    where
+        F: FnMut(NodeId, &PhyParams) -> Box<dyn BackoffPolicy>,
+    {
+        for i in 0..self.policies.len() {
+            self.policies[i] = Some(factory(i, &self.phy));
+        }
+        self
+    }
+
+    /// Install a policy on a single station.
+    pub fn with_station_policy(mut self, node: NodeId, policy: Box<dyn BackoffPolicy>) -> Self {
+        self.policies[node] = Some(policy);
+        self
+    }
+
+    /// Set per-station weights (used for weighted-fairness reporting).
+    pub fn weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.topology.num_nodes());
+        assert!(weights.iter().all(|w| *w > 0.0), "weights must be positive");
+        self.weights = weights;
+        self
+    }
+
+    /// Install the AP-side controller.
+    pub fn ap_algorithm(mut self, ap: Box<dyn ApAlgorithm>) -> Self {
+        self.ap = ap;
+        self
+    }
+
+    /// Width of the throughput time-series bins (default 1 s).
+    pub fn throughput_bin(mut self, bin: SimDuration) -> Self {
+        assert!(!bin.is_zero());
+        self.throughput_bin = bin;
+        self
+    }
+
+    /// Independent and identically distributed frame-error probability applied to
+    /// otherwise-successful receptions (default 0; the paper's footnote-1 extension).
+    pub fn frame_error_rate(mut self, fer: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fer));
+        self.frame_error_rate = fer;
+        self
+    }
+
+    /// Enable physical-layer capture at the AP (SIR-threshold reception). With
+    /// `None` (the default) every overlap destroys all frames involved, exactly as
+    /// in the paper's analytical model.
+    pub fn capture_model(mut self, capture: Option<CaptureModel>) -> Self {
+        self.capture = capture;
+        self
+    }
+
+    /// Only the first `n` stations start active; the rest can be activated later
+    /// (dynamic-membership scenarios, Figs. 8–11).
+    pub fn initially_active(mut self, n: usize) -> Self {
+        assert!(n <= self.topology.num_nodes());
+        self.initially_active = Some(n);
+        self
+    }
+
+    /// Construct the simulator. Panics if any station is missing a policy or the
+    /// PHY parameters are inconsistent.
+    pub fn build(self) -> Simulator {
+        self.phy.validate().expect("invalid PHY parameters");
+        let n = self.topology.num_nodes();
+        let mut master = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut stations = Vec::with_capacity(n);
+        for (i, policy) in self.policies.into_iter().enumerate() {
+            let policy = policy.unwrap_or_else(|| panic!("station {i} has no backoff policy"));
+            let rng = ChaCha8Rng::seed_from_u64(master.gen());
+            stations.push(StationState::new(policy, rng, self.weights[i]));
+        }
+        let engine_rng = ChaCha8Rng::seed_from_u64(master.gen());
+        let mut sim = Simulator {
+            phy: self.phy,
+            topology: self.topology,
+            stations,
+            ap: self.ap,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            txs: Vec::new(),
+            active_tx: Vec::new(),
+            ap_transmitting: false,
+            pending_ack: None,
+            stats: SimStats::new(n),
+            ap_busy_count: 0,
+            ap_idle_since: SimTime::ZERO,
+            ap_busy_start: SimTime::ZERO,
+            ap_busy_has_data: false,
+            ap_busy_has_success: false,
+            measure_start: SimTime::ZERO,
+            throughput_bin: self.throughput_bin,
+            bin_start: SimTime::ZERO,
+            bin_bits: 0,
+            frame_error_rate: self.frame_error_rate,
+            capture: self.capture,
+            engine_rng,
+        };
+        let active = self.initially_active.unwrap_or(n);
+        for i in 0..active {
+            sim.activate_station(i);
+        }
+        sim.queue.schedule(SimTime::ZERO + sim.throughput_bin, Event::StatsTick);
+        sim
+    }
+}
+
+/// The discrete-event IEEE 802.11 DCF simulator.
+pub struct Simulator {
+    phy: PhyParams,
+    topology: Topology,
+    stations: Vec<StationState>,
+    ap: Box<dyn ApAlgorithm>,
+    queue: EventQueue,
+    now: SimTime,
+    txs: Vec<Transmission>,
+    active_tx: Vec<usize>,
+    ap_transmitting: bool,
+    pending_ack: Option<PendingAck>,
+    stats: SimStats,
+    // Channel bookkeeping from the AP's perspective (the AP hears every station).
+    ap_busy_count: u32,
+    ap_idle_since: SimTime,
+    ap_busy_start: SimTime,
+    ap_busy_has_data: bool,
+    ap_busy_has_success: bool,
+    measure_start: SimTime,
+    throughput_bin: SimDuration,
+    bin_start: SimTime,
+    bin_bits: u64,
+    frame_error_rate: f64,
+    capture: Option<CaptureModel>,
+    engine_rng: ChaCha8Rng,
+}
+
+impl Simulator {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The PHY parameters in use.
+    pub fn phy(&self) -> &PhyParams {
+        &self.phy
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of stations currently active.
+    pub fn active_stations(&self) -> usize {
+        self.stations.iter().filter(|s| s.is_active()).count()
+    }
+
+    /// Immutable access to the collected statistics.
+    pub fn stats(&self) -> SimStats {
+        let mut stats = self.stats.clone();
+        stats.measured_time = self.now.duration_since(self.measure_start);
+        stats
+    }
+
+    /// The AP-side controller (for reading its trace after a run).
+    pub fn ap_algorithm(&self) -> &dyn ApAlgorithm {
+        self.ap.as_ref()
+    }
+
+    /// The attempt probability currently reported by a station's policy, if any.
+    pub fn station_attempt_probability(&self, node: NodeId) -> Option<f64> {
+        self.stations[node].policy.attempt_probability()
+    }
+
+    /// Per-station weights.
+    pub fn weights(&self) -> Vec<f64> {
+        self.stations.iter().map(|s| s.weight).collect()
+    }
+
+    /// Discard all measurements collected so far and start measuring from the
+    /// current simulation time (used to skip a warm-up interval).
+    pub fn reset_measurements(&mut self) {
+        let n = self.stations.len();
+        self.stats = SimStats::new(n);
+        self.measure_start = self.now;
+        self.bin_start = self.now;
+        self.bin_bits = 0;
+    }
+
+    /// Bring an inactive station into the network (it starts contending immediately).
+    pub fn activate_station(&mut self, node: NodeId) {
+        if self.stations[node].is_active() {
+            return;
+        }
+        let now = self.now;
+        {
+            let st = &mut self.stations[node];
+            st.phase = Phase::Contending;
+            st.sensed_busy = 0;
+            st.idle_since = now;
+            st.countdown_start = None;
+        }
+        // Recompute what the station currently senses.
+        let sensed = self
+            .active_tx
+            .iter()
+            .filter(|&&id| {
+                let src = self.txs[id].source;
+                src != node && self.topology.senses(node, src)
+            })
+            .count() as u32
+            + if self.ap_transmitting { 1 } else { 0 };
+        self.stations[node].sensed_busy = sensed;
+        self.begin_contention(node);
+    }
+
+    /// Remove a station from the network. Any in-flight transmission it has is
+    /// abandoned (no success or failure is recorded for it).
+    pub fn deactivate_station(&mut self, node: NodeId) {
+        let st = &mut self.stations[node];
+        if !st.is_active() {
+            return;
+        }
+        st.phase = Phase::Inactive;
+        st.countdown_start = None;
+        st.timer_gen += 1;
+        st.ack_gen += 1;
+    }
+
+    /// Run the simulation until the given absolute time.
+    pub fn run_until(&mut self, t_end: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > t_end {
+                break;
+            }
+            let (time, ev) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(time >= self.now, "time must be monotone");
+            self.now = time;
+            self.handle(ev);
+        }
+        if t_end > self.now {
+            self.now = t_end;
+        }
+    }
+
+    /// Run the simulation for the given additional duration.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t_end = self.now + d;
+        self.run_until(t_end);
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::TxStart { station, gen } => self.handle_tx_start(station, gen),
+            Event::TxEnd { tx_id } => self.handle_tx_end(tx_id),
+            Event::AckStart { tx_id } => self.handle_ack_start(tx_id),
+            Event::AckEnd { tx_id } => self.handle_ack_end(tx_id),
+            Event::AckTimeout { station, gen } => self.handle_ack_timeout(station, gen),
+            Event::StatsTick => self.handle_stats_tick(),
+        }
+    }
+
+    fn handle_tx_start(&mut self, node: NodeId, gen: u64) {
+        {
+            let st = &self.stations[node];
+            // A timer is valid iff it is the most recently scheduled one and the
+            // station is still counting down. Note that `sensed_busy` may be non-zero
+            // here: if another station started transmitting at exactly this instant,
+            // this station's counter still legitimately reached zero in the same slot
+            // and both transmit (that is precisely how same-slot collisions happen).
+            // Timers that were frozen strictly before their expiry are invalidated by
+            // bumping `timer_gen` in `sense_busy_start`.
+            if st.phase != Phase::Contending || st.timer_gen != gen || st.countdown_start.is_none()
+            {
+                return; // stale timer
+            }
+        }
+        let now = self.now;
+        let airtime = self.phy.data_airtime();
+        let end = now + airtime;
+        let payload_bits = self.phy.payload_bits;
+
+        // Reception bookkeeping: each pair of overlapping frames interferes with the
+        // other; a frame overlapping an AP transmission is lost outright. Whether an
+        // interfered frame is still decodable is decided at TxEnd by the capture
+        // model (without one, any interference is fatal — the paper's model).
+        let rx_power = match &self.capture {
+            Some(c) => c.received_power(self.topology.distance_to_ap(node)),
+            None => 1.0,
+        };
+        let collided = self.ap_transmitting;
+        let mut interference = 0.0;
+        for &id in &self.active_tx {
+            interference += self.txs[id].rx_power;
+            self.txs[id].interference += rx_power;
+        }
+
+        let tx_id = self.txs.len();
+        self.txs.push(Transmission {
+            source: node,
+            start: now,
+            end,
+            payload_bits,
+            rx_power,
+            interference,
+            collided,
+        });
+        self.active_tx.push(tx_id);
+        self.stats.nodes[node].attempts += 1;
+
+        {
+            let st = &mut self.stations[node];
+            st.phase = Phase::Transmitting;
+            st.countdown_start = None;
+            st.timer_gen += 1;
+        }
+
+        self.queue.schedule(end, Event::TxEnd { tx_id });
+
+        // Stations within sensing range of the transmitter see the medium go busy.
+        for other in 0..self.stations.len() {
+            if other != node && self.stations[other].is_active() && self.topology.senses(other, node)
+            {
+                self.sense_busy_start(other, true);
+            }
+        }
+        self.ap_channel_busy_start(true);
+    }
+
+    fn handle_tx_end(&mut self, tx_id: usize) {
+        let now = self.now;
+        self.active_tx.retain(|&id| id != tx_id);
+        let (source, decodable, payload_bits) = {
+            let tx = &self.txs[tx_id];
+            (tx.source, tx.decodable(self.capture.as_ref()), tx.payload_bits)
+        };
+
+        // Sensing stations see the medium go (possibly) idle again.
+        for other in 0..self.stations.len() {
+            if other != source
+                && self.stations[other].is_active()
+                && self.topology.senses(other, source)
+            {
+                self.sense_busy_end(other);
+            }
+        }
+
+        // The transmitter itself starts listening for the ACK.
+        let mut reception_failed = !decodable;
+        if !reception_failed && self.frame_error_rate > 0.0 {
+            reception_failed = self.engine_rng.gen::<f64>() < self.frame_error_rate;
+        }
+        if self.stations[source].is_active() {
+            let timeout = self.phy.ack_timeout();
+            let st = &mut self.stations[source];
+            st.phase = Phase::AwaitingAck;
+            if st.sensed_busy == 0 {
+                st.idle_since = now;
+            }
+            st.ack_gen += 1;
+            let gen = st.ack_gen;
+            self.queue.schedule(now + timeout, Event::AckTimeout { station: source, gen });
+        }
+
+        if !reception_failed {
+            // The AP decoded the frame; ACK after SIFS.
+            self.ap_busy_has_success = true;
+            self.ap.on_success(now, source, payload_bits);
+            self.pending_ack = Some(PendingAck { dest: source, payload: ControlPayload::None });
+            self.queue.schedule(now + self.phy.sifs, Event::AckStart { tx_id });
+        }
+
+        self.ap_channel_busy_end();
+    }
+
+    fn handle_ack_start(&mut self, tx_id: usize) {
+        let now = self.now;
+        // The AP cannot receive while transmitting: any frame in flight is lost.
+        for &id in &self.active_tx {
+            self.txs[id].collided = true;
+        }
+        self.ap_transmitting = true;
+        let payload = self.ap.control_payload(now);
+        if let Some(ack) = self.pending_ack.as_mut() {
+            ack.payload = payload;
+        }
+        let end = now + self.phy.ack_airtime();
+        self.queue.schedule(end, Event::AckEnd { tx_id });
+
+        // Every active station senses the AP.
+        let tx_source = self.txs[tx_id].source;
+        for node in 0..self.stations.len() {
+            if self.stations[node].is_active() && node != tx_source {
+                self.sense_busy_start(node, false);
+            }
+        }
+        self.ap_channel_busy_start(false);
+    }
+
+    fn handle_ack_end(&mut self, tx_id: usize) {
+        let now = self.now;
+        self.ap_transmitting = false;
+        let ack = self.pending_ack.take();
+        let (dest, payload) = match ack {
+            Some(a) => (a.dest, a.payload),
+            None => (self.txs[tx_id].source, ControlPayload::None),
+        };
+
+        let tx_source = self.txs[tx_id].source;
+        for node in 0..self.stations.len() {
+            if self.stations[node].is_active() && node != tx_source {
+                self.sense_busy_end(node);
+            }
+        }
+
+        // Every station overhears the control payload carried by the ACK.
+        if !payload.is_none() {
+            for st in self.stations.iter_mut().filter(|s| s.is_active()) {
+                st.policy.on_control(&payload);
+            }
+        }
+
+        // Deliver the ACK to its addressee.
+        if self.stations[dest].phase == Phase::AwaitingAck {
+            let payload_bits = self.txs[tx_id].payload_bits;
+            self.stats.nodes[dest].successes += 1;
+            self.stats.nodes[dest].payload_bits_delivered += payload_bits;
+            self.bin_bits += payload_bits;
+            {
+                let st = &mut self.stations[dest];
+                st.ack_gen += 1; // cancel the pending timeout
+                let rng: &mut dyn RngCore = &mut st.rng;
+                st.policy.on_success(rng);
+                if st.sensed_busy == 0 {
+                    st.idle_since = now;
+                }
+            }
+            self.begin_contention(dest);
+        }
+
+        self.ap_channel_busy_end();
+    }
+
+    fn handle_ack_timeout(&mut self, node: NodeId, gen: u64) {
+        {
+            let st = &self.stations[node];
+            if st.phase != Phase::AwaitingAck || st.ack_gen != gen {
+                return; // stale timeout (the ACK arrived)
+            }
+        }
+        self.stats.nodes[node].failures += 1;
+        {
+            let st = &mut self.stations[node];
+            let rng: &mut dyn RngCore = &mut st.rng;
+            st.policy.on_failure(rng);
+        }
+        self.begin_contention(node);
+    }
+
+    fn handle_stats_tick(&mut self) {
+        let now = self.now;
+        let elapsed = now.duration_since(self.bin_start);
+        if !elapsed.is_zero() {
+            let bps = self.bin_bits as f64 / elapsed.as_secs_f64();
+            self.stats.throughput_series.push(ThroughputSample {
+                time: now,
+                bps,
+                active_nodes: self.active_stations(),
+            });
+        }
+        self.bin_start = now;
+        self.bin_bits = 0;
+
+        // Beacon: give the controller a chance to act even in an ACK-less lull and
+        // broadcast its current control variable to every station (the paper's
+        // beacon-frame variant; beacon airtime is neglected).
+        self.ap.on_beacon(now);
+        let payload = self.ap.control_payload(now);
+        if !payload.is_none() {
+            for st in self.stations.iter_mut().filter(|s| s.is_active()) {
+                st.policy.on_control(&payload);
+            }
+        }
+
+        self.queue.schedule(now + self.throughput_bin, Event::StatsTick);
+    }
+
+    // ------------------------------------------------------------------
+    // Station helpers
+    // ------------------------------------------------------------------
+
+    /// Enter the contention phase: draw a fresh backoff and, if the medium is
+    /// idle, schedule the transmission.
+    fn begin_contention(&mut self, node: NodeId) {
+        let now = self.now;
+        let difs = self.phy.difs;
+        {
+            let st = &mut self.stations[node];
+            if !st.is_active() {
+                return;
+            }
+            st.phase = Phase::Contending;
+            let rng: &mut dyn RngCore = &mut st.rng;
+            st.remaining_slots = st.policy.next_backoff(rng);
+            st.countdown_start = None;
+        }
+        if self.stations[node].sensed_busy == 0 {
+            let st = &mut self.stations[node];
+            let start = if st.idle_since + difs > now { st.idle_since + difs } else { now };
+            st.countdown_start = Some(start);
+            st.timer_gen += 1;
+            let gen = st.timer_gen;
+            let fire = start + self.phy.slot * st.remaining_slots;
+            self.queue.schedule(fire, Event::TxStart { station: node, gen });
+        }
+    }
+
+    /// A transmission this station can sense has started.
+    fn sense_busy_start(&mut self, node: NodeId, is_data: bool) {
+        let now = self.now;
+        let slot = self.phy.slot;
+        let difs = self.phy.difs;
+        let st = &mut self.stations[node];
+        st.sensed_busy += 1;
+        if st.sensed_busy > 1 {
+            st.busy_has_data |= is_data;
+            return;
+        }
+        // Medium transition idle -> busy.
+        st.busy_has_data = is_data;
+        let idle_start = st.idle_since + difs;
+        st.pending_idle_slots =
+            if now > idle_start { now.duration_since(idle_start).div_duration(slot) } else { 0 };
+
+        if st.phase == Phase::Contending {
+            if let Some(anchor) = st.countdown_start {
+                let elapsed =
+                    if now > anchor { now.duration_since(anchor).div_duration(slot) } else { 0 };
+                if elapsed >= st.remaining_slots {
+                    // The station's own TxStart is due at exactly this instant and is
+                    // still pending in the queue; leave it valid so simultaneous
+                    // transmissions (collisions) can happen.
+                } else {
+                    st.remaining_slots -= elapsed;
+                    st.countdown_start = None;
+                    st.timer_gen += 1;
+                }
+            }
+        }
+    }
+
+    /// A transmission this station was sensing has ended.
+    fn sense_busy_end(&mut self, node: NodeId) {
+        let now = self.now;
+        let difs = self.phy.difs;
+        debug_assert!(self.stations[node].sensed_busy > 0);
+        {
+            let st = &mut self.stations[node];
+            st.sensed_busy = st.sensed_busy.saturating_sub(1);
+            if st.sensed_busy > 0 {
+                return;
+            }
+            // Medium transition busy -> idle.
+            st.idle_since = now;
+            if st.busy_has_data {
+                let obs = ChannelObservation {
+                    idle_slots: st.pending_idle_slots,
+                    own_transmission: false,
+                    outcome: BusyOutcome::Unknown,
+                };
+                st.policy.on_observation(&obs);
+            }
+        }
+        if self.stations[node].phase == Phase::Contending {
+            let st = &mut self.stations[node];
+            let start = now + difs;
+            st.countdown_start = Some(start);
+            st.timer_gen += 1;
+            let gen = st.timer_gen;
+            let fire = start + self.phy.slot * st.remaining_slots;
+            self.queue.schedule(fire, Event::TxStart { station: node, gen });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // AP-perspective channel bookkeeping (for Table III statistics)
+    // ------------------------------------------------------------------
+
+    fn ap_channel_busy_start(&mut self, is_data: bool) {
+        let now = self.now;
+        self.ap_busy_count += 1;
+        if self.ap_busy_count > 1 {
+            self.ap_busy_has_data |= is_data;
+            return;
+        }
+        self.ap_busy_start = now;
+        self.ap_busy_has_data = is_data;
+        self.ap_busy_has_success = false;
+        let idle_start = self.ap_idle_since + self.phy.difs;
+        if now > idle_start {
+            self.stats.idle_slots += now.duration_since(idle_start).div_duration(self.phy.slot);
+        }
+    }
+
+    fn ap_channel_busy_end(&mut self) {
+        let now = self.now;
+        debug_assert!(self.ap_busy_count > 0);
+        self.ap_busy_count -= 1;
+        if self.ap_busy_count > 0 {
+            return;
+        }
+        self.ap_idle_since = now;
+        self.stats.busy_time += now.duration_since(self.ap_busy_start);
+        if self.ap_busy_has_data {
+            self.stats.busy_periods += 1;
+            if self.ap_busy_has_success {
+                self.stats.successful_busy_periods += 1;
+            } else {
+                self.stats.collided_busy_periods += 1;
+                self.ap.on_collision(now);
+            }
+        }
+        self.ap_busy_has_data = false;
+        self.ap_busy_has_success = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backoff::{ExponentialBackoff, FixedWindow, PPersistent};
+
+    fn quick_sim(n: usize, topo: Topology, p: f64, seed: u64) -> Simulator {
+        let phy = PhyParams::table1();
+        let _ = n;
+        SimulatorBuilder::new(phy, topo)
+            .seed(seed)
+            .with_stations(move |_, _| Box::new(PPersistent::new(p)))
+            .build()
+    }
+
+    #[test]
+    fn single_station_gets_near_saturation_throughput() {
+        let topo = Topology::fully_connected(1);
+        let phy = PhyParams::table1();
+        let mut sim = SimulatorBuilder::new(phy.clone(), topo)
+            .seed(1)
+            .with_stations(|_, _| Box::new(FixedWindow::new(1)))
+            .build();
+        sim.run_for(SimDuration::from_secs(1));
+        let stats = sim.stats();
+        let mbps = stats.system_throughput_mbps();
+        // One station with CW=1 transmits back-to-back: throughput should be close to
+        // (but below) the zero-backoff bound.
+        let bound = phy.saturation_bound_bps() / 1e6;
+        assert!(mbps > 0.8 * bound, "mbps={mbps} bound={bound}");
+        assert!(mbps <= bound * 1.01, "mbps={mbps} bound={bound}");
+        assert_eq!(stats.total_failures(), 0);
+    }
+
+    #[test]
+    fn two_fully_connected_stations_share_and_rarely_collide() {
+        let topo = Topology::fully_connected(2);
+        let mut sim = quick_sim(2, topo, 0.05, 3);
+        sim.run_for(SimDuration::from_secs(2));
+        let stats = sim.stats();
+        assert!(stats.total_successes() > 1000);
+        // With carrier sensing and p=0.05 collisions exist but are a small minority.
+        let ratio = stats.total_failures() as f64 / stats.total_attempts() as f64;
+        assert!(ratio < 0.2, "collision ratio {ratio}");
+        // Both stations get roughly equal shares.
+        let t0 = stats.node_throughput_mbps(0);
+        let t1 = stats.node_throughput_mbps(1);
+        assert!((t0 - t1).abs() / (t0 + t1) < 0.15, "t0={t0} t1={t1}");
+    }
+
+    #[test]
+    fn hidden_pair_collides_heavily() {
+        // Two stations that cannot sense each other but both reach the AP.
+        let mut topo = Topology::fully_connected(2);
+        topo.set_senses(0, 1, false);
+        // p chosen large enough that transmissions frequently overlap.
+        let mut sim = quick_sim(2, topo, 0.05, 5);
+        sim.run_for(SimDuration::from_secs(2));
+        let hidden_stats = sim.stats();
+
+        let topo_fc = Topology::fully_connected(2);
+        let mut sim_fc = quick_sim(2, topo_fc, 0.05, 5);
+        sim_fc.run_for(SimDuration::from_secs(2));
+        let fc_stats = sim_fc.stats();
+
+        assert!(
+            hidden_stats.collision_fraction() > 2.0 * fc_stats.collision_fraction(),
+            "hidden {} vs fc {}",
+            hidden_stats.collision_fraction(),
+            fc_stats.collision_fraction()
+        );
+        assert!(
+            hidden_stats.system_throughput_mbps() < fc_stats.system_throughput_mbps(),
+            "hidden nodes should reduce throughput"
+        );
+    }
+
+    #[test]
+    fn dcf_with_many_stations_runs_and_everyone_transmits() {
+        let topo = Topology::fully_connected(20);
+        let phy = PhyParams::table1();
+        let mut sim = SimulatorBuilder::new(phy, topo)
+            .seed(11)
+            .with_stations(|_, phy| Box::new(ExponentialBackoff::new(phy)))
+            .build();
+        sim.run_for(SimDuration::from_secs(2));
+        let stats = sim.stats();
+        assert!(stats.system_throughput_mbps() > 5.0);
+        for i in 0..20 {
+            assert!(stats.nodes[i].attempts > 0, "station {i} never attempted");
+            assert!(stats.nodes[i].successes > 0, "station {i} never succeeded");
+        }
+        // Conservation: every attempt is eventually a success, a failure, or still pending.
+        let pending = 20u64;
+        assert!(
+            stats.total_attempts() <= stats.total_successes() + stats.total_failures() + pending
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = |seed| {
+            let topo = Topology::fully_connected(8);
+            let mut sim = quick_sim(8, topo, 0.03, seed);
+            sim.run_for(SimDuration::from_secs(1));
+            let s = sim.stats();
+            (s.total_successes(), s.total_failures(), s.total_payload_bits())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn reset_measurements_discards_warmup() {
+        let topo = Topology::fully_connected(5);
+        let mut sim = quick_sim(5, topo, 0.05, 9);
+        sim.run_for(SimDuration::from_millis(500));
+        let warm = sim.stats().total_successes();
+        assert!(warm > 0);
+        sim.reset_measurements();
+        assert_eq!(sim.stats().total_successes(), 0);
+        sim.run_for(SimDuration::from_millis(500));
+        let after = sim.stats();
+        assert!(after.total_successes() > 0);
+        assert!(after.measured_time <= SimDuration::from_millis(501));
+    }
+
+    #[test]
+    fn activate_and_deactivate_stations() {
+        let topo = Topology::fully_connected(10);
+        let phy = PhyParams::table1();
+        let mut sim = SimulatorBuilder::new(phy, topo)
+            .seed(2)
+            .with_stations(|_, _| Box::new(PPersistent::new(0.05)))
+            .initially_active(2)
+            .build();
+        assert_eq!(sim.active_stations(), 2);
+        sim.run_for(SimDuration::from_millis(300));
+        let before = sim.stats();
+        assert_eq!(before.nodes[5].attempts, 0);
+
+        for i in 2..10 {
+            sim.activate_station(i);
+        }
+        assert_eq!(sim.active_stations(), 10);
+        sim.run_for(SimDuration::from_millis(300));
+        assert!(sim.stats().nodes[5].attempts > 0);
+
+        for i in 0..9 {
+            sim.deactivate_station(i);
+        }
+        assert_eq!(sim.active_stations(), 1);
+        let base = sim.stats().nodes[0].attempts;
+        sim.run_for(SimDuration::from_millis(300));
+        assert_eq!(sim.stats().nodes[0].attempts, base, "deactivated station kept transmitting");
+    }
+
+    #[test]
+    fn throughput_series_is_recorded() {
+        let topo = Topology::fully_connected(4);
+        let phy = PhyParams::table1();
+        let mut sim = SimulatorBuilder::new(phy, topo)
+            .seed(6)
+            .with_stations(|_, _| Box::new(PPersistent::new(0.05)))
+            .throughput_bin(SimDuration::from_millis(100))
+            .build();
+        sim.run_for(SimDuration::from_secs(1));
+        let series = sim.stats().throughput_series;
+        assert!(series.len() >= 9, "expected ~10 samples, got {}", series.len());
+        assert!(series.iter().all(|s| s.active_nodes == 4));
+        assert!(series.iter().any(|s| s.bps > 1e6));
+    }
+
+    #[test]
+    fn busy_periods_and_idle_slots_are_tracked() {
+        let topo = Topology::fully_connected(6);
+        let mut sim = quick_sim(6, topo, 0.02, 13);
+        sim.run_for(SimDuration::from_secs(1));
+        let stats = sim.stats();
+        assert!(stats.busy_periods > 0);
+        assert_eq!(
+            stats.busy_periods,
+            stats.successful_busy_periods + stats.collided_busy_periods
+        );
+        assert!(stats.idle_slots > 0);
+        assert!(stats.avg_idle_slots_per_transmission() > 0.0);
+        assert!(stats.channel_utilisation() > 0.0 && stats.channel_utilisation() <= 1.0);
+    }
+
+    #[test]
+    fn frame_error_injection_causes_failures_without_collisions() {
+        let topo = Topology::fully_connected(1);
+        let phy = PhyParams::table1();
+        let mut sim = SimulatorBuilder::new(phy, topo)
+            .seed(3)
+            .with_stations(|_, _| Box::new(FixedWindow::new(8)))
+            .frame_error_rate(0.3)
+            .build();
+        sim.run_for(SimDuration::from_secs(1));
+        let stats = sim.stats();
+        assert!(stats.total_failures() > 0, "frame errors should cause ACK timeouts");
+        let ratio = stats.total_failures() as f64 / stats.total_attempts() as f64;
+        assert!((ratio - 0.3).abs() < 0.05, "loss ratio {ratio} should be near 0.3");
+    }
+
+    #[test]
+    fn weights_are_reported() {
+        let topo = Topology::fully_connected(3);
+        let phy = PhyParams::table1();
+        let sim = SimulatorBuilder::new(phy, topo)
+            .with_stations(|_, _| Box::new(PPersistent::new(0.1)))
+            .weights(vec![1.0, 2.0, 3.0])
+            .build();
+        assert_eq!(sim.weights(), vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Per-station MAC state tracked by the event engine.
+
+use crate::backoff::BackoffPolicy;
+use crate::time::SimTime;
+use rand_chacha::ChaCha8Rng;
+
+/// What a station is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// The station is not participating (dynamic-membership scenarios).
+    Inactive,
+    /// The station is counting down its backoff (possibly frozen by carrier sensing).
+    Contending,
+    /// The station is transmitting a data frame.
+    Transmitting,
+    /// The station finished its data frame and is waiting for the ACK.
+    AwaitingAck,
+}
+
+/// MAC state machine bookkeeping for one station.
+pub(crate) struct StationState {
+    /// Contention-resolution policy (owned by the station).
+    pub policy: Box<dyn BackoffPolicy>,
+    /// Per-station RNG stream (deterministic, derived from the master seed).
+    pub rng: ChaCha8Rng,
+    /// Station weight (used only for reporting weighted fairness).
+    pub weight: f64,
+    pub phase: Phase,
+    /// Backoff slots still to be counted down.
+    pub remaining_slots: u64,
+    /// Number of in-flight transmissions this station currently senses
+    /// (other stations within sensing range, plus the AP).
+    pub sensed_busy: u32,
+    /// When this station's perceived medium last became idle. Only meaningful
+    /// while `sensed_busy == 0`.
+    pub idle_since: SimTime,
+    /// When the current backoff countdown (re)starts: `idle_since + DIFS`,
+    /// possibly in the future. `None` while the medium is sensed busy or the
+    /// station is not contending.
+    pub countdown_start: Option<SimTime>,
+    /// Generation counter for lazily invalidating scheduled `TxStart` events.
+    pub timer_gen: u64,
+    /// Generation counter for lazily invalidating scheduled `AckTimeout` events.
+    pub ack_gen: u64,
+    /// Idle slots counted immediately before the busy period currently being sensed.
+    pub pending_idle_slots: u64,
+    /// Whether the busy period currently being sensed contains a data frame.
+    pub busy_has_data: bool,
+}
+
+impl StationState {
+    pub(crate) fn new(policy: Box<dyn BackoffPolicy>, rng: ChaCha8Rng, weight: f64) -> Self {
+        StationState {
+            policy,
+            rng,
+            weight,
+            phase: Phase::Inactive,
+            remaining_slots: 0,
+            sensed_busy: 0,
+            idle_since: SimTime::ZERO,
+            countdown_start: None,
+            timer_gen: 0,
+            ack_gen: 0,
+            pending_idle_slots: 0,
+            busy_has_data: false,
+        }
+    }
+
+    /// Whether the station is participating in the network.
+    pub(crate) fn is_active(&self) -> bool {
+        self.phase != Phase::Inactive
+    }
+}

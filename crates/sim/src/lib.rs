@@ -1,0 +1,63 @@
+//! # wlan-sim
+//!
+//! A from-scratch discrete-event simulator of the IEEE 802.11 Distributed
+//! Coordination Function (DCF) in basic-access mode, built to reproduce the
+//! evaluation of *"Stochastic Approximation Algorithm for Optimal Throughput
+//! Performance of Wireless LANs"* (Krishnan & Chaporkar, 2010).
+//!
+//! The simulator models exactly the system of the paper's Section II:
+//!
+//! * `N` saturated stations transmit fixed-size frames to a single access point;
+//! * carrier sensing is geometric — station *i* defers to station *j* only if
+//!   they are within sensing range of each other, so **hidden terminals** arise
+//!   naturally from the topology;
+//! * a frame is received iff no other transmission overlaps it in time and the
+//!   AP is not itself transmitting; successful receptions are acknowledged after
+//!   SIFS;
+//! * the contention-resolution policy of every station is pluggable
+//!   ([`backoff::BackoffPolicy`]): standard exponential backoff, p-persistent
+//!   CSMA, the paper's RandomReset(j; p0) scheme, or a fixed window;
+//! * the AP may run a controller ([`ap::ApAlgorithm`]) that observes successful
+//!   receptions and piggy-backs control variables on every ACK — the hook used
+//!   by wTOP-CSMA and TORA-CSMA (implemented in the `wlan-core` crate).
+//!
+//! The engine is single-threaded and fully deterministic for a given seed.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use wlan_sim::{PhyParams, SimDuration, SimulatorBuilder, Topology};
+//! use wlan_sim::backoff::ExponentialBackoff;
+//!
+//! // 10 saturated stations running plain IEEE 802.11 DCF, fully connected.
+//! let mut sim = SimulatorBuilder::new(PhyParams::table1(), Topology::fully_connected(10))
+//!     .seed(1)
+//!     .with_stations(|_, phy| Box::new(ExponentialBackoff::new(phy)))
+//!     .build();
+//! sim.run_for(SimDuration::from_millis(500));
+//! let stats = sim.stats();
+//! assert!(stats.system_throughput_mbps() > 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ap;
+pub mod backoff;
+pub mod capture;
+pub mod control;
+mod engine;
+pub mod phy;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use ap::{ApAlgorithm, NullController};
+pub use backoff::BackoffPolicy;
+pub use capture::CaptureModel;
+pub use control::{BusyOutcome, ChannelObservation, ControlPayload};
+pub use engine::{Simulator, SimulatorBuilder};
+pub use phy::PhyParams;
+pub use stats::{NodeStats, SimStats, ThroughputSample};
+pub use time::{SimDuration, SimTime};
+pub use topology::{NodeId, Position, Topology};

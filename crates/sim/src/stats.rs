@@ -1,0 +1,281 @@
+//! Measurement collection: per-station and system-wide throughput, collision
+//! counts, idle-slot statistics and time series.
+//!
+//! Everything the paper's evaluation reports is derived from these counters:
+//! system throughput in Mbps (Figs. 1, 3–8, 10, 13), per-station throughput and
+//! normalised (weighted) throughput (Table II), average idle slots per
+//! transmission (Table III), and throughput/control-variable time series
+//! (Figs. 8–11).
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Per-station counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Number of transmission attempts started.
+    pub attempts: u64,
+    /// Number of transmissions acknowledged by the AP.
+    pub successes: u64,
+    /// Number of transmissions that timed out waiting for an ACK.
+    pub failures: u64,
+    /// Total MAC payload bits delivered to the AP.
+    pub payload_bits_delivered: u64,
+}
+
+impl NodeStats {
+    /// Fraction of attempts that failed (0 if no attempts).
+    pub fn collision_ratio(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// A sample of the system throughput over one reporting interval.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ThroughputSample {
+    /// End of the interval.
+    pub time: SimTime,
+    /// Throughput over the interval in bits per second.
+    pub bps: f64,
+    /// Number of stations active during the interval (for dynamic scenarios).
+    pub active_nodes: usize,
+}
+
+/// Aggregate statistics of a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Per-station counters, indexed by [`NodeId`].
+    pub nodes: Vec<NodeStats>,
+    /// Simulated time covered by the measurement (excludes any warm-up interval).
+    pub measured_time: SimDuration,
+    /// Total number of busy periods observed at the AP.
+    pub busy_periods: u64,
+    /// Busy periods that ended in a successful reception.
+    pub successful_busy_periods: u64,
+    /// Busy periods that ended in a collision.
+    pub collided_busy_periods: u64,
+    /// Total idle slots observed at the AP between busy periods.
+    pub idle_slots: u64,
+    /// Total time the AP-perceived channel was busy.
+    pub busy_time: SimDuration,
+    /// Per-interval system throughput samples.
+    pub throughput_series: Vec<ThroughputSample>,
+}
+
+impl SimStats {
+    /// Create an empty statistics block for `n` stations.
+    pub fn new(n: usize) -> Self {
+        SimStats {
+            nodes: vec![NodeStats::default(); n],
+            measured_time: SimDuration::ZERO,
+            busy_periods: 0,
+            successful_busy_periods: 0,
+            collided_busy_periods: 0,
+            idle_slots: 0,
+            busy_time: SimDuration::ZERO,
+            throughput_series: Vec::new(),
+        }
+    }
+
+    /// Total MAC payload bits delivered to the AP by all stations.
+    pub fn total_payload_bits(&self) -> u64 {
+        self.nodes.iter().map(|n| n.payload_bits_delivered).sum()
+    }
+
+    /// System throughput in bits per second.
+    pub fn system_throughput_bps(&self) -> f64 {
+        if self.measured_time.is_zero() {
+            return 0.0;
+        }
+        self.total_payload_bits() as f64 / self.measured_time.as_secs_f64()
+    }
+
+    /// System throughput in Mbps (the unit the paper plots).
+    pub fn system_throughput_mbps(&self) -> f64 {
+        self.system_throughput_bps() / 1e6
+    }
+
+    /// Throughput of one station in bits per second.
+    pub fn node_throughput_bps(&self, node: NodeId) -> f64 {
+        if self.measured_time.is_zero() {
+            return 0.0;
+        }
+        self.nodes[node].payload_bits_delivered as f64 / self.measured_time.as_secs_f64()
+    }
+
+    /// Throughput of one station in Mbps.
+    pub fn node_throughput_mbps(&self, node: NodeId) -> f64 {
+        self.node_throughput_bps(node) / 1e6
+    }
+
+    /// Per-station throughputs in Mbps.
+    pub fn per_node_throughput_mbps(&self) -> Vec<f64> {
+        (0..self.nodes.len()).map(|i| self.node_throughput_mbps(i)).collect()
+    }
+
+    /// Average number of idle slots per busy period (the paper's "average idle
+    /// slots per transmission", Table III).
+    pub fn avg_idle_slots_per_transmission(&self) -> f64 {
+        if self.busy_periods == 0 {
+            return 0.0;
+        }
+        self.idle_slots as f64 / self.busy_periods as f64
+    }
+
+    /// Fraction of busy periods that were collisions.
+    pub fn collision_fraction(&self) -> f64 {
+        if self.busy_periods == 0 {
+            return 0.0;
+        }
+        self.collided_busy_periods as f64 / self.busy_periods as f64
+    }
+
+    /// Channel utilisation: fraction of measured time the AP-perceived channel was busy.
+    pub fn channel_utilisation(&self) -> f64 {
+        if self.measured_time.is_zero() {
+            return 0.0;
+        }
+        self.busy_time.as_secs_f64() / self.measured_time.as_secs_f64()
+    }
+
+    /// Jain's fairness index over per-station throughput:
+    /// `(Σ x_i)² / (N Σ x_i²)`. Equals 1 when all stations obtain equal throughput.
+    pub fn jain_fairness_index(&self) -> f64 {
+        let xs = self.per_node_throughput_mbps();
+        jain_index(&xs)
+    }
+
+    /// Jain's fairness index over *weight-normalised* throughput `x_i / w_i`
+    /// (1 means perfectly weighted-fair allocation).
+    pub fn weighted_jain_fairness_index(&self, weights: &[f64]) -> f64 {
+        assert_eq!(weights.len(), self.nodes.len());
+        let xs: Vec<f64> = self
+            .per_node_throughput_mbps()
+            .iter()
+            .zip(weights)
+            .map(|(x, w)| x / w)
+            .collect();
+        jain_index(&xs)
+    }
+
+    /// Total attempts across all stations.
+    pub fn total_attempts(&self) -> u64 {
+        self.nodes.iter().map(|n| n.attempts).sum()
+    }
+
+    /// Total successes across all stations.
+    pub fn total_successes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.successes).sum()
+    }
+
+    /// Total failures across all stations.
+    pub fn total_failures(&self) -> u64 {
+        self.nodes.iter().map(|n| n.failures).sum()
+    }
+}
+
+/// Jain's fairness index of a slice of non-negative values.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with_bits(bits: &[u64], secs: u64) -> SimStats {
+        let mut s = SimStats::new(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            s.nodes[i].payload_bits_delivered = *b;
+            s.nodes[i].successes = b / 8000;
+            s.nodes[i].attempts = b / 8000 + 1;
+            s.nodes[i].failures = 1;
+        }
+        s.measured_time = SimDuration::from_secs(secs);
+        s
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let s = stats_with_bits(&[10_000_000, 30_000_000], 2);
+        assert!((s.system_throughput_bps() - 20_000_000.0).abs() < 1e-6);
+        assert!((s.system_throughput_mbps() - 20.0).abs() < 1e-9);
+        assert!((s.node_throughput_mbps(0) - 5.0).abs() < 1e-9);
+        assert!((s.node_throughput_mbps(1) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_time_gives_zero_throughput() {
+        let s = SimStats::new(3);
+        assert_eq!(s.system_throughput_bps(), 0.0);
+        assert_eq!(s.node_throughput_bps(0), 0.0);
+    }
+
+    #[test]
+    fn jain_index_bounds_and_equality() {
+        assert!((jain_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let skewed = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn weighted_fairness_normalisation() {
+        // Throughputs exactly proportional to weights → weighted index 1, raw index < 1.
+        let s = stats_with_bits(&[8_000_000, 16_000_000, 24_000_000], 1);
+        let weights = [1.0, 2.0, 3.0];
+        assert!((s.weighted_jain_fairness_index(&weights) - 1.0).abs() < 1e-12);
+        assert!(s.jain_fairness_index() < 1.0);
+    }
+
+    #[test]
+    fn idle_slot_and_collision_ratios() {
+        let mut s = SimStats::new(2);
+        s.busy_periods = 100;
+        s.successful_busy_periods = 90;
+        s.collided_busy_periods = 10;
+        s.idle_slots = 310;
+        assert!((s.avg_idle_slots_per_transmission() - 3.1).abs() < 1e-12);
+        assert!((s.collision_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_collision_ratio() {
+        let mut n = NodeStats::default();
+        assert_eq!(n.collision_ratio(), 0.0);
+        n.attempts = 10;
+        n.failures = 4;
+        assert!((n.collision_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilisation() {
+        let mut s = SimStats::new(1);
+        s.measured_time = SimDuration::from_secs(10);
+        s.busy_time = SimDuration::from_secs(4);
+        assert!((s.channel_utilisation() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals() {
+        let s = stats_with_bits(&[8_000_000, 16_000_000], 1);
+        assert_eq!(s.total_successes(), 1000 + 2000);
+        assert_eq!(s.total_attempts(), 1000 + 2000 + 2);
+        assert_eq!(s.total_failures(), 2);
+        assert_eq!(s.total_payload_bits(), 24_000_000);
+    }
+}

@@ -1,0 +1,301 @@
+//! Network geometry and the carrier-sensing relation.
+//!
+//! The paper models hidden terminals purely geometrically: a node can *decode*
+//! transmissions from nodes within the transmission range and can *sense*
+//! (defer to) transmissions from nodes within the sensing range. Two stations
+//! whose distance exceeds the sensing range are *hidden* from each other — they
+//! cannot detect each other's transmissions and therefore collide at the AP.
+//!
+//! The evaluation uses a transmission range of 16 m and a sensing range of 24 m
+//! (from the ns-3 `-70 dBm` energy-detection configuration). Fully connected
+//! networks place stations on a ring of radius 8 m around the AP; hidden-node
+//! networks place them uniformly at random in a disc of radius 16 m or 20 m.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A point in the 2-D plane, in metres. The AP sits at the origin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    /// X coordinate in metres.
+    pub x: f64,
+    /// Y coordinate in metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// The origin (the AP's location).
+    pub const ORIGIN: Position = Position { x: 0.0, y: 0.0 };
+
+    /// Construct a position.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position.
+    pub fn distance(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Identifier of a station. Stations are numbered `0..n`.
+pub type NodeId = usize;
+
+/// Default transmission (decode) range in metres.
+pub const DEFAULT_TX_RANGE: f64 = 16.0;
+/// Default carrier-sensing range in metres.
+pub const DEFAULT_SENSING_RANGE: f64 = 24.0;
+
+/// The physical layout of the WLAN and the derived sensing relation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    positions: Vec<Position>,
+    ap: Position,
+    tx_range: f64,
+    sensing_range: f64,
+    /// `sense[i][j]` is true iff station `i` can sense station `j`'s transmissions.
+    sense: Vec<Vec<bool>>,
+}
+
+impl Topology {
+    /// Build a topology from explicit station positions.
+    ///
+    /// The AP sits at `ap` (usually the origin). Sensing is symmetric and is derived
+    /// from pairwise distance: `i` senses `j` iff `dist(i, j) <= sensing_range`.
+    pub fn from_positions(
+        positions: Vec<Position>,
+        ap: Position,
+        tx_range: f64,
+        sensing_range: f64,
+    ) -> Self {
+        assert!(tx_range > 0.0 && sensing_range > 0.0, "ranges must be positive");
+        let n = positions.len();
+        let mut sense = vec![vec![false; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                sense[i][j] = i == j || positions[i].distance(&positions[j]) <= sensing_range;
+            }
+        }
+        Topology { positions, ap, tx_range, sensing_range, sense }
+    }
+
+    /// An idealised fully connected network of `n` stations: every station senses
+    /// every other station regardless of geometry. Stations are placed on a ring
+    /// of radius 8 m for reporting purposes.
+    pub fn fully_connected(n: usize) -> Self {
+        let mut topo = Self::ring(n, 8.0);
+        for row in topo.sense.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = true;
+            }
+        }
+        topo
+    }
+
+    /// Stations placed uniformly on a ring of the given radius centred on the AP.
+    ///
+    /// With the default ranges and a radius of 8 m the maximum pairwise distance is
+    /// 16 m < 24 m, so the network is fully connected (the paper's no-hidden-node
+    /// configuration).
+    pub fn ring(n: usize, radius: f64) -> Self {
+        let positions = (0..n)
+            .map(|i| {
+                let theta = 2.0 * std::f64::consts::PI * i as f64 / n.max(1) as f64;
+                Position::new(radius * theta.cos(), radius * theta.sin())
+            })
+            .collect();
+        Self::from_positions(positions, Position::ORIGIN, DEFAULT_TX_RANGE, DEFAULT_SENSING_RANGE)
+    }
+
+    /// Stations placed uniformly at random in a disc of the given radius centred on
+    /// the AP (the paper's hidden-node configuration: radius 16 m or 20 m).
+    pub fn uniform_disc<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Self {
+        let positions = (0..n)
+            .map(|_| {
+                // Uniform over the disc: radius ∝ sqrt(U).
+                let r = radius * rng.gen::<f64>().sqrt();
+                let theta = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
+                Position::new(r * theta.cos(), r * theta.sin())
+            })
+            .collect();
+        Self::from_positions(positions, Position::ORIGIN, DEFAULT_TX_RANGE, DEFAULT_SENSING_RANGE)
+    }
+
+    /// Number of stations.
+    pub fn num_nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Station positions.
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// Position of the AP.
+    pub fn ap_position(&self) -> Position {
+        self.ap
+    }
+
+    /// The configured transmission (decode) range in metres.
+    pub fn tx_range(&self) -> f64 {
+        self.tx_range
+    }
+
+    /// The configured carrier-sensing range in metres.
+    pub fn sensing_range(&self) -> f64 {
+        self.sensing_range
+    }
+
+    /// Whether station `i` can sense station `j`'s transmissions.
+    pub fn senses(&self, i: NodeId, j: NodeId) -> bool {
+        self.sense[i][j]
+    }
+
+    /// The set of stations that can sense station `src` (excluding `src` itself).
+    pub fn sensors_of(&self, src: NodeId) -> Vec<NodeId> {
+        (0..self.num_nodes()).filter(|&i| i != src && self.sense[i][src]).collect()
+    }
+
+    /// All unordered pairs of stations hidden from each other.
+    pub fn hidden_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let n = self.num_nodes();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !self.sense[i][j] {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Number of hidden pairs.
+    pub fn num_hidden_pairs(&self) -> usize {
+        self.hidden_pairs().len()
+    }
+
+    /// Whether every station senses every other station.
+    pub fn is_fully_connected(&self) -> bool {
+        self.num_hidden_pairs() == 0
+    }
+
+    /// Distance of station `i` from the AP.
+    pub fn distance_to_ap(&self, i: NodeId) -> f64 {
+        self.positions[i].distance(&self.ap)
+    }
+
+    /// Fraction of station pairs that are hidden (0 for fully connected).
+    pub fn hidden_pair_fraction(&self) -> f64 {
+        let n = self.num_nodes();
+        if n < 2 {
+            return 0.0;
+        }
+        self.num_hidden_pairs() as f64 / (n * (n - 1) / 2) as f64
+    }
+
+    /// Override the sensing relation for a pair of stations (symmetric). Useful for
+    /// constructing adversarial hidden-node configurations in tests, e.g. modelling
+    /// shadowing by an obstacle between two otherwise-close stations.
+    pub fn set_senses(&mut self, i: NodeId, j: NodeId, value: bool) {
+        assert_ne!(i, j, "a station always senses itself");
+        self.sense[i][j] = value;
+        self.sense[j][i] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ring_of_radius_8_is_fully_connected() {
+        for n in [2, 5, 10, 40, 60] {
+            let t = Topology::ring(n, 8.0);
+            assert!(t.is_fully_connected(), "ring n={n} should have no hidden pairs");
+            assert_eq!(t.num_nodes(), n);
+            for i in 0..n {
+                assert!(t.distance_to_ap(i) <= 8.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_of_large_radius_has_hidden_pairs() {
+        // Diametrically opposite stations on a ring of radius 13 are 26 m apart > 24 m.
+        let t = Topology::ring(10, 13.0);
+        assert!(!t.is_fully_connected());
+        assert!(t.num_hidden_pairs() > 0);
+    }
+
+    #[test]
+    fn sensing_is_symmetric_and_reflexive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let t = Topology::uniform_disc(25, 20.0, &mut rng);
+        for i in 0..25 {
+            assert!(t.senses(i, i));
+            for j in 0..25 {
+                assert_eq!(t.senses(i, j), t.senses(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_disc_respects_radius() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = Topology::uniform_disc(200, 16.0, &mut rng);
+        for i in 0..200 {
+            assert!(t.distance_to_ap(i) <= 16.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn wide_disc_usually_has_hidden_pairs() {
+        let mut any_hidden = false;
+        for seed in 0..10 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let t = Topology::uniform_disc(30, 20.0, &mut rng);
+            if !t.is_fully_connected() {
+                any_hidden = true;
+            }
+        }
+        assert!(any_hidden, "a 20 m disc with 30 nodes should produce hidden pairs");
+    }
+
+    #[test]
+    fn fully_connected_override_ignores_geometry() {
+        let t = Topology::fully_connected(50);
+        assert!(t.is_fully_connected());
+    }
+
+    #[test]
+    fn hidden_pairs_and_sensors_are_consistent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let t = Topology::uniform_disc(20, 20.0, &mut rng);
+        for (i, j) in t.hidden_pairs() {
+            assert!(!t.senses(i, j));
+            assert!(!t.sensors_of(j).contains(&i));
+        }
+    }
+
+    #[test]
+    fn manual_sensing_override() {
+        let mut t = Topology::ring(4, 8.0);
+        assert!(t.is_fully_connected());
+        t.set_senses(0, 2, false);
+        assert_eq!(t.num_hidden_pairs(), 1);
+        assert_eq!(t.hidden_pairs(), vec![(0, 2)]);
+        assert!((t.hidden_pair_fraction() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positions_round_trip_through_from_positions() {
+        let pos = vec![Position::new(1.0, 0.0), Position::new(0.0, 30.0)];
+        let t = Topology::from_positions(pos.clone(), Position::ORIGIN, 16.0, 24.0);
+        assert_eq!(t.positions(), &pos[..]);
+        // 30 m apart > 24 m sensing range → hidden
+        assert_eq!(t.num_hidden_pairs(), 1);
+    }
+}

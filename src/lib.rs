@@ -1,0 +1,39 @@
+//! # wlan-sa
+//!
+//! Facade crate for the reproduction of *"Stochastic Approximation Algorithm for
+//! Optimal Throughput Performance of Wireless LANs"* (Krishnan & Chaporkar, 2010).
+//!
+//! The workspace is organised as four libraries plus an experiment harness:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`sim`] (`wlan-sim`) | discrete-event IEEE 802.11 DCF MAC simulator with hidden-terminal support |
+//! | [`analytic`] (`wlan-analytic`) | Bianchi / p-persistent / RandomReset closed-form models |
+//! | [`sa`] (`stochastic-approx`) | Kiefer–Wolfowitz, Robbins–Monro and SPSA optimisers |
+//! | [`core`] (`wlan-core`) | wTOP-CSMA, TORA-CSMA, IdleSense, the scenario runner |
+//! | `wlan-bench` | one binary per paper figure/table plus criterion benches |
+//!
+//! The most convenient entry point is the scenario runner:
+//!
+//! ```
+//! use wlan_sa::core::{Protocol, Scenario, TopologySpec};
+//! use wlan_sa::sim::SimDuration;
+//!
+//! let result = Scenario::new(Protocol::ToraCsma, TopologySpec::UniformDisc { radius: 16.0 }, 10)
+//!     .durations(SimDuration::from_secs(2), SimDuration::from_secs(1))
+//!     .seed(7)
+//!     .run();
+//! println!("{} achieved {:.1} Mbps with {} hidden pairs",
+//!          result.protocol, result.throughput_mbps, result.hidden_pairs);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use stochastic_approx as sa;
+pub use wlan_analytic as analytic;
+pub use wlan_core as core;
+pub use wlan_sim as sim;
+
+pub use wlan_core::{Protocol, Scenario, ScenarioResult, TopologySpec};
+pub use wlan_sim::{PhyParams, SimDuration, SimTime, Topology};

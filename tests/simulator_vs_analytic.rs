@@ -1,0 +1,153 @@
+//! Cross-crate validation: the discrete-event simulator must agree with the
+//! closed-form models of `wlan-analytic` in fully connected networks, where the
+//! paper's equations are exact.
+
+use wlan_sa::analytic::{self, SlotModel};
+use wlan_sa::core::{Protocol, Scenario, TopologySpec};
+use wlan_sa::sim::backoff::{ExponentialBackoff, PPersistent};
+use wlan_sa::sim::{PhyParams, SimDuration, SimulatorBuilder, Topology};
+
+fn simulate_static_p(n: usize, p: f64, seed: u64, secs: u64) -> f64 {
+    let phy = PhyParams::table1();
+    let mut sim = SimulatorBuilder::new(phy, Topology::fully_connected(n))
+        .seed(seed)
+        .with_stations(move |_, _| Box::new(PPersistent::new(p)))
+        .build();
+    sim.run_for(SimDuration::from_millis(500));
+    sim.reset_measurements();
+    sim.run_for(SimDuration::from_secs(secs));
+    sim.stats().system_throughput_bps()
+}
+
+#[test]
+fn p_persistent_simulation_matches_equation_3() {
+    let model = SlotModel::table1();
+    // Sample points on both sides of the optimum for two network sizes.
+    for &(n, p) in &[(10usize, 0.01), (10, 0.03), (10, 0.1), (40, 0.005), (40, 0.01), (40, 0.03)] {
+        let analytic_bps = analytic::system_throughput_uniform(&model, p, n);
+        let sim_bps = simulate_static_p(n, p, 7, 4);
+        let rel = (sim_bps - analytic_bps).abs() / analytic_bps;
+        assert!(
+            rel < 0.12,
+            "n={n} p={p}: simulator {:.2} Mbps vs analytic {:.2} Mbps (rel err {rel:.3})",
+            sim_bps / 1e6,
+            analytic_bps / 1e6
+        );
+    }
+}
+
+#[test]
+fn simulated_optimum_location_matches_analytic_optimum() {
+    // The throughput measured at the analytic p* must dominate the throughput at
+    // probabilities well below and well above it.
+    let model = SlotModel::table1();
+    let n = 20;
+    let p_star = analytic::optimal_p(&model, &vec![1.0; n]);
+    let at_star = simulate_static_p(n, p_star, 3, 4);
+    let below = simulate_static_p(n, p_star / 6.0, 3, 4);
+    let above = simulate_static_p(n, (p_star * 6.0).min(0.9), 3, 4);
+    assert!(at_star > below, "optimum {at_star} should beat under-utilisation {below}");
+    assert!(at_star > above, "optimum {at_star} should beat collision overload {above}");
+    // And it should be close to the analytic optimum value.
+    let analytic_opt = analytic::optimal_throughput(&model, &vec![1.0; n]);
+    let rel = (at_star - analytic_opt).abs() / analytic_opt;
+    assert!(rel < 0.12, "rel err {rel}");
+}
+
+#[test]
+fn dcf_simulation_matches_bianchi_model() {
+    // Standard 802.11 (without a retry limit, as Bianchi's chain assumes).
+    let model = SlotModel::table1();
+    for &n in &[5usize, 15, 30] {
+        let phy = PhyParams::table1();
+        let mut sim = SimulatorBuilder::new(phy, Topology::fully_connected(n))
+            .seed(11)
+            .with_stations(|_, phy| Box::new(ExponentialBackoff::with_retry_limit(phy, None)))
+            .build();
+        sim.run_for(SimDuration::from_millis(500));
+        sim.reset_measurements();
+        sim.run_for(SimDuration::from_secs(4));
+        let sim_bps = sim.stats().system_throughput_bps();
+        let bianchi = analytic::dcf_throughput(&model, n, 8, 7);
+        let rel = (sim_bps - bianchi).abs() / bianchi;
+        assert!(
+            rel < 0.15,
+            "n={n}: simulator {:.2} Mbps vs Bianchi {:.2} Mbps (rel err {rel:.3})",
+            sim_bps / 1e6,
+            bianchi / 1e6
+        );
+    }
+}
+
+#[test]
+fn randomreset_simulation_matches_fixed_point_model() {
+    // Static RandomReset(0; p0) throughput should match the appendix's fixed-point
+    // model (eqs. 9-11) in a fully connected network.
+    let model = SlotModel::table1();
+    let chain = analytic::BackoffChain::table1();
+    for &(n, p0) in &[(10usize, 0.2), (10, 0.8), (30, 0.5)] {
+        let predicted = chain.random_reset_throughput(&model, n, 0, p0);
+        let r = Scenario::new(
+            Protocol::StaticRandomReset { stage: 0, p0 },
+            TopologySpec::FullyConnected,
+            n,
+        )
+        .durations(SimDuration::from_millis(500), SimDuration::from_secs(4))
+        .seed(13)
+        .run();
+        let sim_bps = r.throughput_mbps * 1e6;
+        let rel = (sim_bps - predicted).abs() / predicted;
+        assert!(
+            rel < 0.15,
+            "n={n} p0={p0}: simulator {:.2} Mbps vs model {:.2} Mbps (rel err {rel:.3})",
+            sim_bps / 1e6,
+            predicted / 1e6
+        );
+    }
+}
+
+#[test]
+fn idle_slot_statistics_match_geometric_prediction() {
+    // Average idle slots per transmission at the AP ≈ P_I / (1 - P_I).
+    let n = 15;
+    let p = 0.01;
+    let phy = PhyParams::table1();
+    let mut sim = SimulatorBuilder::new(phy, Topology::fully_connected(n))
+        .seed(5)
+        .with_stations(move |_, _| Box::new(PPersistent::new(p)))
+        .build();
+    sim.run_for(SimDuration::from_secs(4));
+    let measured = sim.stats().avg_idle_slots_per_transmission();
+    let predicted = analytic::ppersistent::expected_idle_slots(&vec![p; n]);
+    assert!(
+        (measured - predicted).abs() / predicted < 0.15,
+        "measured {measured} vs predicted {predicted}"
+    );
+}
+
+#[test]
+fn hidden_nodes_reduce_throughput_of_static_ppersistent() {
+    // The same static policy must lose throughput once hidden pairs exist
+    // (capture disabled: the paper's idealised channel).
+    let p = 0.02;
+    let n = 20;
+    let fully = Scenario::new(Protocol::StaticPPersistent { p }, TopologySpec::FullyConnected, n)
+        .durations(SimDuration::from_millis(500), SimDuration::from_secs(3))
+        .capture(None)
+        .seed(9)
+        .run();
+    let hidden =
+        Scenario::new(Protocol::StaticPPersistent { p }, TopologySpec::UniformDisc { radius: 20.0 }, n)
+            .durations(SimDuration::from_millis(500), SimDuration::from_secs(3))
+            .capture(None)
+            .seed(9)
+            .run();
+    assert!(hidden.hidden_pairs > 0);
+    assert!(
+        hidden.throughput_mbps < fully.throughput_mbps,
+        "hidden {} should be below fully connected {}",
+        hidden.throughput_mbps,
+        fully.throughput_mbps
+    );
+    assert!(hidden.collision_fraction > fully.collision_fraction);
+}
