@@ -38,7 +38,12 @@ pub fn bisect_root<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64, tol: f64) 
 
 /// Maximise a unimodal (quasi-concave) function on `[lo, hi]` by golden-section
 /// search. Returns `(argmax, max)`.
-pub fn golden_section_max<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64, tol: f64) -> (f64, f64) {
+pub fn golden_section_max<F: Fn(f64) -> f64>(
+    f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+) -> (f64, f64) {
     assert!(lo < hi, "invalid bracket");
     let inv_phi = (5f64.sqrt() - 1.0) / 2.0;
     let mut c = hi - inv_phi * (hi - lo);

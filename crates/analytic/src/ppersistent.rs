@@ -45,7 +45,11 @@ pub fn per_station_throughput(model: &SlotModel, probs: &[f64], t: usize) -> f64
     if pt >= 1.0 {
         // A station that transmits in every slot either monopolises a collision-free
         // channel (alone) or collides forever.
-        return if probs.len() == 1 { model.payload_bits / model.ts } else { 0.0 };
+        return if probs.len() == 1 {
+            model.payload_bits / model.ts
+        } else {
+            0.0
+        };
     }
     let pi = idle_probability(probs);
     let pt_sum = transmit_sum(probs);
@@ -57,7 +61,11 @@ pub fn per_station_throughput(model: &SlotModel, probs: &[f64], t: usize) -> f64
 /// the sum of eq. (2) over all stations.
 pub fn system_throughput_vector(model: &SlotModel, probs: &[f64]) -> f64 {
     if probs.iter().any(|p| *p >= 1.0) {
-        return if probs.len() == 1 { model.payload_bits / model.ts } else { 0.0 };
+        return if probs.len() == 1 {
+            model.payload_bits / model.ts
+        } else {
+            0.0
+        };
     }
     let pi = idle_probability(probs);
     let pt_sum = transmit_sum(probs);
@@ -122,7 +130,13 @@ pub fn approx_optimal_p(model: &SlotModel, n: usize) -> f64 {
 /// The optimal p found by directly maximising eq. (3) with golden-section search
 /// (used to cross-check [`optimal_p`]).
 pub fn optimal_p_by_search(model: &SlotModel, weights: &[f64]) -> f64 {
-    golden_section_max(|p| system_throughput(model, p, weights), 1e-9, 1.0 - 1e-9, 1e-12).0
+    golden_section_max(
+        |p| system_throughput(model, p, weights),
+        1e-9,
+        1.0 - 1e-9,
+        1e-12,
+    )
+    .0
 }
 
 /// Maximum achievable system throughput (bits/s) over the class of weighted
@@ -180,7 +194,9 @@ mod tests {
     fn per_station_throughputs_sum_to_system_throughput() {
         let m = model();
         let probs = vec![0.02, 0.05, 0.01, 0.08];
-        let total: f64 = (0..probs.len()).map(|t| per_station_throughput(&m, &probs, t)).sum();
+        let total: f64 = (0..probs.len())
+            .map(|t| per_station_throughput(&m, &probs, t))
+            .sum();
         let system = system_throughput_vector(&m, &probs);
         assert!((total - system).abs() / system < 1e-12);
     }
@@ -257,10 +273,13 @@ mod tests {
     #[test]
     fn optimal_p_scales_inversely_with_n() {
         let m = model();
-        let p10 = optimal_p(&m, &vec![1.0; 10]);
+        let p10 = optimal_p(&m, &[1.0; 10]);
         let p40 = optimal_p(&m, &vec![1.0; 40]);
         let ratio = p10 / p40;
-        assert!((ratio - 4.0).abs() < 0.5, "p*(10)/p*(40) = {ratio}, expected ≈ 4");
+        assert!(
+            (ratio - 4.0).abs() < 0.5,
+            "p*(10)/p*(40) = {ratio}, expected ≈ 4"
+        );
     }
 
     #[test]
@@ -315,7 +334,7 @@ mod tests {
     #[test]
     fn optimal_throughput_nearly_independent_of_n() {
         let m = model();
-        let s10 = optimal_throughput(&m, &vec![1.0; 10]);
+        let s10 = optimal_throughput(&m, &[1.0; 10]);
         let s60 = optimal_throughput(&m, &vec![1.0; 60]);
         assert!((s10 - s60).abs() / s10 < 0.05, "s10={s10} s60={s60}");
     }
@@ -343,10 +362,13 @@ mod tests {
         assert!((expected_idle_slots(&probs) - pi / (1.0 - pi)).abs() < 1e-12);
         // At the optimum the value is a small constant (IdleSense's premise).
         let m = model();
-        let n_idle_20 = optimal_idle_slots(&m, &vec![1.0; 20]);
+        let n_idle_20 = optimal_idle_slots(&m, &[1.0; 20]);
         let n_idle_40 = optimal_idle_slots(&m, &vec![1.0; 40]);
         assert!(n_idle_20 > 1.0 && n_idle_20 < 8.0, "{n_idle_20}");
         // Nearly independent of N in a fully connected network.
-        assert!((n_idle_20 - n_idle_40).abs() < 0.5, "{n_idle_20} vs {n_idle_40}");
+        assert!(
+            (n_idle_20 - n_idle_40).abs() < 0.5,
+            "{n_idle_20} vs {n_idle_40}"
+        );
     }
 }

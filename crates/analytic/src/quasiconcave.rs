@@ -124,8 +124,20 @@ mod tests {
 
     #[test]
     fn function_sampling_checker() {
-        assert!(is_quasi_concave_fn(|x| -(x - 0.4).powi(2), 0.0, 1.0, 101, 1e-12));
-        assert!(!is_quasi_concave_fn(|x| (6.0 * x).sin(), 0.0, 3.0, 301, 1e-9));
+        assert!(is_quasi_concave_fn(
+            |x| -(x - 0.4).powi(2),
+            0.0,
+            1.0,
+            101,
+            1e-12
+        ));
+        assert!(!is_quasi_concave_fn(
+            |x| (6.0 * x).sin(),
+            0.0,
+            3.0,
+            301,
+            1e-9
+        ));
     }
 
     #[test]

@@ -61,9 +61,16 @@ impl BackoffChain {
     /// Eq. (9): attempt probability given the conditional collision probability
     /// `c`, for an arbitrary reset distribution `q` (must sum to 1).
     pub fn tau_given_collision(&self, c: f64, q: &[f64]) -> f64 {
-        assert_eq!(q.len(), self.max_stage as usize + 1, "q must have m+1 entries");
+        assert_eq!(
+            q.len(),
+            self.max_stage as usize + 1,
+            "q must have m+1 entries"
+        );
         let total: f64 = q.iter().sum();
-        assert!((total - 1.0).abs() < 1e-6, "reset distribution must sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "reset distribution must sum to 1, got {total}"
+        );
         let alpha = self.alpha(c);
         let denom: f64 = q.iter().zip(&alpha).map(|(qi, ai)| qi * ai).sum();
         (self.kappa0() / denom).min(1.0)
@@ -110,7 +117,8 @@ impl BackoffChain {
 
     /// Fixed-point attempt probability of RandomReset(j; p0) with `n` stations.
     pub fn random_reset_attempt_probability(&self, n: usize, j: u8, p0: f64) -> f64 {
-        self.fixed_point(n, &self.random_reset_distribution(j, p0)).0
+        self.fixed_point(n, &self.random_reset_distribution(j, p0))
+            .0
     }
 
     /// Saturation throughput (bits/s) of `n` stations all running
@@ -171,7 +179,10 @@ mod tests {
         }
         let alpha1 = ch.alpha(1.0);
         for a in &alpha1 {
-            assert!((a - alpha1[alpha1.len() - 1]).abs() < 1e-9, "all equal at c=1");
+            assert!(
+                (a - alpha1[alpha1.len() - 1]).abs() < 1e-9,
+                "all equal at c=1"
+            );
         }
     }
 
@@ -238,7 +249,8 @@ mod tests {
         let ch = chain();
         for &c in &[0.1, 0.4, 0.8] {
             for j in 0..ch.max_stage - 1 {
-                let a = ch.tau_given_collision_random_reset(c, j + 1, 1.0 / (ch.max_stage - j) as f64);
+                let a =
+                    ch.tau_given_collision_random_reset(c, j + 1, 1.0 / (ch.max_stage - j) as f64);
                 let b = ch.tau_given_collision_random_reset(c, j, 0.0);
                 assert!((a - b).abs() < 1e-12, "c={c} j={j}: {a} vs {b}");
             }
@@ -261,7 +273,10 @@ mod tests {
         ];
         for q in &distributions {
             let (tau, _) = ch.fixed_point(n, q);
-            assert!(tau >= lo - 1e-9 && tau <= hi + 1e-9, "tau {tau} outside [{lo}, {hi}]");
+            assert!(
+                tau >= lo - 1e-9 && tau <= hi + 1e-9,
+                "tau {tau} outside [{lo}, {hi}]"
+            );
         }
     }
 
@@ -317,7 +332,10 @@ mod tests {
                 .map(|i| ch.random_reset_throughput(&model, n, 0, i as f64 / 50.0))
                 .fold(0.0f64, f64::max);
             let opt = crate::ppersistent::optimal_throughput(&model, &vec![1.0; n]);
-            assert!(best > 0.93 * opt, "n={n}: best RandomReset {best} vs optimum {opt}");
+            assert!(
+                best > 0.93 * opt,
+                "n={n}: best RandomReset {best} vs optimum {opt}"
+            );
         }
     }
 

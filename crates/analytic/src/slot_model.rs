@@ -26,7 +26,12 @@ impl SlotModel {
     /// Construct from explicit values (all strictly positive, `ts >= tc` not required).
     pub fn new(sigma: f64, ts: f64, tc: f64, payload_bits: f64) -> Self {
         assert!(sigma > 0.0 && ts > 0.0 && tc > 0.0 && payload_bits > 0.0);
-        SlotModel { sigma, ts, tc, payload_bits }
+        SlotModel {
+            sigma,
+            ts,
+            tc,
+            payload_bits,
+        }
     }
 
     /// The Table I parameters of the paper.

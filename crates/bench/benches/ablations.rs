@@ -48,12 +48,17 @@ fn main() {
         wlan_analytic::optimal_throughput(&wlan_analytic::SlotModel::table1(), &vec![1.0; n]) / 1e6;
     println!("Ablations on a fully connected network of {n} stations (analytic optimum {optimum:.1} Mbps)\n");
 
-    println!("-- wTOP-CSMA UPDATE_PERIOD (paper recommends a period covering ~500 successes ≈ 250 ms)");
+    println!(
+        "-- wTOP-CSMA UPDATE_PERIOD (paper recommends a period covering ~500 successes ≈ 250 ms)"
+    );
     for ms in [50u64, 100, 250, 500, 1000] {
         let mut cfg = WtopConfig::for_phy(&phy);
         cfg.update_period = SimDuration::from_millis(ms);
         let mbps = run_wtop(n, cfg, 50);
-        println!("  UPDATE_PERIOD = {ms:>5} ms -> {mbps:>6.2} Mbps ({:.0}% of optimum)", 100.0 * mbps / optimum);
+        println!(
+            "  UPDATE_PERIOD = {ms:>5} ms -> {mbps:>6.2} Mbps ({:.0}% of optimum)",
+            100.0 * mbps / optimum
+        );
     }
 
     println!("\n-- wTOP-CSMA Kiefer-Wolfowitz step-size numerator a0 (a_k = a0/k)");
@@ -61,7 +66,10 @@ fn main() {
         let mut cfg = WtopConfig::for_phy(&phy);
         cfg.gains = PowerLawGains::new(a0, 1.0, 1.0, 1.0 / 3.0);
         let mbps = run_wtop(n, cfg, 50);
-        println!("  a0 = {a0:>5} -> {mbps:>6.2} Mbps ({:.0}% of optimum)", 100.0 * mbps / optimum);
+        println!(
+            "  a0 = {a0:>5} -> {mbps:>6.2} Mbps ({:.0}% of optimum)",
+            100.0 * mbps / optimum
+        );
     }
 
     println!("\n-- wTOP-CSMA perturbation exponent gamma (b_k = 1/k^gamma; paper uses 1/3)");
@@ -70,9 +78,7 @@ fn main() {
         cfg.gains = PowerLawGains::new(16.0, 1.0, 1.0, gamma);
         let valid = cfg.gains.satisfies_kw_conditions();
         let mbps = run_wtop(n, cfg, 50);
-        println!(
-            "  gamma = {gamma:>5.3} (KW conditions satisfied: {valid}) -> {mbps:>6.2} Mbps"
-        );
+        println!("  gamma = {gamma:>5.3} (KW conditions satisfied: {valid}) -> {mbps:>6.2} Mbps");
     }
 
     println!("\n-- TORA-CSMA stage-switch thresholds (delta_l, delta_h)");
@@ -81,7 +87,10 @@ fn main() {
         cfg.delta_low = dl;
         cfg.delta_high = dh;
         let mbps = run_tora(n, cfg, 50);
-        println!("  (δl, δh) = ({dl:>4}, {dh:>4}) -> {mbps:>6.2} Mbps ({:.0}% of optimum)", 100.0 * mbps / optimum);
+        println!(
+            "  (δl, δh) = ({dl:>4}, {dh:>4}) -> {mbps:>6.2} Mbps ({:.0}% of optimum)",
+            100.0 * mbps / optimum
+        );
     }
 
     println!("\nAblations complete.");

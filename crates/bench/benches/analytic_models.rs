@@ -23,9 +23,13 @@ fn bench_analytic(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("bianchi_fixed_point", n), &n, |b, &n| {
             b.iter(|| wlan_analytic::solve_dcf(&model, n, 8, 7));
         });
-        group.bench_with_input(BenchmarkId::new("randomreset_fixed_point", n), &n, |b, &n| {
-            b.iter(|| chain.random_reset_attempt_probability(n, 0, black_box(0.5)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("randomreset_fixed_point", n),
+            &n,
+            |b, &n| {
+                b.iter(|| chain.random_reset_attempt_probability(n, 0, black_box(0.5)));
+            },
+        );
     }
     group.finish();
 }

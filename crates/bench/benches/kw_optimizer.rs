@@ -38,7 +38,11 @@ fn bench_kw(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = ChaCha8Rng::seed_from_u64(2);
             let mut spsa = Spsa::new(vec![0.5, 0.5], vec![(0.0, 1.0), (0.0, 1.0)]);
-            spsa.maximize(|x| -(x[0] - 0.3).powi(2) - (x[1] - 0.6).powi(2), 200, &mut rng)
+            spsa.maximize(
+                |x| -(x[0] - 0.3).powi(2) - (x[1] - 0.6).powi(2),
+                200,
+                &mut rng,
+            )
         });
     });
 

@@ -18,7 +18,13 @@ fn main() {
 
     for (label, proto, n, warm, meas) in [
         ("802.11 n=40", Protocol::Standard80211, 40, 2, 5),
-        ("static p* n=40", Protocol::StaticPPersistent { p: 0.0077 }, 40, 2, 5),
+        (
+            "static p* n=40",
+            Protocol::StaticPPersistent { p: 0.0077 },
+            40,
+            2,
+            5,
+        ),
         ("wTOP n=20", Protocol::WTopCsma, 20, 30, 10),
         ("wTOP n=40", Protocol::WTopCsma, 40, 40, 10),
         ("TORA n=40", Protocol::ToraCsma, 40, 40, 10),

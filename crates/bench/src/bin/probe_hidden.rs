@@ -7,7 +7,12 @@ use wlan_core::{Protocol, Scenario, TopologySpec};
 use wlan_sim::SimDuration;
 
 fn main() {
-    for &(radius, n, seed) in &[(16.0, 20, 11u64), (16.0, 40, 11), (20.0, 20, 11), (20.0, 40, 11)] {
+    for &(radius, n, seed) in &[
+        (16.0, 20, 11u64),
+        (16.0, 40, 11),
+        (20.0, 20, 11),
+        (20.0, 40, 11),
+    ] {
         println!("== disc radius {radius} m, n={n}, seed={seed}");
         for proto in [
             Protocol::Standard80211,

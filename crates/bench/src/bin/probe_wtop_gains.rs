@@ -23,7 +23,12 @@ fn run(n: usize, a0: f64, initial_p: f64, warm: u64, meas: u64, seed: u64) -> (f
     sim.reset_measurements();
     sim.run_for(SimDuration::from_secs(meas));
     let stats = sim.stats();
-    let p_end = sim.ap_algorithm().control_trace().last().map(|x| x.1).unwrap_or(f64::NAN);
+    let p_end = sim
+        .ap_algorithm()
+        .control_trace()
+        .last()
+        .map(|x| x.1)
+        .unwrap_or(f64::NAN);
     (stats.system_throughput_mbps(), p_end)
 }
 
@@ -36,8 +41,7 @@ fn main() {
         for &a0 in &[8.0, 16.0, 32.0] {
             for &p0 in &[0.5, 0.1] {
                 let t = Instant::now();
-                let results: Vec<(f64, f64)> =
-                    (1..=5).map(|s| run(n, a0, p0, 60, 10, s)).collect();
+                let results: Vec<(f64, f64)> = (1..=5).map(|s| run(n, a0, p0, 60, 10, s)).collect();
                 let mbps: Vec<String> = results.iter().map(|r| format!("{:.1}", r.0)).collect();
                 println!(
                     "  a0={a0:>4} init={p0:<4} -> [{}] Mbps  ({:.1}s wall)",

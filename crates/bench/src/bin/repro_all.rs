@@ -15,7 +15,8 @@ fn main() {
         if cfg.quick { "QUICK" } else { "FULL" },
         out_dir().display()
     );
-    let experiments: Vec<(&str, fn(&RunConfig) -> String)> = vec![
+    type Experiment = fn(&RunConfig) -> String;
+    let experiments: Vec<(&str, Experiment)> = vec![
         ("table1", ex::table1),
         ("fig12", ex::fig12),
         ("fig02", ex::fig02),
@@ -41,5 +42,8 @@ fn main() {
     }
     let text = summaries.join("\n") + "\n";
     std::fs::write(out_dir().join("summary.txt"), &text).expect("write summary");
-    println!("== All experiments done in {:.1}s ==\n{text}", total.elapsed().as_secs_f64());
+    println!(
+        "== All experiments done in {:.1}s ==\n{text}",
+        total.elapsed().as_secs_f64()
+    );
 }

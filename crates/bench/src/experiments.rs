@@ -50,7 +50,11 @@ fn static_sweep(
         rows.push(vec![*x, r.throughput_mbps]);
         series.push((*x, r.throughput_mbps));
     }
-    write_dat(&format!("{stem}.dat"), "control_variable throughput_mbps", &rows);
+    write_dat(
+        &format!("{stem}.dat"),
+        "control_variable throughput_mbps",
+        &rows,
+    );
     series
 }
 
@@ -62,10 +66,19 @@ fn static_sweep(
 pub fn fig01(cfg: &RunConfig) -> String {
     println!("Figure 1: IdleSense vs standard 802.11, with and without hidden nodes");
     let protos = [Protocol::IdleSense, Protocol::Standard80211];
-    let fully = throughput_vs_n(cfg, &protos, &TopologySpec::Ring { radius: 8.0 }, "fig01/fully");
+    let fully = throughput_vs_n(
+        cfg,
+        &protos,
+        &TopologySpec::Ring { radius: 8.0 },
+        "fig01/fully",
+    );
     save_curves("fig01_fully_connected", &fully);
-    let hidden =
-        throughput_vs_n(cfg, &protos, &TopologySpec::UniformDisc { radius: 16.0 }, "fig01/hidden");
+    let hidden = throughput_vs_n(
+        cfg,
+        &protos,
+        &TopologySpec::UniformDisc { radius: 16.0 },
+        "fig01/hidden",
+    );
     save_curves("fig01_hidden", &hidden);
 
     let idle_fc = fully[0].points.last().unwrap().1;
@@ -88,8 +101,10 @@ pub fn fig02(cfg: &RunConfig) -> String {
     let model = SlotModel::table1();
     let mut notes = Vec::new();
     for &n in &[20usize, 40] {
-        let protos: Vec<(f64, Protocol)> =
-            p_sweep(cfg.quick).iter().map(|&p| (p, Protocol::StaticPPersistent { p })).collect();
+        let protos: Vec<(f64, Protocol)> = p_sweep(cfg.quick)
+            .iter()
+            .map(|&p| (p, Protocol::StaticPPersistent { p }))
+            .collect();
         let series = static_sweep(
             cfg,
             &format!("fig02 n={n}"),
@@ -102,11 +117,23 @@ pub fn fig02(cfg: &RunConfig) -> String {
         // Analytic overlay.
         let rows: Vec<Vec<f64>> = p_sweep(false)
             .iter()
-            .map(|&p| vec![p, wlan_analytic::system_throughput_uniform(&model, p, n) / 1e6])
+            .map(|&p| {
+                vec![
+                    p,
+                    wlan_analytic::system_throughput_uniform(&model, p, n) / 1e6,
+                ]
+            })
             .collect();
-        write_dat(&format!("fig02_analytic_n{n}.dat"), "p throughput_mbps", &rows);
+        write_dat(
+            &format!("fig02_analytic_n{n}.dat"),
+            "p throughput_mbps",
+            &rows,
+        );
 
-        let best = series.iter().cloned().fold((0.0, 0.0), |a, b| if b.1 > a.1 { b } else { a });
+        let best = series
+            .iter()
+            .cloned()
+            .fold((0.0, 0.0), |a, b| if b.1 > a.1 { b } else { a });
         let p_star = wlan_analytic::optimal_p(&model, &vec![1.0; n]);
         notes.push(format!(
             "n={n}: simulated peak {:.1} Mbps at p={:.4} (analytic p*={:.4})",
@@ -131,8 +158,10 @@ pub fn fig03(cfg: &RunConfig) -> String {
     ];
     let curves = throughput_vs_n(cfg, &protos, &TopologySpec::Ring { radius: 8.0 }, "fig03");
     save_curves("fig03_fully_connected", &curves);
-    let at_60: Vec<String> =
-        curves.iter().map(|c| format!("{} {:.1}", c.protocol, c.points.last().unwrap().1)).collect();
+    let at_60: Vec<String> = curves
+        .iter()
+        .map(|c| format!("{} {:.1}", c.protocol, c.points.last().unwrap().1))
+        .collect();
     format!("Fig 3 (N=60, Mbps): {} (paper: the three tuned schemes stay flat near the optimum, 802.11 degrades)", at_60.join(", "))
 }
 
@@ -144,11 +173,16 @@ pub fn fig03(cfg: &RunConfig) -> String {
 pub fn fig04(cfg: &RunConfig) -> String {
     println!("Figure 4: p-persistent throughput vs p with hidden nodes");
     let mut all_unimodal = true;
-    for (scenario_id, radius, n, seed) in
-        [(1, 16.0, 20, 11u64), (1, 16.0, 40, 11), (2, 20.0, 20, 23), (2, 20.0, 40, 23)]
-    {
-        let protos: Vec<(f64, Protocol)> =
-            p_sweep(cfg.quick).iter().map(|&p| (p, Protocol::StaticPPersistent { p })).collect();
+    for (scenario_id, radius, n, seed) in [
+        (1, 16.0, 20, 11u64),
+        (1, 16.0, 40, 11),
+        (2, 20.0, 20, 23),
+        (2, 20.0, 40, 23),
+    ] {
+        let protos: Vec<(f64, Protocol)> = p_sweep(cfg.quick)
+            .iter()
+            .map(|&p| (p, Protocol::StaticPPersistent { p }))
+            .collect();
         let series = static_sweep(
             cfg,
             &format!("fig04 scenario{scenario_id} n={n}"),
@@ -170,9 +204,12 @@ pub fn fig04(cfg: &RunConfig) -> String {
 pub fn fig05(cfg: &RunConfig) -> String {
     println!("Figure 5: RandomReset throughput vs p0 with hidden nodes");
     let mut all_unimodal = true;
-    for (scenario_id, radius, n, seed) in
-        [(1, 16.0, 20, 11u64), (1, 16.0, 40, 11), (2, 20.0, 20, 23), (2, 20.0, 40, 23)]
-    {
+    for (scenario_id, radius, n, seed) in [
+        (1, 16.0, 20, 11u64),
+        (1, 16.0, 40, 11),
+        (2, 20.0, 20, 23),
+        (2, 20.0, 40, 23),
+    ] {
         let protos: Vec<(f64, Protocol)> = p0_sweep(cfg.quick)
             .iter()
             .map(|&p0| (p0, Protocol::StaticRandomReset { stage: 0, p0 }))
@@ -189,7 +226,9 @@ pub fn fig05(cfg: &RunConfig) -> String {
         let ys: Vec<f64> = series.iter().map(|s| s.1).collect();
         all_unimodal &= wlan_analytic::quasiconcave::is_quasi_concave(&ys, 1.5);
     }
-    format!("Fig 5: throughput vs p0 with hidden nodes is single-peaked within noise: {all_unimodal}")
+    format!(
+        "Fig 5: throughput vs p0 with hidden nodes is single-peaked within noise: {all_unimodal}"
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -209,7 +248,11 @@ fn hidden_comparison(cfg: &RunConfig, radius: f64, stem: &str, fig: &str) -> Str
     let at_40: Vec<String> = curves
         .iter()
         .map(|c| {
-            let p = c.points.iter().find(|p| p.0 == 40).unwrap_or(c.points.last().unwrap());
+            let p = c
+                .points
+                .iter()
+                .find(|p| p.0 == 40)
+                .unwrap_or(c.points.last().unwrap());
             format!("{} {:.1}", c.protocol, p.1)
         })
         .collect();
@@ -233,7 +276,12 @@ pub fn fig07(cfg: &RunConfig) -> String {
 // Figures 8-11 (dynamic scenarios)
 // ---------------------------------------------------------------------------
 
-fn dynamic_run(cfg: &RunConfig, proto: Protocol, topology: TopologySpec, stem: &str) -> (String, f64) {
+fn dynamic_run(
+    cfg: &RunConfig,
+    proto: Protocol,
+    topology: TopologySpec,
+    stem: &str,
+) -> (String, f64) {
     let total = cfg.dynamic_total_secs();
     let schedule = MembershipSchedule::paper_default(total as f64);
     let mut scenario = Scenario::new(proto, topology, schedule.max_active())
@@ -247,10 +295,21 @@ fn dynamic_run(cfg: &RunConfig, proto: Protocol, topology: TopologySpec, stem: &
         .iter()
         .map(|(t, mbps, n)| vec![*t, *mbps, *n as f64])
         .collect();
-    write_dat(&format!("{stem}_throughput.dat"), "time_s throughput_mbps active_nodes", &rows);
-    let rows: Vec<Vec<f64>> =
-        result.control_trace.iter().map(|(t, v)| vec![*t, *v, -v.max(1e-9).ln()]).collect();
-    write_dat(&format!("{stem}_control.dat"), "time_s control_variable minus_log", &rows);
+    write_dat(
+        &format!("{stem}_throughput.dat"),
+        "time_s throughput_mbps active_nodes",
+        &rows,
+    );
+    let rows: Vec<Vec<f64>> = result
+        .control_trace
+        .iter()
+        .map(|(t, v)| vec![*t, *v, -v.max(1e-9).ln()])
+        .collect();
+    write_dat(
+        &format!("{stem}_control.dat"),
+        "time_s control_variable minus_log",
+        &rows,
+    );
     write_json(&format!("{stem}.json"), &result);
 
     // Mean throughput over the second half of each membership phase (in steady state).
@@ -269,7 +328,11 @@ fn dynamic_run(cfg: &RunConfig, proto: Protocol, topology: TopologySpec, stem: &
             .filter(|(t, _, _)| *t > mid && *t <= end)
             .map(|(_, mbps, _)| *mbps)
             .collect();
-        let mean = if vals.is_empty() { 0.0 } else { vals.iter().sum::<f64>() / vals.len() as f64 };
+        let mean = if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
         per_phase.push(mean);
     }
     (
@@ -285,8 +348,12 @@ fn dynamic_run(cfg: &RunConfig, proto: Protocol, topology: TopologySpec, stem: &
 /// number of stations changes (with and without hidden nodes).
 pub fn fig08_09(cfg: &RunConfig) -> String {
     println!("Figures 8-9: wTOP-CSMA under dynamic membership");
-    let (fully, _) =
-        dynamic_run(cfg, Protocol::WTopCsma, TopologySpec::FullyConnected, "fig08_09_wtop_fully");
+    let (fully, _) = dynamic_run(
+        cfg,
+        Protocol::WTopCsma,
+        TopologySpec::FullyConnected,
+        "fig08_09_wtop_fully",
+    );
     let (hidden, _) = dynamic_run(
         cfg,
         Protocol::WTopCsma,
@@ -300,8 +367,12 @@ pub fn fig08_09(cfg: &RunConfig) -> String {
 /// number of stations changes.
 pub fn fig10_11(cfg: &RunConfig) -> String {
     println!("Figures 10-11: TORA-CSMA under dynamic membership");
-    let (fully, _) =
-        dynamic_run(cfg, Protocol::ToraCsma, TopologySpec::FullyConnected, "fig10_11_tora_fully");
+    let (fully, _) = dynamic_run(
+        cfg,
+        Protocol::ToraCsma,
+        TopologySpec::FullyConnected,
+        "fig10_11_tora_fully",
+    );
     let (hidden, _) = dynamic_run(
         cfg,
         Protocol::ToraCsma,
@@ -327,7 +398,11 @@ pub fn fig12(_cfg: &RunConfig) -> String {
             .iter()
             .map(|&c| vec![c, chain.tau_given_collision_random_reset(c, 0, p0)])
             .collect();
-        write_dat(&format!("fig12_tau_p0_{:02}.dat", (p0 * 10.0) as u32), "c tau", &rows);
+        write_dat(
+            &format!("fig12_tau_p0_{:02}.dat", (p0 * 10.0) as u32),
+            "c tau",
+            &rows,
+        );
     }
     // The collision-probability curve c(τ) plotted on the same axes (τ as y).
     let rows: Vec<Vec<f64>> = cs
@@ -372,11 +447,17 @@ pub fn fig13(cfg: &RunConfig) -> String {
             .iter()
             .map(|&p0| vec![p0, chain.random_reset_throughput(&model, n, 0, p0) / 1e6])
             .collect();
-        write_dat(&format!("fig13_analytic_n{n}.dat"), "p0 throughput_mbps", &rows);
+        write_dat(
+            &format!("fig13_analytic_n{n}.dat"),
+            "p0 throughput_mbps",
+            &rows,
+        );
 
         let flat = series.iter().map(|s| s.1).fold(f64::INFINITY, f64::min)
             / series.iter().map(|s| s.1).fold(0.0f64, f64::max);
-        notes.push(format!("n={n}: min/max throughput ratio over p0 = {flat:.2}"));
+        notes.push(format!(
+            "n={n}: min/max throughput ratio over p0 = {flat:.2}"
+        ));
     }
     format!(
         "Fig 13: RandomReset throughput varies gently with p0 (flat maximum, as the paper notes); {}",
@@ -411,7 +492,11 @@ pub fn table1(_cfg: &RunConfig) -> String {
         println!("  {k:<16} {v}");
         text.push_str(&format!("{k}: {v}\n"));
     }
-    std::fs::write(crate::harness::out_dir().join("table1_parameters.txt"), text).unwrap();
+    std::fs::write(
+        crate::harness::out_dir().join("table1_parameters.txt"),
+        text,
+    )
+    .unwrap();
     "Table I: parameters match the paper (54 Mbps, 8000-bit payload, CWmin 8, CWmax 1024)".into()
 }
 
@@ -420,26 +505,43 @@ pub fn table1(_cfg: &RunConfig) -> String {
 pub fn table2(cfg: &RunConfig) -> String {
     println!("Table II: wTOP-CSMA weighted fairness");
     let weights = vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0];
-    let r = Scenario::new(Protocol::WTopCsma, TopologySpec::FullyConnected, weights.len())
-        .weights(weights.clone())
-        .durations(cfg.adaptive_warmup(), cfg.measure() * 2)
-        .seed(3)
-        .run();
+    let r = Scenario::new(
+        Protocol::WTopCsma,
+        TopologySpec::FullyConnected,
+        weights.len(),
+    )
+    .weights(weights.clone())
+    .durations(cfg.adaptive_warmup(), cfg.measure() * 2)
+    .seed(3)
+    .run();
     let mut rows = Vec::new();
     println!("  Node  Weight  Throughput(Mbps)  Normalized");
-    for i in 0..weights.len() {
+    for (i, &weight) in weights.iter().enumerate() {
         println!(
             "  {:>4}  {:>6}  {:>16.3}  {:>10.3}",
             i + 1,
-            weights[i],
+            weight,
             r.per_node_mbps[i],
             r.normalized_mbps[i]
         );
-        rows.push(vec![(i + 1) as f64, weights[i], r.per_node_mbps[i], r.normalized_mbps[i]]);
+        rows.push(vec![
+            (i + 1) as f64,
+            weight,
+            r.per_node_mbps[i],
+            r.normalized_mbps[i],
+        ]);
     }
-    write_dat("table2_weighted_fairness.dat", "node weight throughput_mbps normalized_mbps", &rows);
+    write_dat(
+        "table2_weighted_fairness.dat",
+        "node weight throughput_mbps normalized_mbps",
+        &rows,
+    );
     write_json("table2_weighted_fairness.json", &r);
-    let min_norm = r.normalized_mbps.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min_norm = r
+        .normalized_mbps
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
     let max_norm = r.normalized_mbps.iter().cloned().fold(0.0f64, f64::max);
     format!(
         "Table II: total {:.1} Mbps, normalized throughput spread {:.3}-{:.3} Mbps/weight, weighted Jain {:.4} \
@@ -454,9 +556,21 @@ pub fn table3(cfg: &RunConfig) -> String {
     println!("Table III: idle slots and throughput, 40 stations");
     let n = 40;
     let cases = [
-        ("without hidden nodes", TopologySpec::Ring { radius: 8.0 }, 1u64),
-        ("with hidden nodes (case 1)", TopologySpec::UniformDisc { radius: 16.0 }, 11),
-        ("with hidden nodes (case 2)", TopologySpec::UniformDisc { radius: 20.0 }, 23),
+        (
+            "without hidden nodes",
+            TopologySpec::Ring { radius: 8.0 },
+            1u64,
+        ),
+        (
+            "with hidden nodes (case 1)",
+            TopologySpec::UniformDisc { radius: 16.0 },
+            11,
+        ),
+        (
+            "with hidden nodes (case 2)",
+            TopologySpec::UniformDisc { radius: 20.0 },
+            23,
+        ),
     ];
     let mut rows = Vec::new();
     let mut lines = Vec::new();
@@ -472,7 +586,11 @@ pub fn table3(cfg: &RunConfig) -> String {
             );
             rows.push(vec![
                 case_idx as f64,
-                if proto == Protocol::IdleSense { 0.0 } else { 1.0 },
+                if proto == Protocol::IdleSense {
+                    0.0
+                } else {
+                    1.0
+                },
                 r.avg_idle_slots,
                 r.throughput_mbps,
             ]);
@@ -482,7 +600,11 @@ pub fn table3(cfg: &RunConfig) -> String {
             ));
         }
     }
-    write_dat("table3_idle_slots.dat", "case protocol(0=idlesense,1=wtop) idle_slots throughput_mbps", &rows);
+    write_dat(
+        "table3_idle_slots.dat",
+        "case protocol(0=idlesense,1=wtop) idle_slots throughput_mbps",
+        &rows,
+    );
     format!(
         "Table III: {} (paper: IdleSense keeps its ~3.1 idle-slot target but loses throughput with hidden \
          nodes, while wTOP-CSMA's idle-slot operating point moves to 10-25 and its throughput stays useful)",

@@ -29,7 +29,9 @@ impl RunConfig {
         } else if args.iter().any(|a| a == "--quick") {
             true
         } else {
-            std::env::var("WLAN_REPRO_QUICK").map(|v| v != "0").unwrap_or(true)
+            std::env::var("WLAN_REPRO_QUICK")
+                .map(|v| v != "0")
+                .unwrap_or(true)
         };
         RunConfig { quick }
     }
@@ -101,8 +103,11 @@ pub fn write_dat(name: &str, header: &str, rows: &[Vec<f64>]) {
 /// Write a JSON dump of any serialisable result.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = out_dir().join(name);
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))
-        .expect("cannot write json file");
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialise"),
+    )
+    .expect("cannot write json file");
     println!("  wrote {}", path.display());
 }
 
@@ -127,20 +132,32 @@ pub fn throughput_vs_n(
     for proto in protocols {
         let mut points = Vec::new();
         for &n in &cfg.node_counts() {
-            let warm = if proto.is_adaptive() { cfg.adaptive_warmup() } else { cfg.static_warmup() };
-            let base = Scenario::new(*proto, topology.clone(), n)
-                .durations(warm, cfg.measure());
+            let warm = if proto.is_adaptive() {
+                cfg.adaptive_warmup()
+            } else {
+                cfg.static_warmup()
+            };
+            let base = Scenario::new(*proto, topology.clone(), n).durations(warm, cfg.measure());
             let results = run_seeds(&base, &seeds);
             let mean = mean_throughput(&results);
-            let min = results.iter().map(|r| r.throughput_mbps).fold(f64::INFINITY, f64::min);
-            let max = results.iter().map(|r| r.throughput_mbps).fold(0.0f64, f64::max);
+            let min = results
+                .iter()
+                .map(|r| r.throughput_mbps)
+                .fold(f64::INFINITY, f64::min);
+            let max = results
+                .iter()
+                .map(|r| r.throughput_mbps)
+                .fold(0.0f64, f64::max);
             println!(
                 "  [{label}] {:<18} n={n:<3} -> {mean:>6.2} Mbps (min {min:.2}, max {max:.2})",
                 proto.label()
             );
             points.push((n, mean, min, max));
         }
-        curves.push(ThroughputCurve { protocol: proto.label().to_string(), points });
+        curves.push(ThroughputCurve {
+            protocol: proto.label().to_string(),
+            points,
+        });
     }
     curves
 }
@@ -150,7 +167,10 @@ pub fn save_curves(stem: &str, curves: &[ThroughputCurve]) {
     for curve in curves {
         let fname = format!(
             "{stem}_{}.dat",
-            curve.protocol.to_lowercase().replace([' ', '.', '(', ')'], "_")
+            curve
+                .protocol
+                .to_lowercase()
+                .replace([' ', '.', '(', ')'], "_")
         );
         let rows: Vec<Vec<f64>> = curve
             .points
@@ -178,7 +198,10 @@ mod tests {
 
     #[test]
     fn dat_files_are_written() {
-        std::env::set_var("WLAN_REPRO_OUT", std::env::temp_dir().join("wlan_repro_test"));
+        std::env::set_var(
+            "WLAN_REPRO_OUT",
+            std::env::temp_dir().join("wlan_repro_test"),
+        );
         write_dat("unit_test.dat", "a b", &[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let path = out_dir().join("unit_test.dat");
         let text = std::fs::read_to_string(path).unwrap();

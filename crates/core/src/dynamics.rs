@@ -27,7 +27,10 @@ pub struct MembershipSchedule {
 impl MembershipSchedule {
     /// A constant-membership schedule.
     pub fn constant(active: usize) -> Self {
-        MembershipSchedule { initial_active: active, changes: Vec::new() }
+        MembershipSchedule {
+            initial_active: active,
+            changes: Vec::new(),
+        }
     }
 
     /// The schedule used for the paper's dynamic experiments (Figs. 8–11), scaled
@@ -37,16 +40,30 @@ impl MembershipSchedule {
         MembershipSchedule {
             initial_active: 10,
             changes: vec![
-                MembershipChange { at_secs: total_secs * 0.25, active: 30 },
-                MembershipChange { at_secs: total_secs * 0.50, active: 60 },
-                MembershipChange { at_secs: total_secs * 0.75, active: 20 },
+                MembershipChange {
+                    at_secs: total_secs * 0.25,
+                    active: 30,
+                },
+                MembershipChange {
+                    at_secs: total_secs * 0.50,
+                    active: 60,
+                },
+                MembershipChange {
+                    at_secs: total_secs * 0.75,
+                    active: 20,
+                },
             ],
         }
     }
 
     /// Largest number of stations ever active (the topology must contain this many).
     pub fn max_active(&self) -> usize {
-        self.changes.iter().map(|c| c.active).chain(std::iter::once(self.initial_active)).max().unwrap_or(0)
+        self.changes
+            .iter()
+            .map(|c| c.active)
+            .chain(std::iter::once(self.initial_active))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Validate monotone times and non-zero membership.
@@ -57,7 +74,10 @@ impl MembershipSchedule {
         let mut prev = 0.0;
         for c in &self.changes {
             if c.at_secs <= prev {
-                return Err(format!("change times must be strictly increasing (at {})", c.at_secs));
+                return Err(format!(
+                    "change times must be strictly increasing (at {})",
+                    c.at_secs
+                ));
             }
             if c.active == 0 {
                 return Err("membership must stay positive".into());
@@ -86,7 +106,11 @@ pub struct DynamicResult {
 ///
 /// The scenario's `n` must equal the schedule's maximum membership; stations
 /// beyond the currently active count are held inactive.
-pub fn run_dynamic(scenario: &Scenario, schedule: &MembershipSchedule, total: SimDuration) -> DynamicResult {
+pub fn run_dynamic(
+    scenario: &Scenario,
+    schedule: &MembershipSchedule,
+    total: SimDuration,
+) -> DynamicResult {
     schedule.validate().expect("invalid membership schedule");
     assert!(
         scenario.n >= schedule.max_active(),
@@ -154,12 +178,21 @@ mod tests {
         let bad = MembershipSchedule {
             initial_active: 5,
             changes: vec![
-                MembershipChange { at_secs: 10.0, active: 8 },
-                MembershipChange { at_secs: 5.0, active: 2 },
+                MembershipChange {
+                    at_secs: 10.0,
+                    active: 8,
+                },
+                MembershipChange {
+                    at_secs: 5.0,
+                    active: 2,
+                },
             ],
         };
         assert!(bad.validate().is_err());
-        let zero = MembershipSchedule { initial_active: 0, changes: vec![] };
+        let zero = MembershipSchedule {
+            initial_active: 0,
+            changes: vec![],
+        };
         assert!(zero.validate().is_err());
     }
 
@@ -174,7 +207,10 @@ mod tests {
     fn dynamic_run_tracks_membership_in_the_series() {
         let schedule = MembershipSchedule {
             initial_active: 2,
-            changes: vec![MembershipChange { at_secs: 0.5, active: 6 }],
+            changes: vec![MembershipChange {
+                at_secs: 0.5,
+                active: 6,
+            }],
         };
         let scenario = Scenario::new(
             P::StaticPPersistent { p: 0.05 },
@@ -187,10 +223,16 @@ mod tests {
         s.throughput_bin = SimDuration::from_millis(100);
         let result = run_dynamic(&s, &schedule, SimDuration::from_secs(1));
         assert!(!result.throughput_series.is_empty());
-        let early: Vec<_> =
-            result.throughput_series.iter().filter(|(t, _, _)| *t < 0.45).collect();
-        let late: Vec<_> =
-            result.throughput_series.iter().filter(|(t, _, _)| *t > 0.65).collect();
+        let early: Vec<_> = result
+            .throughput_series
+            .iter()
+            .filter(|(t, _, _)| *t < 0.45)
+            .collect();
+        let late: Vec<_> = result
+            .throughput_series
+            .iter()
+            .filter(|(t, _, _)| *t > 0.65)
+            .collect();
         assert!(early.iter().all(|(_, _, n)| *n == 2), "{early:?}");
         assert!(late.iter().all(|(_, _, n)| *n == 6), "{late:?}");
         assert!(result.mean_throughput_mbps > 1.0);
@@ -200,8 +242,7 @@ mod tests {
     #[should_panic]
     fn scenario_smaller_than_schedule_is_rejected() {
         let schedule = MembershipSchedule::paper_default(10.0);
-        let scenario =
-            Scenario::new(P::Standard80211, TopologySpec::FullyConnected, 10);
+        let scenario = Scenario::new(P::Standard80211, TopologySpec::FullyConnected, 10);
         let _ = run_dynamic(&scenario, &schedule, SimDuration::from_secs(1));
     }
 }

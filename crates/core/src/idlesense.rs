@@ -14,10 +14,10 @@
 //! and the optimal attempt rate. The implementation here follows the published
 //! algorithm so that exactly this effect can be reproduced.
 
-use wlan_sim::control::{ChannelObservation, ControlPayload};
-use wlan_sim::{BackoffPolicy, PhyParams};
 use rand::Rng;
 use rand::RngCore;
+use wlan_sim::control::{ChannelObservation, ControlPayload};
+use wlan_sim::{BackoffPolicy, PhyParams};
 
 /// Configuration of the IdleSense station policy.
 #[derive(Debug, Clone)]
@@ -79,11 +79,19 @@ impl IdleSensePolicy {
     /// Create a policy with the given configuration.
     pub fn new(config: IdleSenseConfig) -> Self {
         assert!(config.cw_min >= 1.0 && config.cw_max >= config.cw_min);
-        assert!(config.alpha > 1.0, "alpha must be a multiplicative increase");
+        assert!(
+            config.alpha > 1.0,
+            "alpha must be a multiplicative increase"
+        );
         assert!(config.beta > 0.0);
         assert!(config.transmissions_per_update >= 1);
         let cw = config.initial_cw.clamp(config.cw_min, config.cw_max);
-        IdleSensePolicy { config, cw, idle_slot_sum: 0, observed_transmissions: 0 }
+        IdleSensePolicy {
+            config,
+            cw,
+            idle_slot_sum: 0,
+            observed_transmissions: 0,
+        }
     }
 
     /// Create a policy with the defaults used in the paper's comparison.
@@ -157,7 +165,11 @@ mod tests {
     use wlan_sim::control::BusyOutcome;
 
     fn obs(idle_slots: u64) -> ChannelObservation {
-        ChannelObservation { idle_slots, own_transmission: false, outcome: BusyOutcome::Unknown }
+        ChannelObservation {
+            idle_slots,
+            own_transmission: false,
+            outcome: BusyOutcome::Unknown,
+        }
     }
 
     #[test]
@@ -167,7 +179,10 @@ mod tests {
         for _ in 0..5 {
             p.on_observation(&obs(0));
         }
-        assert!(p.cw() > before, "CW should grow when the medium is congested");
+        assert!(
+            p.cw() > before,
+            "CW should grow when the medium is congested"
+        );
     }
 
     #[test]

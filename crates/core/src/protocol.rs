@@ -49,7 +49,10 @@ impl Protocol {
 
     /// Whether the scheme is adaptive (needs a warm-up period to converge).
     pub fn is_adaptive(&self) -> bool {
-        matches!(self, Protocol::IdleSense | Protocol::WTopCsma | Protocol::ToraCsma)
+        matches!(
+            self,
+            Protocol::IdleSense | Protocol::WTopCsma | Protocol::ToraCsma
+        )
     }
 
     /// Build the station-side policy for station with the given weight.
@@ -71,7 +74,11 @@ impl Protocol {
 
     /// Build the AP-side controller, using `update_period` for the adaptive
     /// stochastic-approximation schemes.
-    pub fn ap_algorithm(&self, phy: &PhyParams, update_period: SimDuration) -> Box<dyn ApAlgorithm> {
+    pub fn ap_algorithm(
+        &self,
+        phy: &PhyParams,
+        update_period: SimDuration,
+    ) -> Box<dyn ApAlgorithm> {
         match self {
             Protocol::WTopCsma => {
                 let mut cfg = WtopConfig::for_phy(phy);

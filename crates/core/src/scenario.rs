@@ -159,8 +159,9 @@ impl Scenario {
             .into_iter()
             .map(|(t, v)| (t.as_secs_f64(), v))
             .collect();
-        let station_attempt_probabilities =
-            (0..self.n).map(|i| sim.station_attempt_probability(i)).collect();
+        let station_attempt_probabilities = (0..self.n)
+            .map(|i| sim.station_attempt_probability(i))
+            .collect();
         ScenarioResult::from_stats(
             self.protocol.label().to_string(),
             self.n,
@@ -273,16 +274,24 @@ mod tests {
 
     #[test]
     fn topology_specs_build_expected_layouts() {
-        assert!(TopologySpec::FullyConnected.build(30, 1).is_fully_connected());
-        assert!(TopologySpec::Ring { radius: 8.0 }.build(30, 1).is_fully_connected());
+        assert!(TopologySpec::FullyConnected
+            .build(30, 1)
+            .is_fully_connected());
+        assert!(TopologySpec::Ring { radius: 8.0 }
+            .build(30, 1)
+            .is_fully_connected());
         let disc = TopologySpec::UniformDisc { radius: 20.0 }.build(30, 3);
         assert_eq!(disc.num_nodes(), 30);
     }
 
     #[test]
     fn static_ppersistent_scenario_runs() {
-        let r = short(Protocol::StaticPPersistent { p: 0.02 }, TopologySpec::FullyConnected, 10)
-            .run();
+        let r = short(
+            Protocol::StaticPPersistent { p: 0.02 },
+            TopologySpec::FullyConnected,
+            10,
+        )
+        .run();
         assert!(r.throughput_mbps > 5.0, "{}", r.throughput_mbps);
         assert_eq!(r.per_node_mbps.len(), 10);
         assert_eq!(r.hidden_pairs, 0);
@@ -291,7 +300,12 @@ mod tests {
 
     #[test]
     fn standard_dcf_scenario_runs() {
-        let r = short(Protocol::Standard80211, TopologySpec::Ring { radius: 8.0 }, 10).run();
+        let r = short(
+            Protocol::Standard80211,
+            TopologySpec::Ring { radius: 8.0 },
+            10,
+        )
+        .run();
         assert!(r.throughput_mbps > 5.0, "{}", r.throughput_mbps);
         assert!(r.collision_fraction > 0.0 && r.collision_fraction < 1.0);
     }
@@ -299,17 +313,30 @@ mod tests {
     #[test]
     fn adaptive_scenarios_produce_control_traces() {
         let r = short(Protocol::WTopCsma, TopologySpec::FullyConnected, 5).run();
-        assert!(!r.control_trace.is_empty(), "wTOP should record its control variable");
+        assert!(
+            !r.control_trace.is_empty(),
+            "wTOP should record its control variable"
+        );
         let r = short(Protocol::ToraCsma, TopologySpec::FullyConnected, 5).run();
-        assert!(!r.control_trace.is_empty(), "TORA should record its control variable");
+        assert!(
+            !r.control_trace.is_empty(),
+            "TORA should record its control variable"
+        );
     }
 
     #[test]
     fn hidden_disc_reports_hidden_pairs() {
-        let r = short(Protocol::StaticPPersistent { p: 0.02 }, TopologySpec::UniformDisc { radius: 20.0 }, 20)
-            .seed(11)
-            .run();
-        assert!(r.hidden_pairs > 0, "expected hidden pairs in a 20 m disc with 20 nodes");
+        let r = short(
+            Protocol::StaticPPersistent { p: 0.02 },
+            TopologySpec::UniformDisc { radius: 20.0 },
+            20,
+        )
+        .seed(11)
+        .run();
+        assert!(
+            r.hidden_pairs > 0,
+            "expected hidden pairs in a 20 m disc with 20 nodes"
+        );
     }
 
     #[test]
@@ -322,12 +349,18 @@ mod tests {
 
     #[test]
     fn run_seeds_aggregates() {
-        let base = short(Protocol::StaticPPersistent { p: 0.03 }, TopologySpec::FullyConnected, 5);
+        let base = short(
+            Protocol::StaticPPersistent { p: 0.03 },
+            TopologySpec::FullyConnected,
+            5,
+        );
         let results = run_seeds(&base, &[1, 2, 3]);
         assert_eq!(results.len(), 3);
         let mean = mean_throughput(&results);
         assert!(mean > 0.0);
-        assert!(results.iter().any(|r| (r.throughput_mbps - mean).abs() > 1e-12));
+        assert!(results
+            .iter()
+            .any(|r| (r.throughput_mbps - mean).abs() > 1e-12));
         assert_eq!(mean_throughput(&[]), 0.0);
     }
 

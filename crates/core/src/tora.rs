@@ -72,14 +72,13 @@ pub struct ToraController {
 impl ToraController {
     /// Create a controller from a configuration.
     pub fn new(config: ToraConfig) -> Self {
-        assert!(config.initial_stage < config.max_stage, "j must stay below m");
-        assert!(config.delta_low < config.delta_high);
-        let kw = KieferWolfowitz::with_gains(
-            config.initial_p0,
-            (0.0, 1.0),
-            (0.0, 1.0),
-            config.gains,
+        assert!(
+            config.initial_stage < config.max_stage,
+            "j must stay below m"
         );
+        assert!(config.delta_low < config.delta_high);
+        let kw =
+            KieferWolfowitz::with_gains(config.initial_p0, (0.0, 1.0), (0.0, 1.0), config.gains);
         let advertised_p0 = kw.probe();
         ToraController {
             kw,
@@ -163,7 +162,10 @@ impl ApAlgorithm for ToraController {
     }
 
     fn control_payload(&mut self, _now: SimTime) -> ControlPayload {
-        ControlPayload::RandomReset { p0: self.advertised_p0, stage: self.stage }
+        ControlPayload::RandomReset {
+            p0: self.advertised_p0,
+            stage: self.stage,
+        }
     }
 
     fn on_beacon(&mut self, now: SimTime) {
@@ -227,7 +229,12 @@ mod tests {
         let mut ms = 0;
         feed_measurement(&mut c, &mut ms, HIGH); // plus side: high throughput
         feed_measurement(&mut c, &mut ms, LOW); // minus side: low throughput
-        assert!(c.estimate_p0() > before, "{} -> {}", before, c.estimate_p0());
+        assert!(
+            c.estimate_p0() > before,
+            "{} -> {}",
+            before,
+            c.estimate_p0()
+        );
     }
 
     #[test]
@@ -244,7 +251,11 @@ mod tests {
                 break;
             }
         }
-        assert!(c.stage() >= 1, "stage should have increased, p0 = {}", c.estimate_p0());
+        assert!(
+            c.stage() >= 1,
+            "stage should have increased, p0 = {}",
+            c.estimate_p0()
+        );
         // After the switch the estimate restarts at 0.5.
         assert!((c.estimate_p0() - 0.5).abs() < 0.45);
     }
@@ -263,7 +274,11 @@ mod tests {
                 break;
             }
         }
-        assert!(c.stage() < 2, "stage should have decreased, p0 = {}", c.estimate_p0());
+        assert!(
+            c.stage() < 2,
+            "stage should have decreased, p0 = {}",
+            c.estimate_p0()
+        );
         // Keep pushing: the stage must never underflow below 0.
         for _ in 0..20 {
             feed_measurement(&mut c, &mut ms, HIGH);

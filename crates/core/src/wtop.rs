@@ -109,7 +109,10 @@ impl WtopController {
         assert!(config.measurement_scale_bps > 0.0);
         let (initial, bounds) = if config.log_domain {
             (
-                config.initial_p.clamp(config.probe_min, config.probe_max).ln(),
+                config
+                    .initial_p
+                    .clamp(config.probe_min, config.probe_max)
+                    .ln(),
                 (config.probe_min.ln(), config.probe_max.ln()),
             )
         } else {
@@ -129,11 +132,11 @@ impl WtopController {
             probe_trace: Vec::new(),
             estimate_trace: Vec::new(),
         };
-        controller.advertised_p = controller.from_domain(controller.kw.probe());
+        controller.advertised_p = controller.domain_to_p(controller.kw.probe());
         controller
     }
 
-    fn from_domain(&self, x: f64) -> f64 {
+    fn domain_to_p(&self, x: f64) -> f64 {
         if self.log_domain {
             x.exp()
         } else {
@@ -155,7 +158,7 @@ impl WtopController {
 
     /// Current Kiefer–Wolfowitz estimate of the optimal control variable `p`.
     pub fn estimate(&self) -> f64 {
-        self.from_domain(self.kw.estimate())
+        self.domain_to_p(self.kw.estimate())
     }
 
     /// The control value currently advertised in ACKs.
@@ -204,7 +207,7 @@ impl WtopController {
         }
         self.bits_received = 0;
         self.segment_start = Some(now);
-        self.advertised_p = self.from_domain(self.kw.probe());
+        self.advertised_p = self.domain_to_p(self.kw.probe());
         self.probe_trace.push((now, self.advertised_p));
         self.estimate_trace.push((now, self.estimate()));
     }
@@ -305,7 +308,11 @@ mod tests {
         let mid = c.estimate();
         feed_measurement(&mut c, &mut cursor, 100_000);
         feed_measurement(&mut c, &mut cursor, 6_000_000);
-        assert!(c.estimate() < mid, "estimate should fall: mid {mid}, after {}", c.estimate());
+        assert!(
+            c.estimate() < mid,
+            "estimate should fall: mid {mid}, after {}",
+            c.estimate()
+        );
     }
 
     #[test]
@@ -324,14 +331,18 @@ mod tests {
         let mut now = SimTime::ZERO;
         for seg in 0..40 {
             for _ in 0..10 {
-                now = now + period / 10;
+                now += period / 10;
                 // Alternate wildly between huge and zero throughput to push the
                 // estimate around.
                 let bits = if seg % 2 == 0 { 1_000_000 } else { 1 };
                 c.on_success(now, 0, bits);
             }
         }
-        assert!(c.advertised() >= 0.002 && c.advertised() <= 0.9, "{}", c.advertised());
+        assert!(
+            c.advertised() >= 0.002 && c.advertised() <= 0.9,
+            "{}",
+            c.advertised()
+        );
         assert!(c.estimate() >= 0.0 && c.estimate() <= 1.0);
     }
 }

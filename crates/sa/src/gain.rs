@@ -30,14 +30,27 @@ pub struct PowerLawGains {
 impl PowerLawGains {
     /// The paper's gains: `a_k = 1/k`, `b_k = 1/k^(1/3)`.
     pub fn paper_defaults() -> Self {
-        PowerLawGains { a0: 1.0, alpha: 1.0, b0: 1.0, gamma: 1.0 / 3.0 }
+        PowerLawGains {
+            a0: 1.0,
+            alpha: 1.0,
+            b0: 1.0,
+            gamma: 1.0 / 3.0,
+        }
     }
 
     /// Construct custom power-law gains (all parameters must be positive).
     pub fn new(a0: f64, alpha: f64, b0: f64, gamma: f64) -> Self {
         assert!(a0 > 0.0 && b0 > 0.0, "gain numerators must be positive");
-        assert!(alpha > 0.0 && gamma > 0.0, "gain exponents must be positive");
-        PowerLawGains { a0, alpha, b0, gamma }
+        assert!(
+            alpha > 0.0 && gamma > 0.0,
+            "gain exponents must be positive"
+        );
+        PowerLawGains {
+            a0,
+            alpha,
+            b0,
+            gamma,
+        }
     }
 
     /// Step size `a_k` for iteration `k >= 1`.
@@ -91,7 +104,11 @@ mod tests {
     #[test]
     fn paper_defaults_satisfy_all_conditions() {
         let g = PowerLawGains::paper_defaults();
-        assert!(g.satisfies_kw_conditions(), "{:?}", g.violated_kw_conditions());
+        assert!(
+            g.satisfies_kw_conditions(),
+            "{:?}",
+            g.violated_kw_conditions()
+        );
         assert!((g.a(1) - 1.0).abs() < 1e-15);
         assert!((g.a(4) - 0.25).abs() < 1e-15);
         assert!((g.b(8) - 0.5).abs() < 1e-12);

@@ -96,7 +96,12 @@ impl KieferWolfowitz {
     /// The paper's configuration for a control variable that is a probability:
     /// start at 0.5, probes clamped to `[lo, hi]`.
     pub fn for_probability(probe_lo: f64, probe_hi: f64) -> Self {
-        Self::with_gains(0.5, (0.0, 1.0), (probe_lo, probe_hi), PowerLawGains::paper_defaults())
+        Self::with_gains(
+            0.5,
+            (0.0, 1.0),
+            (probe_lo, probe_hi),
+            PowerLawGains::paper_defaults(),
+        )
     }
 
     /// Current iteration counter `k`.
@@ -168,7 +173,10 @@ impl KieferWolfowitz {
                 self.k += 1;
                 self.side = ProbeSide::Plus;
                 self.trace.push((self.k, self.estimate));
-                KwStep::Updated { delta: applied, estimate: self.estimate }
+                KwStep::Updated {
+                    delta: applied,
+                    estimate: self.estimate,
+                }
             }
         }
     }
@@ -206,7 +214,7 @@ mod tests {
         assert_eq!(kw.record(1.0), KwStep::AwaitingMinus);
         assert_eq!(kw.side(), ProbeSide::Minus);
         let minus = kw.probe();
-        assert!(minus < 0.5 && minus >= 0.0);
+        assert!((0.0..0.5).contains(&minus));
         match kw.record(0.0) {
             KwStep::Updated { delta, estimate } => {
                 assert!(delta > 0.0, "positive gradient should push the estimate up");
@@ -270,7 +278,7 @@ mod tests {
         let mut kw = KieferWolfowitz::new(0.5, (0.0, 1.0));
         kw.maximize(|x| -x * x, 10);
         assert_eq!(kw.trace().len(), 11); // initial point + 10 iterations
-        // k values strictly increase.
+                                          // k values strictly increase.
         for w in kw.trace().windows(2) {
             assert!(w[1].0 > w[0].0);
         }

@@ -30,7 +30,10 @@ impl RobbinsMonro {
     /// the regression function is increasing in `x`.
     pub fn new(initial: f64, bounds: (f64, f64), a0: f64, alpha: f64, increasing: bool) -> Self {
         assert!(bounds.0 < bounds.1);
-        assert!(a0 > 0.0 && alpha > 0.5 && alpha <= 1.0, "need alpha in (0.5, 1]");
+        assert!(
+            a0 > 0.0 && alpha > 0.5 && alpha <= 1.0,
+            "need alpha in (0.5, 1]"
+        );
         RobbinsMonro {
             a0,
             alpha,

@@ -35,9 +35,19 @@ impl Spsa {
         assert_eq!(initial.len(), bounds.len());
         assert!(!initial.is_empty());
         for (x, (lo, hi)) in initial.iter().zip(&bounds) {
-            assert!(lo < hi && x >= lo && x <= hi, "initial point outside bounds");
+            assert!(
+                lo < hi && x >= lo && x <= hi,
+                "initial point outside bounds"
+            );
         }
-        Spsa { gains, k: 2, estimate: initial, bounds, pending: None, awaiting_minus: None }
+        Spsa {
+            gains,
+            k: 2,
+            estimate: initial,
+            bounds,
+            pending: None,
+            awaiting_minus: None,
+        }
     }
 
     /// Current estimate.
@@ -56,12 +66,17 @@ impl Spsa {
     pub fn probe(&mut self, rng: &mut dyn RngCore) -> Vec<f64> {
         let c = self.gains.b(self.k);
         if self.pending.is_none() {
-            let delta: Vec<f64> =
-                (0..self.estimate.len()).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let delta: Vec<f64> = (0..self.estimate.len())
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
             self.pending = Some(delta);
         }
         let delta = self.pending.as_ref().unwrap();
-        let sign = if self.awaiting_minus.is_none() { 1.0 } else { -1.0 };
+        let sign = if self.awaiting_minus.is_none() {
+            1.0
+        } else {
+            -1.0
+        };
         self.estimate
             .iter()
             .zip(delta)
@@ -85,9 +100,7 @@ impl Spsa {
                 self.awaiting_minus = None;
                 let a = self.gains.a(self.k);
                 let c = self.gains.b(self.k);
-                for ((x, d), (lo, hi)) in
-                    self.estimate.iter_mut().zip(&delta).zip(&self.bounds)
-                {
+                for ((x, d), (lo, hi)) in self.estimate.iter_mut().zip(&delta).zip(&self.bounds) {
                     let grad = (y_plus - y_minus) / (2.0 * c * d);
                     *x = (*x + a * grad).clamp(*lo, *hi);
                 }

@@ -41,6 +41,20 @@ pub trait BackoffPolicy: Send {
     /// The station's transmission was not acknowledged (collision).
     fn on_failure(&mut self, rng: &mut dyn RngCore);
 
+    /// Whether the policy's backoff is memoryless per slot, so a frozen counter
+    /// must be *redrawn* — not resumed — when the medium goes idle again.
+    ///
+    /// Slotted p-persistent CSMA attempts transmission independently with
+    /// probability `p` in every idle slot; carrying a partially elapsed counter
+    /// across a busy period would condition the next attempt on "did not expire
+    /// during the previous contention round" and bias it away from the first
+    /// new slot (the paper's eq. 2-3 and the idle-slot counts of Table III
+    /// assume no such memory). Counter-freezing policies such as IEEE 802.11
+    /// exponential backoff keep the default `false`.
+    fn redraw_on_resume(&self) -> bool {
+        false
+    }
+
     /// A control payload was overheard on an ACK from the AP.
     fn on_control(&mut self, payload: &ControlPayload) {
         let _ = payload;
@@ -234,7 +248,10 @@ impl PPersistent {
     /// `w p / (1 + (w - 1) p)` (Lemma 1 of the paper), which makes its throughput
     /// proportional to `w`.
     pub fn with_weight(p: f64, weight: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "attempt probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "attempt probability must be in [0, 1]"
+        );
         assert!(weight > 0.0, "weight must be positive");
         PPersistent { p, weight }
     }
@@ -270,6 +287,10 @@ impl BackoffPolicy for PPersistent {
     fn on_success(&mut self, _rng: &mut dyn RngCore) {}
 
     fn on_failure(&mut self, _rng: &mut dyn RngCore) {}
+
+    fn redraw_on_resume(&self) -> bool {
+        true
+    }
 
     fn on_control(&mut self, payload: &ControlPayload) {
         if let ControlPayload::AttemptProbability(p) = payload {
@@ -485,7 +506,11 @@ mod tests {
         for _ in 0..6 {
             eb.on_failure(&mut r);
         }
-        assert_eq!(eb.dropped_frames(), 1, "only six failures since the last success");
+        assert_eq!(
+            eb.dropped_frames(),
+            1,
+            "only six failures since the last success"
+        );
     }
 
     #[test]
@@ -511,7 +536,10 @@ mod tests {
         let total: u64 = (0..n).map(|_| pp.next_backoff(&mut r)).sum();
         let mean = total as f64 / n as f64;
         let expected = (1.0 - 0.05) / 0.05; // 19
-        assert!((mean - expected).abs() < 0.3, "mean {mean} vs expected {expected}");
+        assert!(
+            (mean - expected).abs() < 0.3,
+            "mean {mean} vs expected {expected}"
+        );
     }
 
     #[test]
@@ -606,7 +634,10 @@ mod tests {
         assert!((rr.p0() - 0.9).abs() < 1e-12);
         assert_eq!(rr.reset_stage(), 4);
         // Stage clamp: j must stay below m.
-        rr.on_control(&ControlPayload::RandomReset { p0: 0.2, stage: 200 });
+        rr.on_control(&ControlPayload::RandomReset {
+            p0: 0.2,
+            stage: 200,
+        });
         assert_eq!(rr.reset_stage(), rr.max_stage() - 1);
     }
 

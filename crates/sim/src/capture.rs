@@ -38,7 +38,11 @@ impl CaptureModel {
     /// A reasonable default for reproducing the paper's ns-3 behaviour:
     /// 10 dB SIR threshold, path-loss exponent 3.
     pub fn default_indoor() -> Self {
-        CaptureModel { sir_threshold: 10.0, path_loss_exponent: 3.0, reference_distance: 1.0 }
+        CaptureModel {
+            sir_threshold: 10.0,
+            path_loss_exponent: 3.0,
+            reference_distance: 1.0,
+        }
     }
 
     /// Received power (arbitrary linear units) at the AP from a station at
@@ -75,7 +79,10 @@ mod tests {
     fn power_ratio_follows_exponent() {
         let c = CaptureModel::default_indoor();
         let ratio = c.received_power(5.0) / c.received_power(10.0);
-        assert!((ratio - 8.0).abs() < 1e-9, "doubling distance with alpha=3 is 8x");
+        assert!(
+            (ratio - 8.0).abs() < 1e-9,
+            "doubling distance with alpha=3 is 8x"
+        );
     }
 
     #[test]

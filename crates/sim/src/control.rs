@@ -9,9 +9,10 @@
 use serde::{Deserialize, Serialize};
 
 /// The control information the AP embeds in an ACK frame.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ControlPayload {
     /// No control information (standard 802.11, IdleSense, static policies).
+    #[default]
     None,
     /// wTOP-CSMA: the common control variable `p`. Each station with weight `w`
     /// derives its own attempt probability `p_t = w p / (1 + (w - 1) p)` (Lemma 1).
@@ -31,12 +32,6 @@ impl ControlPayload {
     /// Whether this payload carries any information.
     pub fn is_none(&self) -> bool {
         matches!(self, ControlPayload::None)
-    }
-}
-
-impl Default for ControlPayload {
-    fn default() -> Self {
-        ControlPayload::None
     }
 }
 

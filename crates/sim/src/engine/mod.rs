@@ -218,7 +218,8 @@ impl SimulatorBuilder {
         for i in 0..active {
             sim.activate_station(i);
         }
-        sim.queue.schedule(SimTime::ZERO + sim.throughput_bin, Event::StatsTick);
+        sim.queue
+            .schedule(SimTime::ZERO + sim.throughput_bin, Event::StatsTick);
         sim
     }
 }
@@ -440,7 +441,9 @@ impl Simulator {
 
         // Stations within sensing range of the transmitter see the medium go busy.
         for other in 0..self.stations.len() {
-            if other != node && self.stations[other].is_active() && self.topology.senses(other, node)
+            if other != node
+                && self.stations[other].is_active()
+                && self.topology.senses(other, node)
             {
                 self.sense_busy_start(other, true);
             }
@@ -453,7 +456,11 @@ impl Simulator {
         self.active_tx.retain(|&id| id != tx_id);
         let (source, decodable, payload_bits) = {
             let tx = &self.txs[tx_id];
-            (tx.source, tx.decodable(self.capture.as_ref()), tx.payload_bits)
+            (
+                tx.source,
+                tx.decodable(self.capture.as_ref()),
+                tx.payload_bits,
+            )
         };
 
         // Sensing stations see the medium go (possibly) idle again.
@@ -480,15 +487,25 @@ impl Simulator {
             }
             st.ack_gen += 1;
             let gen = st.ack_gen;
-            self.queue.schedule(now + timeout, Event::AckTimeout { station: source, gen });
+            self.queue.schedule(
+                now + timeout,
+                Event::AckTimeout {
+                    station: source,
+                    gen,
+                },
+            );
         }
 
         if !reception_failed {
             // The AP decoded the frame; ACK after SIFS.
             self.ap_busy_has_success = true;
             self.ap.on_success(now, source, payload_bits);
-            self.pending_ack = Some(PendingAck { dest: source, payload: ControlPayload::None });
-            self.queue.schedule(now + self.phy.sifs, Event::AckStart { tx_id });
+            self.pending_ack = Some(PendingAck {
+                dest: source,
+                payload: ControlPayload::None,
+            });
+            self.queue
+                .schedule(now + self.phy.sifs, Event::AckStart { tx_id });
         }
 
         self.ap_channel_busy_end();
@@ -603,7 +620,8 @@ impl Simulator {
             }
         }
 
-        self.queue.schedule(now + self.throughput_bin, Event::StatsTick);
+        self.queue
+            .schedule(now + self.throughput_bin, Event::StatsTick);
     }
 
     // ------------------------------------------------------------------
@@ -627,12 +645,17 @@ impl Simulator {
         }
         if self.stations[node].sensed_busy == 0 {
             let st = &mut self.stations[node];
-            let start = if st.idle_since + difs > now { st.idle_since + difs } else { now };
+            let start = if st.idle_since + difs > now {
+                st.idle_since + difs
+            } else {
+                now
+            };
             st.countdown_start = Some(start);
             st.timer_gen += 1;
             let gen = st.timer_gen;
             let fire = start + self.phy.slot * st.remaining_slots;
-            self.queue.schedule(fire, Event::TxStart { station: node, gen });
+            self.queue
+                .schedule(fire, Event::TxStart { station: node, gen });
         }
     }
 
@@ -650,13 +673,19 @@ impl Simulator {
         // Medium transition idle -> busy.
         st.busy_has_data = is_data;
         let idle_start = st.idle_since + difs;
-        st.pending_idle_slots =
-            if now > idle_start { now.duration_since(idle_start).div_duration(slot) } else { 0 };
+        st.pending_idle_slots = if now > idle_start {
+            now.duration_since(idle_start).div_duration(slot)
+        } else {
+            0
+        };
 
         if st.phase == Phase::Contending {
             if let Some(anchor) = st.countdown_start {
-                let elapsed =
-                    if now > anchor { now.duration_since(anchor).div_duration(slot) } else { 0 };
+                let elapsed = if now > anchor {
+                    now.duration_since(anchor).div_duration(slot)
+                } else {
+                    0
+                };
                 if elapsed >= st.remaining_slots {
                     // The station's own TxStart is due at exactly this instant and is
                     // still pending in the queue; leave it valid so simultaneous
@@ -694,12 +723,20 @@ impl Simulator {
         }
         if self.stations[node].phase == Phase::Contending {
             let st = &mut self.stations[node];
+            if st.policy.redraw_on_resume() {
+                // Memoryless (p-persistent) policies attempt independently in
+                // every idle slot; resuming the frozen counter would bias the
+                // first post-busy slot (see `BackoffPolicy::redraw_on_resume`).
+                let rng: &mut dyn RngCore = &mut st.rng;
+                st.remaining_slots = st.policy.next_backoff(rng);
+            }
             let start = now + difs;
             st.countdown_start = Some(start);
             st.timer_gen += 1;
             let gen = st.timer_gen;
             let fire = start + self.phy.slot * st.remaining_slots;
-            self.queue.schedule(fire, Event::TxStart { station: node, gen });
+            self.queue
+                .schedule(fire, Event::TxStart { station: node, gen });
         }
     }
 
@@ -851,7 +888,11 @@ mod tests {
             let mut sim = quick_sim(8, topo, 0.03, seed);
             sim.run_for(SimDuration::from_secs(1));
             let s = sim.stats();
-            (s.total_successes(), s.total_failures(), s.total_payload_bits())
+            (
+                s.total_successes(),
+                s.total_failures(),
+                s.total_payload_bits(),
+            )
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
@@ -899,7 +940,11 @@ mod tests {
         assert_eq!(sim.active_stations(), 1);
         let base = sim.stats().nodes[0].attempts;
         sim.run_for(SimDuration::from_millis(300));
-        assert_eq!(sim.stats().nodes[0].attempts, base, "deactivated station kept transmitting");
+        assert_eq!(
+            sim.stats().nodes[0].attempts,
+            base,
+            "deactivated station kept transmitting"
+        );
     }
 
     #[test]
@@ -913,7 +958,11 @@ mod tests {
             .build();
         sim.run_for(SimDuration::from_secs(1));
         let series = sim.stats().throughput_series;
-        assert!(series.len() >= 9, "expected ~10 samples, got {}", series.len());
+        assert!(
+            series.len() >= 9,
+            "expected ~10 samples, got {}",
+            series.len()
+        );
         assert!(series.iter().all(|s| s.active_nodes == 4));
         assert!(series.iter().any(|s| s.bps > 1e6));
     }
@@ -945,9 +994,15 @@ mod tests {
             .build();
         sim.run_for(SimDuration::from_secs(1));
         let stats = sim.stats();
-        assert!(stats.total_failures() > 0, "frame errors should cause ACK timeouts");
+        assert!(
+            stats.total_failures() > 0,
+            "frame errors should cause ACK timeouts"
+        );
         let ratio = stats.total_failures() as f64 / stats.total_attempts() as f64;
-        assert!((ratio - 0.3).abs() < 0.05, "loss ratio {ratio} should be near 0.3");
+        assert!(
+            (ratio - 0.3).abs() < 0.05,
+            "loss ratio {ratio} should be near 0.3"
+        );
     }
 
     #[test]

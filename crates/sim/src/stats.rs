@@ -115,7 +115,9 @@ impl SimStats {
 
     /// Per-station throughputs in Mbps.
     pub fn per_node_throughput_mbps(&self) -> Vec<f64> {
-        (0..self.nodes.len()).map(|i| self.node_throughput_mbps(i)).collect()
+        (0..self.nodes.len())
+            .map(|i| self.node_throughput_mbps(i))
+            .collect()
     }
 
     /// Average number of idle slots per busy period (the paper's "average idle

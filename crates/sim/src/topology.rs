@@ -68,7 +68,10 @@ impl Topology {
         tx_range: f64,
         sensing_range: f64,
     ) -> Self {
-        assert!(tx_range > 0.0 && sensing_range > 0.0, "ranges must be positive");
+        assert!(
+            tx_range > 0.0 && sensing_range > 0.0,
+            "ranges must be positive"
+        );
         let n = positions.len();
         let mut sense = vec![vec![false; n]; n];
         for i in 0..n {
@@ -76,7 +79,13 @@ impl Topology {
                 sense[i][j] = i == j || positions[i].distance(&positions[j]) <= sensing_range;
             }
         }
-        Topology { positions, ap, tx_range, sensing_range, sense }
+        Topology {
+            positions,
+            ap,
+            tx_range,
+            sensing_range,
+            sense,
+        }
     }
 
     /// An idealised fully connected network of `n` stations: every station senses
@@ -104,7 +113,12 @@ impl Topology {
                 Position::new(radius * theta.cos(), radius * theta.sin())
             })
             .collect();
-        Self::from_positions(positions, Position::ORIGIN, DEFAULT_TX_RANGE, DEFAULT_SENSING_RANGE)
+        Self::from_positions(
+            positions,
+            Position::ORIGIN,
+            DEFAULT_TX_RANGE,
+            DEFAULT_SENSING_RANGE,
+        )
     }
 
     /// Stations placed uniformly at random in a disc of the given radius centred on
@@ -118,7 +132,12 @@ impl Topology {
                 Position::new(r * theta.cos(), r * theta.sin())
             })
             .collect();
-        Self::from_positions(positions, Position::ORIGIN, DEFAULT_TX_RANGE, DEFAULT_SENSING_RANGE)
+        Self::from_positions(
+            positions,
+            Position::ORIGIN,
+            DEFAULT_TX_RANGE,
+            DEFAULT_SENSING_RANGE,
+        )
     }
 
     /// Number of stations.
@@ -153,7 +172,9 @@ impl Topology {
 
     /// The set of stations that can sense station `src` (excluding `src` itself).
     pub fn sensors_of(&self, src: NodeId) -> Vec<NodeId> {
-        (0..self.num_nodes()).filter(|&i| i != src && self.sense[i][src]).collect()
+        (0..self.num_nodes())
+            .filter(|&i| i != src && self.sense[i][src])
+            .collect()
     }
 
     /// All unordered pairs of stations hidden from each other.
@@ -214,7 +235,10 @@ mod tests {
     fn ring_of_radius_8_is_fully_connected() {
         for n in [2, 5, 10, 40, 60] {
             let t = Topology::ring(n, 8.0);
-            assert!(t.is_fully_connected(), "ring n={n} should have no hidden pairs");
+            assert!(
+                t.is_fully_connected(),
+                "ring n={n} should have no hidden pairs"
+            );
             assert_eq!(t.num_nodes(), n);
             for i in 0..n {
                 assert!(t.distance_to_ap(i) <= 8.0 + 1e-9);
@@ -261,7 +285,10 @@ mod tests {
                 any_hidden = true;
             }
         }
-        assert!(any_hidden, "a 20 m disc with 30 nodes should produce hidden pairs");
+        assert!(
+            any_hidden,
+            "a 20 m disc with 30 nodes should produce hidden pairs"
+        );
     }
 
     #[test]

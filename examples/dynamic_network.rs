@@ -15,7 +15,11 @@ fn main() {
     println!(
         "Membership schedule: start with {} stations, then {:?}",
         schedule.initial_active,
-        schedule.changes.iter().map(|c| (c.at_secs, c.active)).collect::<Vec<_>>()
+        schedule
+            .changes
+            .iter()
+            .map(|c| (c.at_secs, c.active))
+            .collect::<Vec<_>>()
     );
 
     let mut scenario = Scenario::new(
@@ -27,13 +31,20 @@ fn main() {
     .seed(5);
     scenario.throughput_bin = SimDuration::from_secs(2);
 
-    let result = run_dynamic(&scenario, &schedule, SimDuration::from_secs(total_secs as u64));
+    let result = run_dynamic(
+        &scenario,
+        &schedule,
+        SimDuration::from_secs(total_secs as u64),
+    );
 
     println!("\n  time(s)  active  throughput(Mbps)");
     for (t, mbps, active) in result.throughput_series.iter().step_by(5) {
         println!("  {:>7.0}  {:>6}  {:>16.2}", t, active, mbps);
     }
-    println!("\nwhole-run average: {:.2} Mbps", result.mean_throughput_mbps);
+    println!(
+        "\nwhole-run average: {:.2} Mbps",
+        result.mean_throughput_mbps
+    );
     if let Some((t, p)) = result.control_trace.last() {
         println!("final control variable p = {p:.4} at t = {t:.0}s");
     }

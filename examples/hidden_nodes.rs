@@ -15,7 +15,10 @@ fn main() {
     let radius = 16.0;
     println!("{n} stations placed uniformly in a disc of radius {radius} m (sensing range 24 m)\n");
 
-    println!("{:<18} {:>12} {:>14} {:>12} {:>12}", "Protocol", "Mbps", "hidden pairs", "idle/tx", "collisions");
+    println!(
+        "{:<18} {:>12} {:>14} {:>12} {:>12}",
+        "Protocol", "Mbps", "hidden pairs", "idle/tx", "collisions"
+    );
     for proto in [
         Protocol::Standard80211,
         Protocol::IdleSense,
@@ -33,5 +36,7 @@ fn main() {
         );
     }
 
-    println!("\nExpected ordering (the paper's Figs. 6-7): TORA-CSMA > wTOP-CSMA ≳ 802.11 >> IdleSense.");
+    println!(
+        "\nExpected ordering (the paper's Figs. 6-7): TORA-CSMA > wTOP-CSMA ≳ 802.11 >> IdleSense."
+    );
 }

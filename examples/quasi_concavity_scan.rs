@@ -38,7 +38,12 @@ fn main() {
         .iter()
         .map(|&p| (format!("p={p}"), Protocol::StaticPPersistent { p }))
         .collect();
-    sweep("p-persistent, fully connected", TopologySpec::FullyConnected, 20, &points);
+    sweep(
+        "p-persistent, fully connected",
+        TopologySpec::FullyConnected,
+        20,
+        &points,
+    );
 
     // The same sweep with hidden nodes (Fig. 4).
     sweep(
@@ -52,9 +57,19 @@ fn main() {
     let p0s = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
     let points: Vec<(String, Protocol)> = p0s
         .iter()
-        .map(|&p0| (format!("p0={p0}"), Protocol::StaticRandomReset { stage: 0, p0 }))
+        .map(|&p0| {
+            (
+                format!("p0={p0}"),
+                Protocol::StaticRandomReset { stage: 0, p0 },
+            )
+        })
         .collect();
-    sweep("RandomReset(0; p0), fully connected", TopologySpec::FullyConnected, 20, &points);
+    sweep(
+        "RandomReset(0; p0), fully connected",
+        TopologySpec::FullyConnected,
+        20,
+        &points,
+    );
     sweep(
         "RandomReset(0; p0), hidden nodes (disc 16 m)",
         TopologySpec::UniformDisc { radius: 16.0 },

@@ -21,16 +21,25 @@ fn main() {
         .run();
 
     println!("Node  Weight  Throughput (Mbps)  Normalized (Mbps/weight)");
-    for i in 0..n {
+    for (i, &weight) in weights.iter().enumerate() {
         println!(
             "{:>4}  {:>6}  {:>17.3}  {:>24.3}",
             i + 1,
-            weights[i],
+            weight,
             result.per_node_mbps[i],
             result.normalized_mbps[i]
         );
     }
-    println!("\nTotal throughput          : {:.2} Mbps", result.throughput_mbps);
-    println!("Weighted Jain index       : {:.4} (1.0 = perfectly weighted-fair)", result.weighted_jain_index);
-    println!("Unweighted Jain index     : {:.4} (should be < 1: weights differ)", result.jain_index);
+    println!(
+        "\nTotal throughput          : {:.2} Mbps",
+        result.throughput_mbps
+    );
+    println!(
+        "Weighted Jain index       : {:.4} (1.0 = perfectly weighted-fair)",
+        result.weighted_jain_index
+    );
+    println!(
+        "Unweighted Jain index     : {:.4} (should be < 1: weights differ)",
+        result.jain_index
+    );
 }

@@ -9,9 +9,18 @@ use wlan_sa::core::{
 };
 use wlan_sa::sim::SimDuration;
 
-fn adaptive(proto: Protocol, n: usize, warm: u64, measure: u64, seed: u64) -> wlan_sa::ScenarioResult {
+fn adaptive(
+    proto: Protocol,
+    n: usize,
+    warm: u64,
+    measure: u64,
+    seed: u64,
+) -> wlan_sa::ScenarioResult {
     Scenario::new(proto, TopologySpec::FullyConnected, n)
-        .durations(SimDuration::from_secs(warm), SimDuration::from_secs(measure))
+        .durations(
+            SimDuration::from_secs(warm),
+            SimDuration::from_secs(measure),
+        )
         .seed(seed)
         .run()
 }
@@ -77,17 +86,28 @@ fn wtop_provides_weighted_fairness() {
     // Table II: normalised throughput (throughput / weight) is equal across
     // stations, regardless of the weight mix.
     let weights = vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0];
-    let r = Scenario::new(Protocol::WTopCsma, TopologySpec::FullyConnected, weights.len())
-        .weights(weights.clone())
-        .durations(SimDuration::from_secs(40), SimDuration::from_secs(15))
-        .seed(6)
-        .run();
-    assert!(r.weighted_jain_index > 0.97, "weighted Jain index {}", r.weighted_jain_index);
+    let r = Scenario::new(
+        Protocol::WTopCsma,
+        TopologySpec::FullyConnected,
+        weights.len(),
+    )
+    .weights(weights.clone())
+    .durations(SimDuration::from_secs(40), SimDuration::from_secs(15))
+    .seed(6)
+    .run();
+    assert!(
+        r.weighted_jain_index > 0.97,
+        "weighted Jain index {}",
+        r.weighted_jain_index
+    );
     // A weight-3 station should get roughly 3x the throughput of a weight-1 station.
     let s1 = r.per_node_mbps[0];
     let s3 = r.per_node_mbps[9];
     let ratio = s3 / s1;
-    assert!(ratio > 2.2 && ratio < 3.8, "weight-3/weight-1 throughput ratio {ratio}");
+    assert!(
+        ratio > 2.2 && ratio < 3.8,
+        "weight-3/weight-1 throughput ratio {ratio}"
+    );
 }
 
 #[test]
@@ -127,7 +147,11 @@ fn hidden_nodes_break_idlesense_but_not_the_sa_schemes() {
         wtop.throughput_mbps,
         idlesense.throughput_mbps
     );
-    assert!(tora.throughput_mbps > 10.0, "TORA should stay above 10 Mbps, got {:.2}", tora.throughput_mbps);
+    assert!(
+        tora.throughput_mbps > 10.0,
+        "TORA should stay above 10 Mbps, got {:.2}",
+        tora.throughput_mbps
+    );
 }
 
 #[test]
@@ -136,7 +160,10 @@ fn wtop_tracks_membership_changes() {
     // doubles, because the controller re-converges.
     let schedule = MembershipSchedule {
         initial_active: 5,
-        changes: vec![MembershipChange { at_secs: 40.0, active: 15 }],
+        changes: vec![MembershipChange {
+            at_secs: 40.0,
+            active: 15,
+        }],
     };
     let mut scenario = Scenario::new(Protocol::WTopCsma, TopologySpec::FullyConnected, 15)
         .durations(SimDuration::ZERO, SimDuration::from_secs(80))
@@ -162,7 +189,7 @@ fn wtop_tracks_membership_changes() {
         .iter()
         .filter(|(t, _)| *t > 30.0 && *t < 40.0)
         .map(|(_, p)| *p)
-        .last()
+        .next_back()
         .unwrap();
     let p_after = result.control_trace.last().unwrap().1;
     assert!(

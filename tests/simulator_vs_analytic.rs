@@ -23,7 +23,14 @@ fn simulate_static_p(n: usize, p: f64, seed: u64, secs: u64) -> f64 {
 fn p_persistent_simulation_matches_equation_3() {
     let model = SlotModel::table1();
     // Sample points on both sides of the optimum for two network sizes.
-    for &(n, p) in &[(10usize, 0.01), (10, 0.03), (10, 0.1), (40, 0.005), (40, 0.01), (40, 0.03)] {
+    for &(n, p) in &[
+        (10usize, 0.01),
+        (10, 0.03),
+        (10, 0.1),
+        (40, 0.005),
+        (40, 0.01),
+        (40, 0.03),
+    ] {
         let analytic_bps = analytic::system_throughput_uniform(&model, p, n);
         let sim_bps = simulate_static_p(n, p, 7, 4);
         let rel = (sim_bps - analytic_bps).abs() / analytic_bps;
@@ -46,8 +53,14 @@ fn simulated_optimum_location_matches_analytic_optimum() {
     let at_star = simulate_static_p(n, p_star, 3, 4);
     let below = simulate_static_p(n, p_star / 6.0, 3, 4);
     let above = simulate_static_p(n, (p_star * 6.0).min(0.9), 3, 4);
-    assert!(at_star > below, "optimum {at_star} should beat under-utilisation {below}");
-    assert!(at_star > above, "optimum {at_star} should beat collision overload {above}");
+    assert!(
+        at_star > below,
+        "optimum {at_star} should beat under-utilisation {below}"
+    );
+    assert!(
+        at_star > above,
+        "optimum {at_star} should beat collision overload {above}"
+    );
     // And it should be close to the analytic optimum value.
     let analytic_opt = analytic::optimal_throughput(&model, &vec![1.0; n]);
     let rel = (at_star - analytic_opt).abs() / analytic_opt;
@@ -131,17 +144,24 @@ fn hidden_nodes_reduce_throughput_of_static_ppersistent() {
     // (capture disabled: the paper's idealised channel).
     let p = 0.02;
     let n = 20;
-    let fully = Scenario::new(Protocol::StaticPPersistent { p }, TopologySpec::FullyConnected, n)
-        .durations(SimDuration::from_millis(500), SimDuration::from_secs(3))
-        .capture(None)
-        .seed(9)
-        .run();
-    let hidden =
-        Scenario::new(Protocol::StaticPPersistent { p }, TopologySpec::UniformDisc { radius: 20.0 }, n)
-            .durations(SimDuration::from_millis(500), SimDuration::from_secs(3))
-            .capture(None)
-            .seed(9)
-            .run();
+    let fully = Scenario::new(
+        Protocol::StaticPPersistent { p },
+        TopologySpec::FullyConnected,
+        n,
+    )
+    .durations(SimDuration::from_millis(500), SimDuration::from_secs(3))
+    .capture(None)
+    .seed(9)
+    .run();
+    let hidden = Scenario::new(
+        Protocol::StaticPPersistent { p },
+        TopologySpec::UniformDisc { radius: 20.0 },
+        n,
+    )
+    .durations(SimDuration::from_millis(500), SimDuration::from_secs(3))
+    .capture(None)
+    .seed(9)
+    .run();
     assert!(hidden.hidden_pairs > 0);
     assert!(
         hidden.throughput_mbps < fully.throughput_mbps,

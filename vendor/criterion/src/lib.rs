@@ -1,0 +1,237 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Provides the call surface the workspace's `harness = false` benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! simple mean-of-samples wall-clock timer instead of criterion's full
+//! statistical machinery. Good enough to compare runs by eye and to keep the
+//! bench targets compiling and runnable offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a value (re-export convenience,
+/// mirroring `criterion::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group: a name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id labelled only by the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Times closures; handed to every benchmark body.
+pub struct Bencher {
+    samples: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Measurement: up to `samples` timed runs within the time budget.
+        let budget_per_sample = self.measurement_time / self.samples as u32;
+        let mut total = Duration::ZERO;
+        let mut runs = 0u32;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            runs += 1;
+            if total >= budget_per_sample * runs.max(1) * 4 {
+                // Routine is far slower than the budget; stop early.
+                break;
+            }
+        }
+        self.last_mean = total / runs.max(1);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Sets the warm-up time before measurement starts.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: String, mut body: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            last_mean: Duration::ZERO,
+        };
+        body(&mut bencher);
+        self.criterion
+            .report(&format!("{}/{label}", self.name), bencher.last_mean);
+    }
+
+    /// Benchmarks `body` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.to_string(), body);
+        self
+    }
+
+    /// Benchmarks `body` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), |b| body(b, input));
+        self
+    }
+
+    /// Finishes the group (report output happens per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point of the harness; collects and prints benchmark results.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Opens a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `body` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        body: F,
+    ) -> &mut Self {
+        let label = id.to_string();
+        let mut group = self.benchmark_group("criterion");
+        group.run(label, body);
+        self
+    }
+
+    fn report(&mut self, label: &str, mean: Duration) {
+        println!("{label:<50} time: [{mean:>12.3?}/iter]");
+        self.results.push((label.to_string(), mean));
+    }
+}
+
+/// Bundles benchmark functions into a single runner function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(30));
+        group.warm_up_time(Duration::from_millis(1));
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 500), &500u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,419 @@
+//! Derive macros for the vendored offline `serde` stand-in.
+//!
+//! Parses the item's token stream by hand (the build environment has no
+//! registry access, so `syn`/`quote` are unavailable) and generates
+//! `serde::Serialize` / `serde::Deserialize` impls against the simplified
+//! `serde::Value` data model. Supported shapes — the ones used in this
+//! workspace:
+//!
+//! * structs with named fields,
+//! * unit structs and tuple structs (including newtypes),
+//! * enums whose variants are unit, tuple or struct-like.
+//!
+//! The generated encoding matches serde's default externally-tagged layout,
+//! so the JSON written by the companion `serde_json` stand-in looks like
+//! upstream's: unit variants become `"Name"`, newtype variants
+//! `{"Name": value}`, struct variants `{"Name": {..fields..}}`.
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce a
+//! `compile_error!` instead of silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match which {
+        Which::Serialize => gen_serialize(&name, &shape),
+        Which::Deserialize => gen_deserialize(&name, &shape),
+    };
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(e) => compile_error(&format!("serde_derive internal error: {e}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored): generic type `{name}` is not supported"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok((
+                name,
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())?)),
+            )),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok((
+                name,
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream()))),
+            )),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok((name, Shape::Struct(Fields::Unit)))
+            }
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("expected enum body, got {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Optional `(crate)` / `(super)` / `(in path)` restriction.
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from the body of a braced struct or struct variant.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        match tokens.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field, got {other:?}")),
+                }
+                skip_type_until_comma(&mut tokens);
+            }
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+    }
+}
+
+/// Consumes a type (everything up to the next top-level `,`), tracking
+/// angle-bracket depth so commas inside generics don't terminate early.
+fn skip_type_until_comma(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for tok in tokens.by_ref() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tok in stream {
+        any = true;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(body)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body = g.stream();
+                tokens.next();
+                Fields::Tuple(count_tuple_fields(body))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "serde_derive (vendored): explicit discriminant on variant `{name}` is not supported"
+            ));
+        }
+        match tokens.next() {
+            None => {
+                variants.push((name, fields));
+                return Ok(variants);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push((name, fields)),
+            other => return Err(format!("expected `,` after variant, got {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn named_fields_to_map(fields: &[String], access_prefix: &str) -> String {
+    let mut code = String::from("{ let mut __m = ::std::vec::Vec::new();");
+    for f in fields {
+        code.push_str(&format!(
+            "__m.push((::std::string::String::from({f:?}), \
+             serde::Serialize::to_value(&{access_prefix}{f})));"
+        ));
+    }
+    code.push_str("serde::Value::Map(__m) }");
+    code
+}
+
+fn named_fields_from_map(ty_path: &str, fields: &[String], map_expr: &str) -> String {
+    let mut code = format!("{ty_path} {{");
+    for f in fields {
+        code.push_str(&format!(
+            "{f}: serde::Deserialize::from_value(serde::map_get({map_expr}, {f:?})?)?,"
+        ));
+    }
+    code.push('}');
+    code
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(Fields::Unit) => "serde::Value::Null".to_string(),
+        Shape::Struct(Fields::Named(fields)) => named_fields_to_map(fields, "self."),
+        Shape::Struct(Fields::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(","))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::Str(\
+                         ::std::string::String::from({vname:?})),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Seq(vec![{}])", items.join(","))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => serde::Value::Map(vec![(\
+                             ::std::string::String::from({vname:?}), {inner})]),",
+                            binds = binds.join(","),
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        let inner = named_fields_to_map(fnames, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => serde::Value::Map(vec![(\
+                             ::std::string::String::from({vname:?}), {inner})]),",
+                            binds = fnames.join(","),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Shape::Struct(Fields::Named(fields)) => format!(
+            "match __value {{\n\
+                 serde::Value::Map(__m) => ::std::result::Result::Ok({ctor}),\n\
+                 __other => ::std::result::Result::Err(serde::Error::custom(\
+                     format!(\"expected map for struct {name}, got {{__other:?}}\"))),\n\
+             }}",
+            ctor = named_fields_from_map(name, fields, "__m"),
+        ),
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __value {{\n\
+                     serde::Value::Seq(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({items})),\n\
+                     __other => ::std::result::Result::Err(serde::Error::custom(\
+                         format!(\"expected array of {n} for {name}, got {{__other:?}}\"))),\n\
+                 }}",
+                items = items.join(","),
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    Fields::Tuple(1) => payload_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vname:?} => match __inner {{\n\
+                                 serde::Value::Seq(__items) if __items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}::{vname}({items})),\n\
+                                 __other => ::std::result::Result::Err(serde::Error::custom(\
+                                     format!(\"expected array of {n} for variant {vname}, \
+                                              got {{__other:?}}\"))),\n\
+                             }},",
+                            items = items.join(","),
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        let ctor =
+                            named_fields_from_map(&format!("{name}::{vname}"), fnames, "__m2");
+                        payload_arms.push_str(&format!(
+                            "{vname:?} => match __inner {{\n\
+                                 serde::Value::Map(__m2) => ::std::result::Result::Ok({ctor}),\n\
+                                 __other => ::std::result::Result::Err(serde::Error::custom(\
+                                     format!(\"expected map for variant {vname}, \
+                                              got {{__other:?}}\"))),\n\
+                             }},",
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(serde::Error::custom(\
+                             format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__m[0];\n\
+                         match __tag.as_str() {{\n\
+                             {payload_arms}\n\
+                             __other => ::std::result::Result::Err(serde::Error::custom(\
+                                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(serde::Error::custom(\
+                         format!(\"expected variant of {name}, got {{__other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &serde::Value) \
+                 -> ::std::result::Result<Self, serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
