@@ -1,13 +1,20 @@
 //! Quick calibration probe (not one of the paper's experiments): measures
 //! simulator wall-clock speed and checks that the adaptive controllers converge
 //! toward the analytic optimum within a practical amount of simulated time.
+//!
+//! Each scenario deliberately runs **serially** — the probe reports sim-s/s of
+//! the single-threaded engine, which parallel execution would distort. Run
+//! mode comes from [`RunConfig::from_env`] (`--full` adds the slow 40-station
+//! convergence cases); the probe does no option parsing of its own.
 
 use std::time::Instant;
 use wlan_analytic::SlotModel;
+use wlan_bench::harness::RunConfig;
 use wlan_core::{Protocol, Scenario, TopologySpec};
 use wlan_sim::SimDuration;
 
 fn main() {
+    let cfg = RunConfig::from_env();
     let model = SlotModel::table1();
 
     for &n in &[10usize, 20, 40] {
@@ -16,7 +23,7 @@ fn main() {
         println!("n={n}: analytic optimum {opt:.2} Mbps, analytic DCF {dcf:.2} Mbps");
     }
 
-    for (label, proto, n, warm, meas) in [
+    let mut cases = vec![
         ("802.11 n=40", Protocol::Standard80211, 40, 2, 5),
         (
             "static p* n=40",
@@ -26,10 +33,13 @@ fn main() {
             5,
         ),
         ("wTOP n=20", Protocol::WTopCsma, 20, 30, 10),
-        ("wTOP n=40", Protocol::WTopCsma, 40, 40, 10),
-        ("TORA n=40", Protocol::ToraCsma, 40, 40, 10),
         ("IdleSense n=40", Protocol::IdleSense, 40, 10, 5),
-    ] {
+    ];
+    if !cfg.quick {
+        cases.push(("wTOP n=40", Protocol::WTopCsma, 40, 40, 10));
+        cases.push(("TORA n=40", Protocol::ToraCsma, 40, 40, 10));
+    }
+    for (label, proto, n, warm, meas) in cases {
         let start = Instant::now();
         let r = Scenario::new(proto, TopologySpec::FullyConnected, n)
             .durations(SimDuration::from_secs(warm), SimDuration::from_secs(meas))

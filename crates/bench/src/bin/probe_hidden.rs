@@ -1,40 +1,57 @@
 //! Calibration probe for the hidden-node comparison (the paper's headline
 //! claim): with hidden terminals, IdleSense should collapse, wTOP-CSMA should
 //! beat standard 802.11, and TORA-CSMA should beat wTOP-CSMA.
+//!
+//! Durations, threads and quick/full mode all come from
+//! [`RunConfig::from_env`] — this binary does no option parsing of its own.
 
 use std::time::Instant;
+use wlan_bench::harness::RunConfig;
 use wlan_core::{Protocol, Scenario, TopologySpec};
-use wlan_sim::SimDuration;
+
+const PROTOS: [Protocol; 4] = [
+    Protocol::Standard80211,
+    Protocol::IdleSense,
+    Protocol::WTopCsma,
+    Protocol::ToraCsma,
+];
 
 fn main() {
-    for &(radius, n, seed) in &[
+    let cfg = RunConfig::from_env();
+    let configs = [
         (16.0, 20, 11u64),
         (16.0, 40, 11),
         (20.0, 20, 11),
         (20.0, 40, 11),
-    ] {
+    ];
+    for &(radius, n, seed) in &configs {
         println!("== disc radius {radius} m, n={n}, seed={seed}");
-        for proto in [
-            Protocol::Standard80211,
-            Protocol::IdleSense,
-            Protocol::WTopCsma,
-            Protocol::ToraCsma,
-        ] {
-            let warm = if proto.is_adaptive() { 60 } else { 5 };
-            let t = Instant::now();
-            let r = Scenario::new(proto, TopologySpec::UniformDisc { radius }, n)
-                .durations(SimDuration::from_secs(warm), SimDuration::from_secs(10))
-                .seed(seed)
-                .run();
+        let scenarios: Vec<Scenario> = PROTOS
+            .iter()
+            .map(|proto| {
+                let warm = if proto.is_adaptive() {
+                    cfg.adaptive_warmup()
+                } else {
+                    cfg.static_warmup()
+                };
+                Scenario::new(*proto, TopologySpec::UniformDisc { radius }, n)
+                    .durations(warm, cfg.measure())
+                    .seed(seed)
+            })
+            .collect();
+        let t = Instant::now();
+        let results = cfg.run_scenarios(&scenarios);
+        let wall = t.elapsed().as_secs_f64();
+        for r in &results {
             println!(
-                "  {:<16} {:>6.2} Mbps  hidden_pairs={} idle/tx={:.2} coll={:.2}  ({:.1}s wall)",
+                "  {:<16} {:>6.2} Mbps  hidden_pairs={} idle/tx={:.2} coll={:.2}",
                 r.protocol,
                 r.throughput_mbps,
                 r.hidden_pairs,
                 r.avg_idle_slots,
                 r.collision_fraction,
-                t.elapsed().as_secs_f64()
             );
         }
+        println!("  ({wall:.1}s wall on {} threads)", cfg.threads);
     }
 }

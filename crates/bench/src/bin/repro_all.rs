@@ -11,8 +11,10 @@ use wlan_bench::harness::{out_dir, RunConfig};
 fn main() {
     let cfg = RunConfig::from_env();
     println!(
-        "Reproducing all experiments in {} mode (results in {})\n",
+        "Reproducing all experiments in {} mode on {} thread{} (results in {})\n",
         if cfg.quick { "QUICK" } else { "FULL" },
+        cfg.threads,
+        if cfg.threads == 1 { "" } else { "s" },
         out_dir().display()
     );
     type Experiment = fn(&RunConfig) -> String;

@@ -3,7 +3,7 @@
 //! `results/*.dat` + `results/*.json`, and returns a short human-readable
 //! summary line that `repro_all` collects into `results/summary.txt`.
 
-use crate::harness::{save_curves, throughput_vs_n, write_dat, write_json, RunConfig};
+use crate::harness::{save_curves, save_report, throughput_vs_n, write_dat, write_json, RunConfig};
 use wlan_analytic::{BackoffChain, SlotModel};
 use wlan_core::{run_dynamic, MembershipSchedule, Protocol, Scenario, TopologySpec};
 use wlan_sim::{PhyParams, SimDuration};
@@ -39,13 +39,20 @@ fn static_sweep(
     seed: u64,
     protocols: &[(f64, Protocol)],
 ) -> Vec<(f64, f64)> {
+    // One campaign job per sweep point; the control variable is baked into the
+    // protocol, so the grid is protocols × 1 topology × 1 N × 1 seed.
+    let scenarios: Vec<Scenario> = protocols
+        .iter()
+        .map(|(_, proto)| {
+            Scenario::new(*proto, topology.clone(), n)
+                .durations(cfg.static_warmup(), cfg.measure())
+                .seed(seed)
+        })
+        .collect();
+    let results = cfg.run_scenarios(&scenarios);
     let mut rows = Vec::new();
     let mut series = Vec::new();
-    for (x, proto) in protocols {
-        let r = Scenario::new(*proto, topology.clone(), n)
-            .durations(cfg.static_warmup(), cfg.measure())
-            .seed(seed)
-            .run();
+    for ((x, _), r) in protocols.iter().zip(&results) {
         println!("  [{label}] x={x:<8} -> {:>6.2} Mbps", r.throughput_mbps);
         rows.push(vec![*x, r.throughput_mbps]);
         series.push((*x, r.throughput_mbps));
@@ -66,20 +73,22 @@ fn static_sweep(
 pub fn fig01(cfg: &RunConfig) -> String {
     println!("Figure 1: IdleSense vs standard 802.11, with and without hidden nodes");
     let protos = [Protocol::IdleSense, Protocol::Standard80211];
-    let fully = throughput_vs_n(
+    let (fully, fully_report) = throughput_vs_n(
         cfg,
         &protos,
         &TopologySpec::Ring { radius: 8.0 },
         "fig01/fully",
     );
     save_curves("fig01_fully_connected", &fully);
-    let hidden = throughput_vs_n(
+    save_report("fig01_fully_connected", &fully_report);
+    let (hidden, hidden_report) = throughput_vs_n(
         cfg,
         &protos,
         &TopologySpec::UniformDisc { radius: 16.0 },
         "fig01/hidden",
     );
     save_curves("fig01_hidden", &hidden);
+    save_report("fig01_hidden", &hidden_report);
 
     let idle_fc = fully[0].points.last().unwrap().1;
     let idle_hidden = hidden[0].points.last().unwrap().1;
@@ -156,8 +165,10 @@ pub fn fig03(cfg: &RunConfig) -> String {
         Protocol::IdleSense,
         Protocol::Standard80211,
     ];
-    let curves = throughput_vs_n(cfg, &protos, &TopologySpec::Ring { radius: 8.0 }, "fig03");
+    let (curves, report) =
+        throughput_vs_n(cfg, &protos, &TopologySpec::Ring { radius: 8.0 }, "fig03");
     save_curves("fig03_fully_connected", &curves);
+    save_report("fig03_fully_connected", &report);
     let at_60: Vec<String> = curves
         .iter()
         .map(|c| format!("{} {:.1}", c.protocol, c.points.last().unwrap().1))
@@ -243,8 +254,10 @@ fn hidden_comparison(cfg: &RunConfig, radius: f64, stem: &str, fig: &str) -> Str
         Protocol::Standard80211,
         Protocol::IdleSense,
     ];
-    let curves = throughput_vs_n(cfg, &protos, &TopologySpec::UniformDisc { radius }, stem);
+    let (curves, report) =
+        throughput_vs_n(cfg, &protos, &TopologySpec::UniformDisc { radius }, stem);
     save_curves(stem, &curves);
+    save_report(stem, &report);
     let at_40: Vec<String> = curves
         .iter()
         .map(|c| {
@@ -572,21 +585,32 @@ pub fn table3(cfg: &RunConfig) -> String {
             23,
         ),
     ];
+    // All six (case, protocol) runs are independent: execute them on the pool
+    // and report in the deterministic case-major order the table uses.
+    let protos = [Protocol::IdleSense, Protocol::WTopCsma];
+    let scenarios: Vec<Scenario> = cases
+        .iter()
+        .flat_map(|(_, topo, seed)| {
+            protos.iter().map(|proto| {
+                Scenario::new(*proto, topo.clone(), n)
+                    .durations(cfg.adaptive_warmup(), cfg.measure())
+                    .seed(*seed)
+            })
+        })
+        .collect();
+    let results = cfg.run_scenarios(&scenarios);
     let mut rows = Vec::new();
     let mut lines = Vec::new();
-    for (case_idx, (label, topo, seed)) in cases.iter().enumerate() {
-        for proto in [Protocol::IdleSense, Protocol::WTopCsma] {
-            let r = Scenario::new(proto, topo.clone(), n)
-                .durations(cfg.adaptive_warmup(), cfg.measure())
-                .seed(*seed)
-                .run();
+    for (case_idx, (label, _, _)) in cases.iter().enumerate() {
+        for (proto_idx, proto) in protos.iter().enumerate() {
+            let r = &results[case_idx * protos.len() + proto_idx];
             println!(
                 "  {:<12} {:<28} idle/tx {:>6.2}  throughput {:>6.2} Mbps",
                 r.protocol, label, r.avg_idle_slots, r.throughput_mbps
             );
             rows.push(vec![
                 case_idx as f64,
-                if proto == Protocol::IdleSense {
+                if *proto == Protocol::IdleSense {
                     0.0
                 } else {
                     1.0

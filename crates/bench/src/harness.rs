@@ -1,29 +1,44 @@
 //! Shared infrastructure for the per-figure experiment binaries: run
 //! configuration, result output (`results/*.dat` gnuplot-style series and
-//! `results/*.json` dumps), and the throughput-versus-N sweep that several
+//! `results/*.json` dumps), and the throughput-versus-N campaign that several
 //! figures share.
 
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
-use wlan_core::{mean_throughput, run_seeds, Protocol, Scenario, TopologySpec};
+use wlan_core::{default_threads, Campaign, CampaignReport, Protocol, Scenario, TopologySpec};
 use wlan_sim::SimDuration;
 
 /// Global run configuration for the experiment harness.
+///
+/// `from_env` / `from_args` are the **single source** of the `--quick` /
+/// `--full` / `--threads` command line and the `WLAN_REPRO_QUICK` /
+/// `WLAN_THREADS` environment variables; binaries must consume this struct
+/// rather than re-parsing either.
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
     /// Quick mode: fewer seeds, fewer sweep points and shorter runs. Intended for
     /// CI and for smoke-testing the harness; the full mode reproduces the paper's
     /// averaging (20 iterations) more closely.
     pub quick: bool,
+    /// Worker threads for campaign execution. Results are bit-identical for
+    /// every value; more threads only finish sooner.
+    pub threads: usize,
 }
 
 impl RunConfig {
-    /// Read the configuration from the command line (`--quick` / `--full`) and the
-    /// `WLAN_REPRO_QUICK` environment variable. Quick mode is the default so that
-    /// `repro_all` finishes in minutes; pass `--full` for the heavyweight version.
+    /// Read the configuration from the process command line and environment.
+    /// Quick mode is the default so that `repro_all` finishes in minutes; pass
+    /// `--full` for the heavyweight version.
     pub fn from_env() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        Self::from_args(&args)
+    }
+
+    /// Parse an explicit argument list (`--quick`, `--full`, `--threads N`),
+    /// falling back to `WLAN_REPRO_QUICK` / `WLAN_THREADS` for anything the
+    /// arguments leave unset.
+    pub fn from_args(args: &[String]) -> Self {
         let quick = if args.iter().any(|a| a == "--full") {
             false
         } else if args.iter().any(|a| a == "--quick") {
@@ -33,7 +48,14 @@ impl RunConfig {
                 .map(|v| v != "0")
                 .unwrap_or(true)
         };
-        RunConfig { quick }
+        let threads = args
+            .iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(default_threads);
+        RunConfig { quick, threads }
     }
 
     /// Seeds to average over.
@@ -76,6 +98,20 @@ impl RunConfig {
         } else {
             500
         }
+    }
+
+    /// A [`Campaign`] pre-configured with this run's durations and thread count;
+    /// callers add the protocol/topology/N/seed grid.
+    pub fn campaign(&self) -> Campaign {
+        Campaign::new()
+            .warmups(self.adaptive_warmup(), self.static_warmup())
+            .measure(self.measure())
+            .threads(self.threads)
+    }
+
+    /// Run one scenario list on this run's thread pool, preserving input order.
+    pub fn run_scenarios(&self, scenarios: &[Scenario]) -> Vec<wlan_core::ScenarioResult> {
+        wlan_core::run_scenarios(scenarios, self.threads)
     }
 }
 
@@ -120,46 +156,56 @@ pub struct ThroughputCurve {
     pub points: Vec<(usize, f64, f64, f64)>,
 }
 
-/// Run a throughput-vs-N sweep for several protocols on one topology.
+/// Run a throughput-vs-N campaign for several protocols on one topology.
+///
+/// Returns the per-protocol curves (in `protocols` order) plus the campaign's
+/// per-cell statistics report; both are deterministic regardless of
+/// `cfg.threads`.
 pub fn throughput_vs_n(
     cfg: &RunConfig,
     protocols: &[Protocol],
     topology: &TopologySpec,
     label: &str,
-) -> Vec<ThroughputCurve> {
-    let seeds = cfg.seeds();
+) -> (Vec<ThroughputCurve>, CampaignReport) {
+    let campaign = cfg
+        .campaign()
+        .protocols(protocols)
+        .topology(label, topology.clone())
+        .node_counts(&cfg.node_counts())
+        .seeds(&cfg.seeds());
+    // Per-cell lines are printed after collection (workers must not write to
+    // stdout in scheduling order); announce the workload up front so a long
+    // sweep is distinguishable from a hang.
+    println!(
+        "  [{label}] running {} jobs on {} thread{}...",
+        campaign.jobs().len(),
+        cfg.threads,
+        if cfg.threads == 1 { "" } else { "s" }
+    );
+    let outcome = campaign.run();
+    // Cells arrive in grid order: protocol-major, node counts within protocol.
+    let per_proto = cfg.node_counts().len();
     let mut curves = Vec::new();
-    for proto in protocols {
+    for (proto, cells) in protocols.iter().zip(outcome.cells.chunks(per_proto)) {
         let mut points = Vec::new();
-        for &n in &cfg.node_counts() {
-            let warm = if proto.is_adaptive() {
-                cfg.adaptive_warmup()
-            } else {
-                cfg.static_warmup()
-            };
-            let base = Scenario::new(*proto, topology.clone(), n).durations(warm, cfg.measure());
-            let results = run_seeds(&base, &seeds);
-            let mean = mean_throughput(&results);
-            let min = results
-                .iter()
-                .map(|r| r.throughput_mbps)
-                .fold(f64::INFINITY, f64::min);
-            let max = results
-                .iter()
-                .map(|r| r.throughput_mbps)
-                .fold(0.0f64, f64::max);
+        for cell in cells {
+            let s = cell.stats();
             println!(
-                "  [{label}] {:<18} n={n:<3} -> {mean:>6.2} Mbps (min {min:.2}, max {max:.2})",
-                proto.label()
+                "  [{label}] {:<18} n={:<3} -> {:>6.2} Mbps (min {:.2}, max {:.2})",
+                proto.label(),
+                cell.n,
+                s.mean_mbps,
+                s.min_mbps,
+                s.max_mbps
             );
-            points.push((n, mean, min, max));
+            points.push((cell.n, s.mean_mbps, s.min_mbps, s.max_mbps));
         }
         curves.push(ThroughputCurve {
             protocol: proto.label().to_string(),
             points,
         });
     }
-    curves
+    (curves, outcome.report())
 }
 
 /// Write a set of throughput curves as one .dat file per protocol plus a JSON dump.
@@ -182,18 +228,47 @@ pub fn save_curves(stem: &str, curves: &[ThroughputCurve]) {
     write_json(&format!("{stem}.json"), &curves);
 }
 
+/// Write a campaign's per-cell mean/stddev/CI95 statistics as
+/// `{stem}_cells.json` next to the curves.
+pub fn save_report(stem: &str, report: &CampaignReport) {
+    write_json(&format!("{stem}_cells.json"), report);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn quick_config_is_smaller_than_full() {
-        let quick = RunConfig { quick: true };
-        let full = RunConfig { quick: false };
+        let quick = RunConfig {
+            quick: true,
+            threads: 1,
+        };
+        let full = RunConfig {
+            quick: false,
+            threads: 1,
+        };
         assert!(quick.seeds().len() < full.seeds().len());
         assert!(quick.node_counts().len() <= full.node_counts().len());
         assert!(quick.measure() < full.measure());
         assert!(quick.dynamic_total_secs() < full.dynamic_total_secs());
+    }
+
+    #[test]
+    fn args_parsing_is_the_single_source() {
+        let to_args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        let cfg = RunConfig::from_args(&to_args(&["bin", "--full", "--threads", "3"]));
+        assert!(!cfg.quick);
+        assert_eq!(cfg.threads, 3);
+        let cfg = RunConfig::from_args(&to_args(&["bin", "--quick"]));
+        assert!(cfg.quick);
+        assert!(cfg.threads >= 1);
+        // --full wins over --quick, mirroring the historical behaviour.
+        let cfg = RunConfig::from_args(&to_args(&["bin", "--quick", "--full"]));
+        assert!(!cfg.quick);
+        // Malformed --threads falls back to the default.
+        let cfg = RunConfig::from_args(&to_args(&["bin", "--threads", "zero"]));
+        assert!(cfg.threads >= 1);
     }
 
     #[test]

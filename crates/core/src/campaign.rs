@@ -1,0 +1,504 @@
+//! The campaign runner: expand a scenario grid (protocol × topology × N ×
+//! seed) into independent jobs, execute them on a hand-rolled `std::thread`
+//! pool, and collect the results **in deterministic job order**, so a
+//! parallel campaign is bit-identical to a serial one.
+//!
+//! The paper's figures and tables are averages over many independent
+//! `(scenario, seed)` replications; each replication owns its RNG and its
+//! simulator, so they parallelise perfectly. The only requirement for
+//! reproducibility is that aggregation happens in a fixed order — which this
+//! module guarantees by pre-expanding the grid into an indexed job list and
+//! writing each worker's result into the slot of the job it claimed.
+//!
+//! ```
+//! use wlan_core::{Campaign, Protocol, TopologySpec};
+//! use wlan_sim::SimDuration;
+//!
+//! let outcome = Campaign::new()
+//!     .protocols(&[Protocol::Standard80211, Protocol::StaticPPersistent { p: 0.02 }])
+//!     .topology("fully connected", TopologySpec::FullyConnected)
+//!     .node_counts(&[5, 10])
+//!     .seeds(&[1, 2])
+//!     .warmups(SimDuration::from_millis(100), SimDuration::from_millis(100))
+//!     .measure(SimDuration::from_millis(200))
+//!     .threads(2)
+//!     .run();
+//! assert_eq!(outcome.cells.len(), 4); // 2 protocols × 1 topology × 2 N
+//! assert!(outcome.report().cells[0].mean_mbps > 0.0);
+//! ```
+
+use crate::protocol::Protocol;
+use crate::scenario::{Scenario, ScenarioResult, TopologySpec};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use wlan_sim::SimDuration;
+
+// The campaign executor moves scenarios and results across threads; these
+// compile-time assertions are the "is everything Send?" audit the pool relies
+// on (no `Rc`, no thread-bound interior mutability anywhere in the job path).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Scenario>();
+    assert_send::<ScenarioResult>();
+    assert_send::<Protocol>();
+    assert_send::<TopologySpec>();
+};
+
+/// Number of worker threads to use when none is requested explicitly: the
+/// `WLAN_THREADS` environment variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 if even that is unavailable).
+pub fn default_threads() -> usize {
+    threads_from(std::env::var("WLAN_THREADS").ok().as_deref())
+}
+
+/// [`default_threads`] with the `WLAN_THREADS` value passed in (testable
+/// without mutating the process environment).
+fn threads_from(var: Option<&str>) -> usize {
+    var.and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Run a list of independent scenarios on `threads` workers and return the
+/// results **in input order**, bit-identical to running them serially.
+///
+/// The pool is deliberately simple: workers claim the next unclaimed job via
+/// an atomic counter (dynamic load balancing, like a work-stealing deque with
+/// a single shared queue) and write the result into that job's dedicated
+/// slot. Scheduling order therefore never influences output order, and each
+/// job's determinism comes from the scenario owning all of its randomness.
+pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioResult> {
+    let n = scenarios.len();
+    if threads <= 1 || n <= 1 {
+        return scenarios.iter().map(Scenario::run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ScenarioResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = scenarios[i].run();
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index below len was claimed and executed")
+        })
+        .collect()
+}
+
+/// Run the same scenario over several seeds on the shared pool (with
+/// [`default_threads`] workers) and return the per-seed results in seed order.
+pub fn run_seeds(base: &Scenario, seeds: &[u64]) -> Vec<ScenarioResult> {
+    run_seeds_parallel(base, seeds, default_threads())
+}
+
+/// [`run_seeds`] with an explicit worker count. `threads == 1` is the serial
+/// reference; any other count produces bit-identical results.
+pub fn run_seeds_parallel(base: &Scenario, seeds: &[u64], threads: usize) -> Vec<ScenarioResult> {
+    let scenarios: Vec<Scenario> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut s = base.clone();
+            s.seed = seed;
+            s
+        })
+        .collect();
+    run_scenarios(&scenarios, threads)
+}
+
+/// Declarative description of a grid of experiments: every combination of
+/// protocol × topology × station count is a **cell**, and every cell is
+/// replicated once per seed. Build with the fluent setters, then [`Campaign::run`].
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    protocols: Vec<Protocol>,
+    topologies: Vec<(String, TopologySpec)>,
+    node_counts: Vec<usize>,
+    seeds: Vec<u64>,
+    adaptive_warmup: SimDuration,
+    static_warmup: SimDuration,
+    measure: SimDuration,
+    update_period: Option<SimDuration>,
+    threads: Option<usize>,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Campaign {
+    /// An empty campaign with the paper's default durations (10 s warm-up for
+    /// every protocol class, 10 s measurement) and automatic thread count.
+    pub fn new() -> Self {
+        Campaign {
+            protocols: Vec::new(),
+            topologies: Vec::new(),
+            node_counts: Vec::new(),
+            seeds: vec![1],
+            adaptive_warmup: SimDuration::from_secs(10),
+            static_warmup: SimDuration::from_secs(10),
+            measure: SimDuration::from_secs(10),
+            update_period: None,
+            threads: None,
+        }
+    }
+
+    /// Protocols to sweep (one curve per protocol in the report).
+    pub fn protocols(mut self, protocols: &[Protocol]) -> Self {
+        self.protocols = protocols.to_vec();
+        self
+    }
+
+    /// Add one labelled topology to the grid.
+    pub fn topology(mut self, label: &str, spec: TopologySpec) -> Self {
+        self.topologies.push((label.to_string(), spec));
+        self
+    }
+
+    /// Station counts to sweep.
+    pub fn node_counts(mut self, counts: &[usize]) -> Self {
+        self.node_counts = counts.to_vec();
+        self
+    }
+
+    /// Seeds each cell is replicated over.
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Warm-up durations: adaptive protocols get `adaptive`, static ones `static_`
+    /// (adaptive controllers need tens of seconds to converge before measuring).
+    pub fn warmups(mut self, adaptive: SimDuration, static_: SimDuration) -> Self {
+        self.adaptive_warmup = adaptive;
+        self.static_warmup = static_;
+        self
+    }
+
+    /// Measurement duration for every job.
+    pub fn measure(mut self, measure: SimDuration) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// `UPDATE_PERIOD` for the stochastic-approximation controllers
+    /// (defaults to the scenario default of 250 ms).
+    pub fn update_period(mut self, period: SimDuration) -> Self {
+        self.update_period = Some(period);
+        self
+    }
+
+    /// Worker-thread count; defaults to [`default_threads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Expand the grid into concrete scenarios, in the deterministic job order
+    /// (protocol-major, then topology, then N, then seed) that `run` collects in.
+    pub fn jobs(&self) -> Vec<Scenario> {
+        let mut jobs = Vec::new();
+        for proto in &self.protocols {
+            for (_, topo) in &self.topologies {
+                for &n in &self.node_counts {
+                    for &seed in &self.seeds {
+                        let warm = if proto.is_adaptive() {
+                            self.adaptive_warmup
+                        } else {
+                            self.static_warmup
+                        };
+                        let mut s = Scenario::new(*proto, topo.clone(), n)
+                            .durations(warm, self.measure)
+                            .seed(seed);
+                        if let Some(period) = self.update_period {
+                            s = s.update_period(period);
+                        }
+                        jobs.push(s);
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Execute every job on the pool and fold the per-seed results into cells.
+    ///
+    /// The outcome is independent of the thread count: jobs are collected in
+    /// grid order and every aggregation below iterates in that order.
+    pub fn run(&self) -> CampaignOutcome {
+        let threads = self.threads.unwrap_or_else(default_threads);
+        let jobs = self.jobs();
+        let results = run_scenarios(&jobs, threads);
+        let mut cells = Vec::new();
+        let mut it = results.into_iter();
+        for proto in &self.protocols {
+            for (topo_label, _) in &self.topologies {
+                for &n in &self.node_counts {
+                    let cell_results: Vec<ScenarioResult> =
+                        (&mut it).take(self.seeds.len()).collect();
+                    cells.push(CampaignCell {
+                        protocol: *proto,
+                        topology: topo_label.clone(),
+                        n,
+                        seeds: self.seeds.clone(),
+                        results: cell_results,
+                    });
+                }
+            }
+        }
+        CampaignOutcome { threads, cells }
+    }
+}
+
+/// One grid cell's raw per-seed results.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// The protocol of this cell.
+    pub protocol: Protocol,
+    /// Label of the topology of this cell.
+    pub topology: String,
+    /// Number of stations.
+    pub n: usize,
+    /// The seeds replicated over, in result order.
+    pub seeds: Vec<u64>,
+    /// One [`ScenarioResult`] per seed, in seed order.
+    pub results: Vec<ScenarioResult>,
+}
+
+impl CampaignCell {
+    /// Per-seed system throughputs in Mbps, in seed order.
+    pub fn throughputs_mbps(&self) -> Vec<f64> {
+        self.results.iter().map(|r| r.throughput_mbps).collect()
+    }
+
+    /// Summarise this cell (mean/stddev/CI95/min/max of system throughput).
+    pub fn stats(&self) -> CellStats {
+        let xs = self.throughputs_mbps();
+        let len = xs.len() as f64;
+        let mean = if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / len
+        };
+        let stddev = if xs.len() < 2 {
+            0.0
+        } else {
+            (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (len - 1.0)).sqrt()
+        };
+        let ci95 = if xs.len() < 2 {
+            0.0
+        } else {
+            1.96 * stddev / len.sqrt()
+        };
+        CellStats {
+            protocol: self.protocol.label().to_string(),
+            topology: self.topology.clone(),
+            n: self.n,
+            seeds: self.seeds.clone(),
+            mean_mbps: mean,
+            stddev_mbps: stddev,
+            ci95_mbps: ci95,
+            min_mbps: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            max_mbps: xs.iter().cloned().fold(0.0f64, f64::max),
+        }
+    }
+}
+
+/// Everything a finished campaign produced: the raw per-cell results plus the
+/// thread count it ran on. Derive the serialisable summary with
+/// [`CampaignOutcome::report`].
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Worker threads the campaign ran on (reporting only — the results are
+    /// identical for every value).
+    pub threads: usize,
+    /// One cell per protocol × topology × N combination, in grid order.
+    pub cells: Vec<CampaignCell>,
+}
+
+impl CampaignOutcome {
+    /// The serialisable per-cell summary (mean/stddev/CI95/min/max).
+    pub fn report(&self) -> CampaignReport {
+        CampaignReport {
+            cells: self.cells.iter().map(CampaignCell::stats).collect(),
+        }
+    }
+
+    /// The cells of one protocol, in grid order (one throughput-vs-N curve).
+    pub fn cells_for(&self, protocol: Protocol) -> Vec<&CampaignCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.protocol == protocol)
+            .collect()
+    }
+}
+
+/// Summary statistics of one campaign cell; `mean/min/max` match what the
+/// serial per-figure loops historically computed, so reports serialise into
+/// the existing `results/*.dat` and `results/*.json` shapes byte-for-byte.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellStats {
+    /// Protocol label.
+    pub protocol: String,
+    /// Topology label.
+    pub topology: String,
+    /// Number of stations.
+    pub n: usize,
+    /// Seeds averaged over.
+    pub seeds: Vec<u64>,
+    /// Mean system throughput (Mbps) over the seeds.
+    pub mean_mbps: f64,
+    /// Sample standard deviation (Mbps); 0 for fewer than two seeds.
+    pub stddev_mbps: f64,
+    /// Half-width of the normal-approximation 95% confidence interval (Mbps).
+    pub ci95_mbps: f64,
+    /// Smallest per-seed throughput (Mbps).
+    pub min_mbps: f64,
+    /// Largest per-seed throughput (Mbps).
+    pub max_mbps: f64,
+}
+
+/// Serialisable summary of a whole campaign: one [`CellStats`] per grid cell,
+/// in deterministic grid order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Per-cell summaries in grid order.
+    pub cells: Vec<CellStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign() -> Campaign {
+        Campaign::new()
+            .protocols(&[
+                Protocol::StaticPPersistent { p: 0.03 },
+                Protocol::Standard80211,
+            ])
+            .topology("fully connected", TopologySpec::FullyConnected)
+            .node_counts(&[4, 8])
+            .seeds(&[1, 2, 3])
+            .warmups(SimDuration::from_millis(100), SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(300))
+    }
+
+    #[test]
+    fn grid_expansion_order_is_protocol_major() {
+        let jobs = tiny_campaign().jobs();
+        assert_eq!(jobs.len(), 2 * 2 * 3);
+        // First six jobs: p-persistent, n=4 seeds 1,2,3 then n=8 seeds 1,2,3.
+        assert_eq!(jobs[0].n, 4);
+        assert_eq!(jobs[0].seed, 1);
+        assert_eq!(jobs[2].seed, 3);
+        assert_eq!(jobs[3].n, 8);
+        assert!(matches!(
+            jobs[0].protocol,
+            Protocol::StaticPPersistent { .. }
+        ));
+        assert!(matches!(jobs[6].protocol, Protocol::Standard80211));
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let serial = tiny_campaign().threads(1).run();
+        let parallel = tiny_campaign().threads(4).run();
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.n, b.n);
+            for (ra, rb) in a.results.iter().zip(&b.results) {
+                assert_eq!(ra.throughput_mbps.to_bits(), rb.throughput_mbps.to_bits());
+                for (x, y) in ra.per_node_mbps.iter().zip(&rb.per_node_mbps) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+        let (ja, jb) = (
+            serde_json::to_string(&serial.report()).unwrap(),
+            serde_json::to_string(&parallel.report()).unwrap(),
+        );
+        assert_eq!(ja, jb);
+    }
+
+    #[test]
+    fn run_seeds_parallel_matches_run_seeds_serial() {
+        let base = Scenario::new(
+            Protocol::StaticPPersistent { p: 0.05 },
+            TopologySpec::FullyConnected,
+            5,
+        )
+        .durations(SimDuration::from_millis(100), SimDuration::from_millis(300))
+        .seed(0);
+        let seeds = [1u64, 2, 3, 4, 5];
+        let serial = run_seeds_parallel(&base, &seeds, 1);
+        let parallel = run_seeds_parallel(&base, &seeds, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.throughput_mbps.to_bits(), b.throughput_mbps.to_bits());
+        }
+    }
+
+    #[test]
+    fn cell_stats_match_manual_aggregation() {
+        let outcome = tiny_campaign().threads(2).run();
+        let cell = &outcome.cells[0];
+        let stats = cell.stats();
+        let xs = cell.throughputs_mbps();
+        assert_eq!(xs.len(), 3);
+        let mean = xs.iter().sum::<f64>() / 3.0;
+        assert!((stats.mean_mbps - mean).abs() < 1e-12);
+        assert!(stats.min_mbps <= stats.mean_mbps && stats.mean_mbps <= stats.max_mbps);
+        assert!(stats.stddev_mbps > 0.0, "three seeds should not coincide");
+        assert!(stats.ci95_mbps > 0.0 && stats.ci95_mbps < stats.stddev_mbps * 1.96);
+    }
+
+    #[test]
+    fn singleton_and_empty_stats_are_defined() {
+        let cell = CampaignCell {
+            protocol: Protocol::Standard80211,
+            topology: "t".into(),
+            n: 1,
+            seeds: vec![],
+            results: vec![],
+        };
+        let s = cell.stats();
+        assert_eq!(s.mean_mbps, 0.0);
+        assert_eq!(s.stddev_mbps, 0.0);
+        assert_eq!(s.ci95_mbps, 0.0);
+    }
+
+    #[test]
+    fn thread_count_parsing_honours_env_value() {
+        assert_eq!(threads_from(Some("3")), 3);
+        assert!(threads_from(Some("0")) >= 1); // invalid -> fallback
+        assert!(threads_from(Some("not a number")) >= 1);
+        assert!(threads_from(None) >= 1);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = tiny_campaign().threads(2).run().report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: CampaignReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cells.len(), report.cells.len());
+        assert_eq!(back.cells[0].protocol, report.cells[0].protocol);
+    }
+}

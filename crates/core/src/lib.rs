@@ -15,6 +15,9 @@
 //!   factories to instantiate them.
 //! * [`scenario`] — the experiment runner (protocol × topology × N × seed →
 //!   metrics), the API used by the examples, integration tests and benches.
+//! * [`campaign`] — the parallel campaign runner: expands a scenario grid into
+//!   jobs, executes them on a thread pool, and aggregates per-cell statistics
+//!   deterministically (parallel output is bit-identical to serial).
 //! * [`dynamics`] — dynamic-membership runs (stations joining/leaving) used for
 //!   the convergence experiments of Figs. 8–11.
 //!
@@ -32,8 +35,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod campaign;
 pub mod dynamics;
 pub mod idlesense;
 pub mod protocol;
@@ -41,9 +45,13 @@ pub mod scenario;
 pub mod tora;
 pub mod wtop;
 
+pub use campaign::{
+    default_threads, run_scenarios, run_seeds, run_seeds_parallel, Campaign, CampaignCell,
+    CampaignOutcome, CampaignReport, CellStats,
+};
 pub use dynamics::{run_dynamic, DynamicResult, MembershipChange, MembershipSchedule};
 pub use idlesense::{IdleSenseConfig, IdleSensePolicy};
 pub use protocol::Protocol;
-pub use scenario::{mean_throughput, run_seeds, Scenario, ScenarioResult, TopologySpec};
+pub use scenario::{mean_throughput, Scenario, ScenarioResult, TopologySpec};
 pub use tora::{ToraConfig, ToraController};
 pub use wtop::{WtopConfig, WtopController};

@@ -240,19 +240,6 @@ impl ScenarioResult {
     }
 }
 
-/// Run the same scenario over several seeds and return the per-seed results
-/// (used for the averaged curves of Figs. 1, 3, 6 and 7).
-pub fn run_seeds(base: &Scenario, seeds: &[u64]) -> Vec<ScenarioResult> {
-    seeds
-        .iter()
-        .map(|&seed| {
-            let mut s = base.clone();
-            s.seed = seed;
-            s.run()
-        })
-        .collect()
-}
-
 /// Mean system throughput (Mbps) over a set of results.
 pub fn mean_throughput(results: &[ScenarioResult]) -> f64 {
     if results.is_empty() {
@@ -354,7 +341,7 @@ mod tests {
             TopologySpec::FullyConnected,
             5,
         );
-        let results = run_seeds(&base, &[1, 2, 3]);
+        let results = crate::campaign::run_seeds(&base, &[1, 2, 3]);
         assert_eq!(results.len(), 3);
         let mean = mean_throughput(&results);
         assert!(mean > 0.0);

@@ -22,6 +22,11 @@
 //!   by wTOP-CSMA and TORA-CSMA (implemented in the `wlan-core` crate).
 //!
 //! The engine is single-threaded and fully deterministic for a given seed.
+//! Every simulator (and everything inside it — policies and AP controllers
+//! are `Send` trait objects, the RNG is an owned `ChaCha8Rng`, and there is
+//! no `Rc` or thread-bound interior mutability anywhere) is `Send`, so the
+//! campaign layer in `wlan-core` can run many independent simulations on a
+//! thread pool with bit-identical results.
 //!
 //! ## Quick example
 //!
@@ -51,6 +56,17 @@ pub mod phy;
 pub mod stats;
 pub mod time;
 pub mod topology;
+
+// Compile-time audit of the claim above: parallel replication in `wlan-core`
+// moves whole simulators (builder closures run on worker threads) and their
+// results across threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<engine::Simulator>();
+    assert_send::<stats::SimStats>();
+    assert_send::<topology::Topology>();
+    assert_send::<phy::PhyParams>();
+};
 
 pub use ap::{ApAlgorithm, NullController};
 pub use backoff::BackoffPolicy;

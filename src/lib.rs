@@ -3,37 +3,69 @@
 //! Facade crate for the reproduction of *"Stochastic Approximation Algorithm for
 //! Optimal Throughput Performance of Wireless LANs"* (Krishnan & Chaporkar, 2010).
 //!
-//! The workspace is organised as four libraries plus an experiment harness:
+//! The workspace is organised as four libraries plus an experiment harness
+//! (see `docs/ARCHITECTURE.md` for the full map and dataflow):
 //!
 //! | crate | contents |
 //! |---|---|
 //! | [`sim`] (`wlan-sim`) | discrete-event IEEE 802.11 DCF MAC simulator with hidden-terminal support |
 //! | [`analytic`] (`wlan-analytic`) | Bianchi / p-persistent / RandomReset closed-form models |
 //! | [`sa`] (`stochastic-approx`) | Kiefer–Wolfowitz, Robbins–Monro and SPSA optimisers |
-//! | [`core`] (`wlan-core`) | wTOP-CSMA, TORA-CSMA, IdleSense, the scenario runner |
+//! | [`core`] (`wlan-core`) | wTOP-CSMA, TORA-CSMA, IdleSense, the scenario + campaign runners |
 //! | `wlan-bench` | one binary per paper figure/table plus criterion benches |
 //!
-//! The most convenient entry point is the scenario runner:
+//! ## Quickstart
+//!
+//! This is the doc-tested version of `examples/quickstart.rs` (which runs the
+//! same comparison at full length — `cargo run --release --example
+//! quickstart`): compare standard 802.11 with wTOP-CSMA, which tunes itself
+//! toward the analytic optimum from throughput measurements alone.
 //!
 //! ```
-//! use wlan_sa::core::{Protocol, Scenario, TopologySpec};
+//! use wlan_sa::analytic;
+//! use wlan_sa::core::{run_seeds_parallel, Protocol, Scenario, TopologySpec};
 //! use wlan_sa::sim::SimDuration;
 //!
-//! let result = Scenario::new(Protocol::ToraCsma, TopologySpec::UniformDisc { radius: 16.0 }, 10)
-//!     .durations(SimDuration::from_secs(2), SimDuration::from_secs(1))
-//!     .seed(7)
+//! let n = 10;
+//!
+//! // What the closed-form model says the best any p-persistent scheme can do.
+//! let model = analytic::SlotModel::table1();
+//! let weights = vec![1.0; n];
+//! let s_star = analytic::optimal_throughput(&model, &weights) / 1e6;
+//!
+//! // Standard IEEE 802.11 DCF (durations shortened for the doctest).
+//! let dcf = Scenario::new(Protocol::Standard80211, TopologySpec::FullyConnected, n)
+//!     .durations(SimDuration::from_millis(300), SimDuration::from_millis(500))
+//!     .seed(1)
 //!     .run();
-//! println!("{} achieved {:.1} Mbps with {} hidden pairs",
-//!          result.protocol, result.throughput_mbps, result.hidden_pairs);
+//! assert!(dcf.throughput_mbps > 0.0 && dcf.throughput_mbps < s_star);
+//!
+//! // wTOP-CSMA: the AP tunes the attempt probability from throughput
+//! // measurements only, with no knowledge of N — here averaged over two
+//! // seeds on the deterministic parallel campaign pool.
+//! let wtop = Scenario::new(Protocol::WTopCsma, TopologySpec::FullyConnected, n)
+//!     .durations(SimDuration::from_millis(500), SimDuration::from_millis(500))
+//!     .update_period(SimDuration::from_millis(50))
+//!     .seed(1);
+//! let results = run_seeds_parallel(&wtop, &[1, 2], 2);
+//! assert_eq!(results.len(), 2);
+//! assert!(results.iter().all(|r| r.throughput_mbps > 0.0));
+//! assert!(!results[0].control_trace.is_empty(), "the AP records its control variable");
 //! ```
+//!
+//! Grid experiments (protocol × topology × N × seed) go through
+//! [`core::Campaign`], which executes on a thread pool and is bit-identical
+//! for every thread count.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use stochastic_approx as sa;
 pub use wlan_analytic as analytic;
 pub use wlan_core as core;
 pub use wlan_sim as sim;
 
-pub use wlan_core::{Protocol, Scenario, ScenarioResult, TopologySpec};
+pub use wlan_core::{
+    Campaign, CampaignOutcome, CampaignReport, Protocol, Scenario, ScenarioResult, TopologySpec,
+};
 pub use wlan_sim::{PhyParams, SimDuration, SimTime, Topology};

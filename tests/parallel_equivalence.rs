@@ -1,0 +1,74 @@
+//! Parallel-vs-serial equivalence: the campaign runner's contract is that the
+//! worker-thread count influences only wall-clock time, never results. These
+//! tests run the same campaign on 1 thread and on N threads and require the
+//! serialised output to be **byte-identical**, which is the same property the
+//! `repro_all` acceptance check (`WLAN_THREADS=1` vs `WLAN_THREADS=8`) relies
+//! on, scaled down to test size.
+
+use wlan_sa::core::{
+    run_seeds_parallel, Campaign, Protocol, Scenario, ScenarioResult, TopologySpec,
+};
+use wlan_sa::sim::SimDuration;
+
+fn campaign() -> Campaign {
+    Campaign::new()
+        .protocols(&[
+            Protocol::Standard80211,
+            Protocol::WTopCsma,
+            Protocol::StaticPPersistent { p: 0.02 },
+        ])
+        .topology("ring", TopologySpec::Ring { radius: 8.0 })
+        .topology("disc 16 m", TopologySpec::UniformDisc { radius: 16.0 })
+        .node_counts(&[4, 8])
+        .seeds(&[1, 2, 3])
+        .warmups(SimDuration::from_millis(200), SimDuration::from_millis(100))
+        .measure(SimDuration::from_millis(300))
+        .update_period(SimDuration::from_millis(50))
+}
+
+/// The full per-seed result set — every metric, series and trace — must agree
+/// byte-for-byte between a 1-thread and an 8-thread run of the same campaign.
+#[test]
+fn campaign_results_are_identical_across_thread_counts() {
+    let serial = campaign().threads(1).run();
+    let parallel = campaign().threads(8).run();
+    assert_eq!(serial.cells.len(), 12, "3 protocols × 2 topologies × 2 N");
+    let raw_serial: Vec<&ScenarioResult> =
+        serial.cells.iter().flat_map(|c| c.results.iter()).collect();
+    let raw_parallel: Vec<&ScenarioResult> = parallel
+        .cells
+        .iter()
+        .flat_map(|c| c.results.iter())
+        .collect();
+    let a = serde_json::to_string(&raw_serial).expect("serialise serial");
+    let b = serde_json::to_string(&raw_parallel).expect("serialise parallel");
+    assert_eq!(
+        a, b,
+        "campaign results changed with the thread count — determinism contract broken"
+    );
+}
+
+/// The aggregated report (mean/stddev/CI per cell) must also be byte-identical.
+#[test]
+fn campaign_reports_are_identical_across_thread_counts() {
+    let a = serde_json::to_string(&campaign().threads(1).run().report()).unwrap();
+    let b = serde_json::to_string(&campaign().threads(8).run().report()).unwrap();
+    assert_eq!(a, b);
+}
+
+/// `run_seeds_parallel` is the narrow entry point `run_seeds` is rewired
+/// through; it must match the 1-thread reference for any worker count.
+#[test]
+fn run_seeds_is_thread_count_invariant() {
+    let base = Scenario::new(Protocol::ToraCsma, TopologySpec::FullyConnected, 6)
+        .durations(SimDuration::from_millis(200), SimDuration::from_millis(300))
+        .update_period(SimDuration::from_millis(50));
+    let seeds: Vec<u64> = (1..=6).collect();
+    let reference = run_seeds_parallel(&base, &seeds, 1);
+    for threads in [2, 3, 8] {
+        let parallel = run_seeds_parallel(&base, &seeds, threads);
+        let a = serde_json::to_string(&reference).unwrap();
+        let b = serde_json::to_string(&parallel).unwrap();
+        assert_eq!(a, b, "{threads} threads diverged from the serial reference");
+    }
+}

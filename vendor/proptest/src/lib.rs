@@ -123,7 +123,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](self::vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
