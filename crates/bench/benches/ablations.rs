@@ -19,7 +19,7 @@ fn run_wtop(n: usize, cfg: WtopConfig, warm_secs: u64) -> f64 {
     let mut sim = SimulatorBuilder::new(phy, Topology::fully_connected(n))
         .seed(7)
         .with_stations(|_, _| WtopController::station_policy(1.0))
-        .ap_algorithm(Box::new(controller))
+        .ap_algorithm(wlan_sim::Controller::custom(Box::new(controller)))
         .build();
     sim.run_for(SimDuration::from_secs(warm_secs));
     sim.reset_measurements();
@@ -33,7 +33,7 @@ fn run_tora(n: usize, cfg: ToraConfig, warm_secs: u64) -> f64 {
     let mut sim = SimulatorBuilder::new(phy.clone(), Topology::fully_connected(n))
         .seed(7)
         .with_stations(|_, phy| ToraController::station_policy(phy))
-        .ap_algorithm(Box::new(controller))
+        .ap_algorithm(wlan_sim::Controller::custom(Box::new(controller)))
         .build();
     sim.run_for(SimDuration::from_secs(warm_secs));
     sim.reset_measurements();

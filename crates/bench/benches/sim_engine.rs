@@ -10,7 +10,7 @@ fn run_dcf(n: usize, millis: u64) -> u64 {
     let phy = PhyParams::table1();
     let mut sim = SimulatorBuilder::new(phy, Topology::fully_connected(n))
         .seed(1)
-        .with_stations(|_, phy| Box::new(ExponentialBackoff::new(phy)))
+        .with_stations(|_, phy| ExponentialBackoff::new(phy))
         .build();
     sim.run_for(SimDuration::from_millis(millis));
     sim.stats().total_successes()
@@ -21,7 +21,7 @@ fn run_ppersistent(n: usize, millis: u64) -> u64 {
     let p = 2.0 / (n as f64 * 4.5);
     let mut sim = SimulatorBuilder::new(phy, Topology::fully_connected(n))
         .seed(1)
-        .with_stations(move |_, _| Box::new(PPersistent::new(p)))
+        .with_stations(move |_, _| PPersistent::new(p))
         .build();
     sim.run_for(SimDuration::from_millis(millis));
     sim.stats().total_successes()

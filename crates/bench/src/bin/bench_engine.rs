@@ -1,0 +1,266 @@
+//! Wall-clock performance benchmark of the simulator engine.
+//!
+//! Runs a scenario grid — fully-connected and hidden-node topologies,
+//! N ∈ {5, 20, 50, 100}, all six [`Protocol`]s — single-threaded, measuring
+//! for each cell the wall time, the engine events processed per wall second,
+//! and the achieved simulation rate (simulated seconds per wall second).
+//! Results are written to `BENCH_engine.json` in the current directory (the
+//! repo root in CI), establishing the repo's wall-clock perf trajectory.
+//!
+//! Each cell is also compared against the committed pre-refactor baseline
+//! (`crates/bench/data/bench_engine_baseline.json`, measured at commit
+//! 3d65cce before the hot-path refactor): `speedup_vs_pre_refactor` is the
+//! wall-time ratio on the identical simulated workload, which is exactly the
+//! ratio of events/sec on the pre-refactor event stream.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_engine [--quick|--full] [--out PATH] [--check PATH]
+//! ```
+//!
+//! `--quick` (default) simulates 2 s per cell, `--full` 10 s. `--check PATH`
+//! additionally loads a previously committed `BENCH_engine.json` and exits
+//! with status 2 if the geometric-mean events/sec regressed by more than 30%
+//! — the CI perf-smoke gate. Because the committed report may have been
+//! produced on different hardware than the checker (a laptop vs a shared CI
+//! runner), both sides are normalised by `calibration_mops` — a fixed
+//! deterministic integer workload timed in the same process — so the gate
+//! compares engine efficiency, not machine speed.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use wlan_core::{Protocol, Scenario, TopologySpec};
+use wlan_sim::SimDuration;
+
+/// The committed pre-refactor measurements (see module docs).
+const BASELINE_JSON: &str = include_str!("../../data/bench_engine_baseline.json");
+
+/// Sim-seconds measured per cell by the pre-refactor baseline probe.
+const BASELINE_SIM_SECONDS: f64 = 2.0;
+
+#[derive(Debug, Deserialize)]
+struct Baseline {
+    wall_s: std::collections::BTreeMap<String, f64>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Cell {
+    protocol: String,
+    topology: String,
+    n: usize,
+    sim_seconds: f64,
+    wall_s: f64,
+    events: u64,
+    events_per_sec: f64,
+    /// Simulated seconds per wall second.
+    sim_rate: f64,
+    /// Pre-refactor wall seconds, scaled to this run's `sim_seconds`
+    /// (`null` when the baseline file has no entry for the cell).
+    baseline_wall_s: Option<f64>,
+    /// Wall-time ratio vs the pre-refactor engine on the identical workload.
+    speedup_vs_pre_refactor: Option<f64>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    mode: String,
+    sim_seconds_per_cell: f64,
+    baseline_source: String,
+    /// Machine-speed calibration: millions of iterations/sec of a fixed
+    /// xorshift64 loop, measured in-process. `--check` divides events/sec by
+    /// this before comparing, cancelling raw machine speed to first order.
+    calibration_mops: f64,
+    cells: Vec<Cell>,
+    geomean_events_per_sec: f64,
+    /// Geometric mean of per-cell speedups vs the pre-refactor engine.
+    geomean_speedup: f64,
+    /// The headline cell: Standard 802.11, fully connected, N = 50.
+    key_cell_speedup: f64,
+}
+
+fn grid() -> (Vec<Protocol>, Vec<(&'static str, TopologySpec)>, Vec<usize>) {
+    (
+        vec![
+            Protocol::Standard80211,
+            Protocol::IdleSense,
+            Protocol::WTopCsma,
+            Protocol::ToraCsma,
+            Protocol::StaticPPersistent { p: 0.02 },
+            Protocol::StaticRandomReset { stage: 1, p0: 0.6 },
+        ],
+        vec![
+            ("fully_connected", TopologySpec::FullyConnected),
+            ("hidden_disc20", TopologySpec::UniformDisc { radius: 20.0 }),
+        ],
+        vec![5, 20, 50, 100],
+    )
+}
+
+/// Time a fixed, deterministic integer workload as a machine-speed probe.
+/// The engine's hot path is integer/branch bound and cache-light, so a
+/// xorshift64 accumulation is a reasonable first-order proxy for how fast
+/// this machine runs it.
+fn calibration_mops() -> f64 {
+    const ITERS: u64 = 200_000_000;
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc = acc.wrapping_add(x);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    ITERS as f64 / secs / 1e6
+}
+
+fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut count) = (0.0, 0usize);
+    for x in xs {
+        if x > 0.0 {
+            log_sum += x.ln();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (log_sum / count as f64).exp()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = !args.iter().any(|a| a == "--full");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let sim_secs = if quick { 2u64 } else { 10 };
+    let baseline: Baseline = serde_json::from_str(BASELINE_JSON).expect("parse embedded baseline");
+    let (protocols, topologies, ns) = grid();
+
+    let calibration = calibration_mops();
+    println!(
+        "bench_engine: {} mode, {} sim-seconds per cell, single-threaded, calibration {calibration:.0} Mops\n",
+        if quick { "quick" } else { "full" },
+        sim_secs
+    );
+
+    let mut cells = Vec::new();
+    for (tname, topo) in &topologies {
+        for &n in &ns {
+            for proto in &protocols {
+                let scenario = Scenario::new(*proto, topo.clone(), n)
+                    .seed(1)
+                    .durations(SimDuration::ZERO, SimDuration::from_secs(sim_secs));
+                let mut sim = scenario.build_simulator();
+                // Warm caches and branch predictors before the timed section.
+                sim.run_for(SimDuration::from_millis(100));
+                let events_before = sim.events_processed();
+                let start = Instant::now();
+                sim.run_for(SimDuration::from_secs(sim_secs));
+                let wall = start.elapsed().as_secs_f64();
+                let events = sim.events_processed() - events_before;
+
+                let key = format!("{}:{tname}:{n}", proto.label());
+                let baseline_wall = baseline
+                    .wall_s
+                    .get(&key)
+                    .map(|w| w * sim_secs as f64 / BASELINE_SIM_SECONDS);
+                let speedup = baseline_wall.map(|b| b / wall);
+                let cell = Cell {
+                    protocol: proto.label().to_string(),
+                    topology: tname.to_string(),
+                    n,
+                    sim_seconds: sim_secs as f64,
+                    wall_s: wall,
+                    events,
+                    events_per_sec: events as f64 / wall,
+                    sim_rate: sim_secs as f64 / wall,
+                    baseline_wall_s: baseline_wall,
+                    speedup_vs_pre_refactor: speedup,
+                };
+                println!(
+                    "  {:<22} {:<16} n={:<4} {:>8.1} ms  {:>6.2} Mev/s  x{:<6.2} sim-rate {:>6.0}",
+                    cell.protocol,
+                    cell.topology,
+                    cell.n,
+                    cell.wall_s * 1e3,
+                    cell.events_per_sec / 1e6,
+                    speedup.unwrap_or(f64::NAN),
+                    cell.sim_rate
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    let geomean_eps = geomean(cells.iter().map(|c| c.events_per_sec));
+    let geomean_speedup = geomean(cells.iter().filter_map(|c| c.speedup_vs_pre_refactor));
+    let key_cell_speedup = cells
+        .iter()
+        .find(|c| c.protocol == "Standard 802.11" && c.topology == "fully_connected" && c.n == 50)
+        .and_then(|c| c.speedup_vs_pre_refactor)
+        .unwrap_or(0.0);
+
+    let report = Report {
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        sim_seconds_per_cell: sim_secs as f64,
+        baseline_source:
+            "crates/bench/data/bench_engine_baseline.json (pre-refactor engine, commit 3d65cce)"
+                .to_string(),
+        calibration_mops: calibration,
+        cells,
+        geomean_events_per_sec: geomean_eps,
+        geomean_speedup,
+        key_cell_speedup,
+    };
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&report).expect("serialise report") + "\n",
+    )
+    .expect("write report");
+    println!(
+        "\n  geomean events/sec: {:.2}M   geomean speedup: x{:.2}   key cell (802.11 FC N=50): x{:.2}",
+        geomean_eps / 1e6,
+        geomean_speedup,
+        key_cell_speedup
+    );
+    println!("  wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let committed: Report = serde_json::from_str(
+            &std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}")),
+        )
+        .expect("parse committed report");
+        // Normalise both sides by their own machine's calibration so the
+        // committed report (possibly from different hardware) and this run
+        // are compared on engine efficiency, not raw machine speed.
+        let committed_norm = committed.geomean_events_per_sec / committed.calibration_mops;
+        let current_norm = geomean_eps / calibration;
+        let floor = committed_norm * 0.7;
+        println!(
+            "  check vs {path}: committed {:.0} ev/s-per-Mops, floor {:.0}, current {:.0}",
+            committed_norm, floor, current_norm
+        );
+        if current_norm < floor {
+            eprintln!(
+                "PERF REGRESSION: calibration-normalised events/sec dropped more than 30% below the committed baseline"
+            );
+            std::process::exit(2);
+        }
+        println!("  perf check passed");
+    }
+}

@@ -17,7 +17,7 @@ fn run(n: usize, a0: f64, initial_p: f64, warm: u64, meas: u64, seed: u64) -> (f
     let mut sim = SimulatorBuilder::new(phy, Topology::fully_connected(n))
         .seed(seed)
         .with_stations(|_, _| WtopController::station_policy(1.0))
-        .ap_algorithm(Box::new(controller))
+        .ap_algorithm(wlan_sim::Controller::custom(Box::new(controller)))
         .build();
     sim.run_for(SimDuration::from_secs(warm));
     sim.reset_measurements();

@@ -35,17 +35,35 @@ fn main() {
         ("fig10_11", ex::fig10_11),
     ];
     let mut summaries = Vec::new();
+    let mut timings: Vec<(&str, f64)> = Vec::new();
     let total = Instant::now();
-    for (_name, f) in experiments {
+    for (name, f) in experiments {
         let start = Instant::now();
         let summary = f(&cfg);
-        println!("-> {summary}  [{:.1}s]\n", start.elapsed().as_secs_f64());
+        let secs = start.elapsed().as_secs_f64();
+        println!("-> {summary}  [{secs:.1}s]\n");
         summaries.push(summary);
+        timings.push((name, secs));
     }
+    let total_secs = total.elapsed().as_secs_f64();
     let text = summaries.join("\n") + "\n";
     std::fs::write(out_dir().join("summary.txt"), &text).expect("write summary");
+
+    // Per-figure wall-clock table (the source of the README runtime table).
+    let mut table = String::from("figure    wall_s  share\n");
+    for (name, secs) in &timings {
+        table.push_str(&format!(
+            "{name:<9} {secs:>6.1}  {:>4.0}%\n",
+            100.0 * secs / total_secs
+        ));
+    }
+    table.push_str(&format!("total     {total_secs:>6.1}\n"));
+    std::fs::write(out_dir().join("timings.txt"), &table).expect("write timings");
+
     println!(
-        "== All experiments done in {:.1}s ==\n{text}",
-        total.elapsed().as_secs_f64()
+        "== All experiments done in {total_secs:.1}s ==\n{text}\nPer-figure wall-clock ({} mode, {} thread{}):\n{table}",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.threads,
+        if cfg.threads == 1 { "" } else { "s" },
     );
 }

@@ -6,7 +6,7 @@ use crate::tora::{ToraConfig, ToraController};
 use crate::wtop::{WtopConfig, WtopController};
 use serde::{Deserialize, Serialize};
 use wlan_sim::backoff::{ExponentialBackoff, PPersistent, RandomReset};
-use wlan_sim::{ApAlgorithm, BackoffPolicy, NullController, PhyParams, SimDuration};
+use wlan_sim::{Controller, NullController, PhyParams, Policy, SimDuration};
 
 /// Every channel-access scheme exercised in the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,40 +57,40 @@ impl Protocol {
 
     /// Build the station-side policy for station with the given weight.
     ///
+    /// Every scheme of the paper maps to a closed [`Policy`] variant, so the
+    /// simulator dispatches it statically on the hot path.
+    ///
     /// Weights other than 1 are honoured only by wTOP-CSMA (the paper's only
     /// weighted scheme); for every other protocol they merely label the station.
-    pub fn station_policy(&self, phy: &PhyParams, weight: f64) -> Box<dyn BackoffPolicy> {
+    pub fn station_policy(&self, phy: &PhyParams, weight: f64) -> Policy {
         match self {
-            Protocol::Standard80211 => Box::new(ExponentialBackoff::new(phy)),
-            Protocol::IdleSense => Box::new(IdleSensePolicy::for_phy(phy)),
+            Protocol::Standard80211 => ExponentialBackoff::new(phy).into(),
+            Protocol::IdleSense => IdleSensePolicy::for_phy(phy).into(),
             Protocol::WTopCsma => WtopController::station_policy(weight),
             Protocol::ToraCsma => ToraController::station_policy(phy),
-            Protocol::StaticPPersistent { p } => Box::new(PPersistent::with_weight(*p, weight)),
-            Protocol::StaticRandomReset { stage, p0 } => {
-                Box::new(RandomReset::new(phy, *stage, *p0))
-            }
+            Protocol::StaticPPersistent { p } => PPersistent::with_weight(*p, weight).into(),
+            Protocol::StaticRandomReset { stage, p0 } => RandomReset::new(phy, *stage, *p0).into(),
         }
     }
 
     /// Build the AP-side controller, using `update_period` for the adaptive
-    /// stochastic-approximation schemes.
-    pub fn ap_algorithm(
-        &self,
-        phy: &PhyParams,
-        update_period: SimDuration,
-    ) -> Box<dyn ApAlgorithm> {
+    /// stochastic-approximation schemes. The stochastic-approximation
+    /// controllers live in this crate and plug into the simulator through
+    /// [`Controller::custom`]; every other scheme gets the statically
+    /// dispatched [`NullController`].
+    pub fn ap_algorithm(&self, phy: &PhyParams, update_period: SimDuration) -> Controller {
         match self {
             Protocol::WTopCsma => {
                 let mut cfg = WtopConfig::for_phy(phy);
                 cfg.update_period = update_period;
-                Box::new(WtopController::new(cfg))
+                Controller::custom(Box::new(WtopController::new(cfg)))
             }
             Protocol::ToraCsma => {
                 let mut cfg = ToraConfig::for_phy(phy);
                 cfg.update_period = update_period;
-                Box::new(ToraController::new(cfg))
+                Controller::custom(Box::new(ToraController::new(cfg)))
             }
-            _ => Box::new(NullController::new()),
+            _ => NullController::new().into(),
         }
     }
 }
@@ -98,6 +98,7 @@ impl Protocol {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wlan_sim::{ApAlgorithm, BackoffPolicy};
 
     #[test]
     fn labels_are_distinct() {

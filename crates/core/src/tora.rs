@@ -14,7 +14,7 @@
 
 use stochastic_approx::{KieferWolfowitz, PowerLawGains};
 use wlan_sim::backoff::RandomReset;
-use wlan_sim::{ApAlgorithm, BackoffPolicy, ControlPayload, PhyParams, SimDuration, SimTime};
+use wlan_sim::{ApAlgorithm, ControlPayload, PhyParams, Policy, SimDuration, SimTime};
 
 /// Configuration of the TORA-CSMA controller.
 #[derive(Debug, Clone)]
@@ -104,8 +104,8 @@ impl ToraController {
     /// The station-side policy to pair with this controller. Stations start at the
     /// most aggressive configuration (stage 0, reset probability 1), exactly as in
     /// Algorithm 2, and follow the `(p0, j)` pair announced in ACKs thereafter.
-    pub fn station_policy(phy: &PhyParams) -> Box<dyn BackoffPolicy> {
-        Box::new(RandomReset::new(phy, 0, 1.0))
+    pub fn station_policy(phy: &PhyParams) -> Policy {
+        RandomReset::new(phy, 0, 1.0).into()
     }
 
     /// Current estimate of the optimal reset probability for the current stage.
@@ -192,6 +192,7 @@ impl ApAlgorithm for ToraController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wlan_sim::BackoffPolicy;
 
     fn controller() -> ToraController {
         ToraController::for_phy(&PhyParams::table1())

@@ -16,7 +16,7 @@
 
 use stochastic_approx::{KieferWolfowitz, PowerLawGains};
 use wlan_sim::backoff::PPersistent;
-use wlan_sim::{ApAlgorithm, BackoffPolicy, ControlPayload, PhyParams, SimDuration, SimTime};
+use wlan_sim::{ApAlgorithm, ControlPayload, PhyParams, Policy, SimDuration, SimTime};
 
 /// Configuration of the wTOP-CSMA controller.
 #[derive(Debug, Clone)]
@@ -152,8 +152,8 @@ impl WtopController {
     /// The station-side policy to pair with this controller: p-persistent CSMA with
     /// the given weight. Stations start at the paper's initial attempt probability
     /// of 0.1 and follow the control variable announced in ACKs thereafter.
-    pub fn station_policy(weight: f64) -> Box<dyn BackoffPolicy> {
-        Box::new(PPersistent::with_weight(0.1, weight))
+    pub fn station_policy(weight: f64) -> Policy {
+        PPersistent::with_weight(0.1, weight).into()
     }
 
     /// Current Kiefer–Wolfowitz estimate of the optimal control variable `p`.
@@ -251,6 +251,7 @@ impl ApAlgorithm for WtopController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wlan_sim::BackoffPolicy;
 
     fn controller() -> WtopController {
         WtopController::for_phy(&PhyParams::table1())

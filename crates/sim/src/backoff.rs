@@ -20,6 +20,7 @@
 //! station state machine drives.
 
 use crate::control::{ChannelObservation, ControlPayload};
+use crate::idlesense::IdleSensePolicy;
 use crate::phy::PhyParams;
 use rand::Rng;
 use rand::RngCore;
@@ -65,6 +66,16 @@ pub trait BackoffPolicy: Send {
         let _ = observation;
     }
 
+    /// Whether the policy consumes [`on_observation`](Self::on_observation)
+    /// calls. The engine checks this once per station at build time and skips
+    /// the per-busy-period idle-slot accounting (a division on the hot path)
+    /// for policies that ignore observations. The default is `true` — safe for
+    /// any external policy; built-in policies that ignore observations
+    /// override it to `false`.
+    fn wants_observations(&self) -> bool {
+        true
+    }
+
     /// The per-slot attempt probability currently targeted by the policy, if it has
     /// a meaningful notion of one (used for traces and analysis, never for control).
     fn attempt_probability(&self) -> Option<f64> {
@@ -80,6 +91,140 @@ pub trait BackoffPolicy: Send {
     fn name(&self) -> &'static str;
 }
 
+/// The closed set of station policies, dispatched statically on the
+/// simulator's hot path.
+///
+/// Every station used to own a `Box<dyn BackoffPolicy>`, which put a virtual
+/// call (and a pointer chase to a separate allocation) on every backoff draw,
+/// outcome notification and control update. This enum stores the concrete
+/// policy inline in the station state and dispatches with a jump table the
+/// optimiser can see through, while [`Policy::Custom`] keeps the trait-object
+/// escape hatch for policies defined outside this crate.
+///
+/// Construct it with `From`/`Into` from any concrete policy — the
+/// [`SimulatorBuilder`](crate::SimulatorBuilder) accepts `impl Into<Policy>`:
+///
+/// ```
+/// use wlan_sim::backoff::{BackoffPolicy, PPersistent, Policy};
+/// let policy: Policy = PPersistent::new(0.05).into();
+/// assert_eq!(policy.name(), "p-persistent");
+/// ```
+pub enum Policy {
+    /// IEEE 802.11 DCF exponential backoff ([`ExponentialBackoff`]).
+    Dcf(ExponentialBackoff),
+    /// p-persistent CSMA ([`PPersistent`]), the mechanism tuned by wTOP-CSMA.
+    PPersistent(PPersistent),
+    /// RandomReset(j; p0) ([`RandomReset`]), the mechanism tuned by TORA-CSMA.
+    RandomReset(RandomReset),
+    /// Constant contention window ([`FixedWindow`]).
+    FixedWindow(FixedWindow),
+    /// The IdleSense adaptive contention window ([`IdleSensePolicy`]).
+    IdleSense(IdleSensePolicy),
+    /// Escape hatch: any other [`BackoffPolicy`], dispatched virtually.
+    Custom(Box<dyn BackoffPolicy>),
+}
+
+impl Policy {
+    /// Wrap an out-of-crate policy in the virtual-dispatch escape hatch.
+    pub fn custom(policy: Box<dyn BackoffPolicy>) -> Self {
+        Policy::Custom(policy)
+    }
+}
+
+/// Forward every [`BackoffPolicy`] method to the concrete variant. The match
+/// is resolved per call site; for the closed variants the callee is a direct
+/// (inlinable) call rather than a vtable lookup.
+macro_rules! dispatch {
+    ($self:ident, $p:pat => $body:expr) => {
+        match $self {
+            Policy::Dcf($p) => $body,
+            Policy::PPersistent($p) => $body,
+            Policy::RandomReset($p) => $body,
+            Policy::FixedWindow($p) => $body,
+            Policy::IdleSense($p) => $body,
+            Policy::Custom($p) => $body,
+        }
+    };
+}
+
+impl BackoffPolicy for Policy {
+    fn next_backoff(&mut self, rng: &mut dyn RngCore) -> u64 {
+        dispatch!(self, p => p.next_backoff(rng))
+    }
+
+    fn on_success(&mut self, rng: &mut dyn RngCore) {
+        dispatch!(self, p => p.on_success(rng))
+    }
+
+    fn on_failure(&mut self, rng: &mut dyn RngCore) {
+        dispatch!(self, p => p.on_failure(rng))
+    }
+
+    fn redraw_on_resume(&self) -> bool {
+        dispatch!(self, p => p.redraw_on_resume())
+    }
+
+    fn on_control(&mut self, payload: &ControlPayload) {
+        dispatch!(self, p => p.on_control(payload))
+    }
+
+    fn on_observation(&mut self, observation: &ChannelObservation) {
+        dispatch!(self, p => p.on_observation(observation))
+    }
+
+    fn wants_observations(&self) -> bool {
+        dispatch!(self, p => p.wants_observations())
+    }
+
+    fn attempt_probability(&self) -> Option<f64> {
+        dispatch!(self, p => p.attempt_probability())
+    }
+
+    fn backoff_stage(&self) -> Option<u8> {
+        dispatch!(self, p => p.backoff_stage())
+    }
+
+    fn name(&self) -> &'static str {
+        dispatch!(self, p => p.name())
+    }
+}
+
+impl From<ExponentialBackoff> for Policy {
+    fn from(p: ExponentialBackoff) -> Self {
+        Policy::Dcf(p)
+    }
+}
+
+impl From<PPersistent> for Policy {
+    fn from(p: PPersistent) -> Self {
+        Policy::PPersistent(p)
+    }
+}
+
+impl From<RandomReset> for Policy {
+    fn from(p: RandomReset) -> Self {
+        Policy::RandomReset(p)
+    }
+}
+
+impl From<FixedWindow> for Policy {
+    fn from(p: FixedWindow) -> Self {
+        Policy::FixedWindow(p)
+    }
+}
+
+impl From<IdleSensePolicy> for Policy {
+    fn from(p: IdleSensePolicy) -> Self {
+        Policy::IdleSense(p)
+    }
+}
+
+impl From<Box<dyn BackoffPolicy>> for Policy {
+    fn from(p: Box<dyn BackoffPolicy>) -> Self {
+        Policy::Custom(p)
+    }
+}
+
 /// Draw a sample uniformly from `[0, cw - 1]`.
 fn uniform_cw(cw: u32, rng: &mut dyn RngCore) -> u64 {
     if cw <= 1 {
@@ -91,8 +236,13 @@ fn uniform_cw(cw: u32, rng: &mut dyn RngCore) -> u64 {
 
 /// Draw a geometric number of idle slots so that the station transmits in each
 /// slot with probability `p` (support `{0, 1, 2, ...}`, `P(K = k) = (1-p)^k p`).
-fn geometric_slots(p: f64, rng: &mut dyn RngCore) -> u64 {
+///
+/// `ln_q` must be `(1.0 - p).ln()`; [`PPersistent`] caches it so the hot path
+/// pays one `ln` per draw instead of two. It is a divisor (not a reciprocal
+/// factor) so the result stays bit-identical to computing it inline.
+fn geometric_slots(p: f64, ln_q: f64, rng: &mut dyn RngCore) -> u64 {
     debug_assert!((0.0..=1.0).contains(&p));
+    debug_assert!(p >= 1.0 || p <= 0.0 || ln_q == (1.0 - p).ln());
     if p >= 1.0 {
         return 0;
     }
@@ -101,7 +251,7 @@ fn geometric_slots(p: f64, rng: &mut dyn RngCore) -> u64 {
         return u64::MAX / 2;
     }
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let k = (u.ln() / (1.0 - p).ln()).floor();
+    let k = (u.ln() / ln_q).floor();
     if k.is_finite() && k >= 0.0 {
         k as u64
     } else {
@@ -206,6 +356,10 @@ impl BackoffPolicy for ExponentialBackoff {
         self.stage = (self.stage + 1).min(self.max_stage);
     }
 
+    fn wants_observations(&self) -> bool {
+        false
+    }
+
     fn attempt_probability(&self) -> Option<f64> {
         // Mean attempt rate in the current stage: 2 / (CW + 1) per slot.
         Some(2.0 / (self.current_cw() as f64 + 1.0))
@@ -233,6 +387,8 @@ pub struct PPersistent {
     /// Station weight used by wTOP-CSMA's Lemma-1 mapping when a global control
     /// variable is received. Weight 1 reproduces the unweighted scheme.
     weight: f64,
+    /// Cached `(1 - p).ln()` for the geometric draw (kept in sync with `p`).
+    ln_q: f64,
 }
 
 impl PPersistent {
@@ -253,7 +409,11 @@ impl PPersistent {
             "attempt probability must be in [0, 1]"
         );
         assert!(weight > 0.0, "weight must be positive");
-        PPersistent { p, weight }
+        PPersistent {
+            p,
+            weight,
+            ln_q: (1.0 - p).ln(),
+        }
     }
 
     /// The current per-slot attempt probability.
@@ -269,6 +429,7 @@ impl PPersistent {
     /// Directly set the attempt probability (clamped to `[0, 1]`).
     pub fn set_p(&mut self, p: f64) {
         self.p = p.clamp(0.0, 1.0);
+        self.ln_q = (1.0 - self.p).ln();
     }
 
     /// The Lemma-1 weighted mapping from a global control variable to this
@@ -281,7 +442,7 @@ impl PPersistent {
 
 impl BackoffPolicy for PPersistent {
     fn next_backoff(&mut self, rng: &mut dyn RngCore) -> u64 {
-        geometric_slots(self.p, rng)
+        geometric_slots(self.p, self.ln_q, rng)
     }
 
     fn on_success(&mut self, _rng: &mut dyn RngCore) {}
@@ -292,9 +453,13 @@ impl BackoffPolicy for PPersistent {
         true
     }
 
+    fn wants_observations(&self) -> bool {
+        false
+    }
+
     fn on_control(&mut self, payload: &ControlPayload) {
         if let ControlPayload::AttemptProbability(p) = payload {
-            self.p = Self::weighted_probability(*p, self.weight);
+            self.set_p(Self::weighted_probability(*p, self.weight));
         }
     }
 
@@ -389,6 +554,10 @@ impl BackoffPolicy for RandomReset {
         self.stage = (self.stage + 1).min(self.max_stage);
     }
 
+    fn wants_observations(&self) -> bool {
+        false
+    }
+
     fn on_control(&mut self, payload: &ControlPayload) {
         if let ControlPayload::RandomReset { p0, stage } = payload {
             self.set_reset(*stage, *p0);
@@ -446,6 +615,10 @@ impl BackoffPolicy for FixedWindow {
     fn on_success(&mut self, _rng: &mut dyn RngCore) {}
 
     fn on_failure(&mut self, _rng: &mut dyn RngCore) {}
+
+    fn wants_observations(&self) -> bool {
+        false
+    }
 
     fn attempt_probability(&self) -> Option<f64> {
         Some(2.0 / (self.cw as f64 + 1.0))
@@ -664,6 +837,53 @@ mod tests {
         fw.set_cw(0);
         assert_eq!(fw.cw(), 1);
         assert_eq!(fw.next_backoff(&mut r), 0);
+    }
+
+    #[test]
+    fn policy_enum_forwards_to_concrete_variants() {
+        let phy = PhyParams::table1();
+        let mut r = rng();
+        let mut dcf: Policy = ExponentialBackoff::new(&phy).into();
+        assert_eq!(dcf.name(), "802.11-DCF");
+        assert!(!dcf.redraw_on_resume());
+        dcf.on_failure(&mut r);
+        assert_eq!(dcf.backoff_stage(), Some(1));
+
+        let mut pp: Policy = PPersistent::new(0.25).into();
+        assert!(pp.redraw_on_resume());
+        assert_eq!(pp.attempt_probability(), Some(0.25));
+        pp.on_control(&ControlPayload::AttemptProbability(0.5));
+        assert_eq!(pp.attempt_probability(), Some(0.5));
+
+        let rr: Policy = RandomReset::new(&phy, 1, 0.5).into();
+        assert_eq!(rr.name(), "random-reset");
+        let fw: Policy = FixedWindow::new(16).into();
+        assert_eq!(fw.attempt_probability(), Some(2.0 / 17.0));
+        let is: Policy = IdleSensePolicy::for_phy(&phy).into();
+        assert_eq!(is.name(), "idle-sense");
+
+        // The escape hatch still dispatches virtually.
+        let custom = Policy::custom(Box::new(FixedWindow::new(8)));
+        assert_eq!(custom.name(), "fixed-window");
+        let boxed: Box<dyn BackoffPolicy> = Box::new(PPersistent::new(0.1));
+        let via_box: Policy = boxed.into();
+        assert!(matches!(via_box, Policy::Custom(_)));
+    }
+
+    #[test]
+    fn policy_enum_draws_match_concrete_policy() {
+        // Static dispatch must not change the RNG stream: the enum draws the
+        // same samples as the bare policy from the same seed.
+        let phy = PhyParams::table1();
+        let mut bare = ExponentialBackoff::new(&phy);
+        let mut wrapped: Policy = ExponentialBackoff::new(&phy).into();
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for _ in 0..100 {
+            assert_eq!(bare.next_backoff(&mut r1), wrapped.next_backoff(&mut r2));
+            bare.on_failure(&mut r1);
+            wrapped.on_failure(&mut r2);
+        }
     }
 
     #[test]

@@ -2,12 +2,27 @@
 //!
 //! Events are ordered by timestamp with FIFO tie-breaking (a monotonically
 //! increasing sequence number), which makes every run exactly reproducible for a
-//! given seed.
+//! given seed. Transmission-scoped events carry the generational [`TxId`] of
+//! their slab entry, so the engine can reclaim entries eagerly without ever
+//! risking a stale event aliasing a recycled slot.
+//!
+//! The queue is **two-tier**. Backoff timers (`TxStart`) dominate the event
+//! volume — every busy→idle transition re-arms one per contending station, and
+//! carrier sensing freezes most of them again a few slots later. Keeping those
+//! in the shared heap meant every frozen timer lingered as a stale entry that
+//! still had to be pushed, sifted and popped. Instead, `TxStart` timers live in
+//! an *indexed timer set* ([`TimerSet`]) exploiting two facts: a station has at
+//! most one pending timer, and a freeze names exactly the station whose timer
+//! dies. Arm and cancel are O(1) (plus an O(stations) cached-minimum
+//! recomputation amortised over bursts), and a cancelled timer vanishes
+//! physically instead of rotting in the heap. Every other event kind stays in
+//! a conventional binary heap. Both tiers draw sequence numbers from one
+//! shared counter, so the merged pop order is exactly the `(time, seq)` total
+//! order the old single-heap implementation produced.
 
+use super::slab::TxId;
 use crate::time::SimTime;
 use crate::topology::NodeId;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Kinds of events processed by the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,11 +31,11 @@ pub(crate) enum Event {
     /// `gen` lazily invalidates timers that were frozen by carrier sensing.
     TxStart { station: NodeId, gen: u64 },
     /// A data transmission ends.
-    TxEnd { tx_id: usize },
-    /// The AP starts transmitting the ACK for transmission `tx_id`.
-    AckStart { tx_id: usize },
-    /// The AP finishes transmitting the ACK for transmission `tx_id`.
-    AckEnd { tx_id: usize },
+    TxEnd { tx: TxId },
+    /// The AP starts transmitting the ACK for transmission `tx`.
+    AckStart { tx: TxId },
+    /// The AP finishes transmitting the ACK for transmission `tx`.
+    AckEnd { tx: TxId },
     /// A station gives up waiting for an ACK. `gen` invalidates stale timeouts.
     AckTimeout { station: NodeId, gen: u64 },
     /// Periodic statistics sampling tick.
@@ -42,28 +57,182 @@ impl PartialEq for Scheduled {
 impl Eq for Scheduled {}
 
 impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse ordering: the BinaryHeap is a max-heap, we want earliest first.
-        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+        (other.time, other.seq).cmp(&(self.time, self.seq))
     }
 }
 
 impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-/// A deterministic time-ordered event queue.
+/// One armed backoff timer.
+#[derive(Debug, Clone, Copy)]
+struct Timer {
+    time: SimTime,
+    seq: u64,
+    station: NodeId,
+    /// The station's `timer_gen` at arm time, carried into the synthesized
+    /// `TxStart` event (a belt-and-braces validity check in the handler).
+    gen: u64,
+}
+
+/// Sentinel for "station has no armed timer" in the position map.
+const NOT_ARMED: u32 = u32::MAX;
+
+/// The cached-minimum state of the timer set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum MinState {
+    /// No timers armed.
+    #[default]
+    Empty,
+    /// Minimum unknown (last known minimum was removed); recompute on demand.
+    Dirty,
+    /// Index of the minimum entry in `armed`.
+    At(usize),
+}
+
+/// An unordered set of at-most-one-timer-per-station with O(1) arm/cancel and
+/// a lazily recomputed cached minimum.
+///
+/// Freezing re-arms dominate the workload: a busy period cancels and a busy
+/// end re-arms every contending station in sensing range, while only one
+/// timer per contention round actually fires. The set therefore optimises for
+/// churn (push / swap-remove, no ordering maintained) and pays a linear scan
+/// only when the cached minimum is invalidated — at most once per extraction
+/// or min-cancellation, amortised over each burst of arms and cancels.
+#[derive(Debug, Default)]
+struct TimerSet {
+    armed: Vec<Timer>,
+    /// `pos[station]` is the station's index in `armed`, or `NOT_ARMED`.
+    pos: Vec<u32>,
+    min: MinState,
+}
+
+impl TimerSet {
+    fn with_stations(n: usize) -> Self {
+        TimerSet {
+            armed: Vec::with_capacity(n),
+            pos: vec![NOT_ARMED; n],
+            min: MinState::Empty,
+        }
+    }
+
+    /// Arm `station`'s timer. The station must not already be armed (the
+    /// engine cancels on freeze before re-arming on resume).
+    fn arm(&mut self, timer: Timer) {
+        debug_assert_eq!(self.pos[timer.station], NOT_ARMED, "double arm");
+        let i = self.armed.len();
+        self.pos[timer.station] = i as u32;
+        self.armed.push(timer);
+        self.min = match self.min {
+            MinState::Empty => MinState::At(i),
+            MinState::Dirty => MinState::Dirty,
+            MinState::At(m) => {
+                let cur = &self.armed[m];
+                if (timer.time, timer.seq) < (cur.time, cur.seq) {
+                    MinState::At(i)
+                } else {
+                    MinState::At(m)
+                }
+            }
+        };
+    }
+
+    /// Cancel `station`'s timer if armed (no-op otherwise).
+    fn cancel(&mut self, station: NodeId) {
+        let i = self.pos[station];
+        if i == NOT_ARMED {
+            return;
+        }
+        self.remove_at(i as usize);
+    }
+
+    /// Remove the entry at index `i` (swap-remove, patching the position map
+    /// and the cached minimum).
+    fn remove_at(&mut self, i: usize) {
+        let removed = self.armed.swap_remove(i);
+        self.pos[removed.station] = NOT_ARMED;
+        if let Some(moved) = self.armed.get(i) {
+            self.pos[moved.station] = i as u32;
+        }
+        let last = self.armed.len(); // index the moved entry came from
+        self.min = if self.armed.is_empty() {
+            MinState::Empty
+        } else {
+            match self.min {
+                MinState::Empty => unreachable!("removed from an empty set"),
+                MinState::Dirty => MinState::Dirty,
+                MinState::At(m) if m == i => MinState::Dirty,
+                MinState::At(m) if m == last => MinState::At(i),
+                MinState::At(m) => MinState::At(m),
+            }
+        };
+    }
+
+    /// Index of the earliest timer, recomputing the cached minimum if dirty.
+    fn min_index(&mut self) -> Option<usize> {
+        match self.min {
+            MinState::Empty => None,
+            MinState::At(m) => Some(m),
+            MinState::Dirty => {
+                let mut best = 0usize;
+                for (i, t) in self.armed.iter().enumerate().skip(1) {
+                    let b = &self.armed[best];
+                    if (t.time, t.seq) < (b.time, b.seq) {
+                        best = i;
+                    }
+                }
+                self.min = MinState::At(best);
+                Some(best)
+            }
+        }
+    }
+
+    /// The earliest timer, if any.
+    fn peek(&mut self) -> Option<Timer> {
+        self.min_index().map(|i| self.armed[i])
+    }
+
+    /// Remove and return the earliest timer.
+    fn extract_min(&mut self) -> Option<Timer> {
+        let i = self.min_index()?;
+        let timer = self.armed[i];
+        self.remove_at(i);
+        Some(timer)
+    }
+
+    fn len(&self) -> usize {
+        self.armed.len()
+    }
+}
+
+/// A deterministic time-ordered event queue: a binary heap for general events
+/// plus the [`TimerSet`] tier for backoff timers, merged at pop time by the
+/// shared `(time, seq)` total order.
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+    heap: std::collections::BinaryHeap<Scheduled>,
+    timers: TimerSet,
     next_seq: u64,
 }
 
 impl EventQueue {
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
-        Self::default()
+        Self::with_stations(64)
+    }
+
+    /// Create a queue able to hold one backoff timer for each of `n` stations.
+    pub(crate) fn with_stations(n: usize) -> Self {
+        EventQueue {
+            heap: std::collections::BinaryHeap::new(),
+            timers: TimerSet::with_stations(n),
+            next_seq: 0,
+        }
     }
 
     /// Schedule `event` at absolute time `time`.
@@ -73,20 +242,67 @@ impl EventQueue {
         self.heap.push(Scheduled { time, seq, event });
     }
 
-    /// Timestamp of the earliest pending event.
-    pub(crate) fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+    /// Arm `station`'s backoff timer to fire a `TxStart { station, gen }` at
+    /// `time`. The timer draws its sequence number from the same counter as
+    /// `schedule`, so it pops exactly where the equivalent `schedule` call
+    /// would have placed it.
+    pub(crate) fn schedule_timer(&mut self, station: NodeId, gen: u64, time: SimTime) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.timers.arm(Timer {
+            time,
+            seq,
+            station,
+            gen,
+        });
     }
 
-    /// Pop the earliest pending event.
+    /// Cancel `station`'s armed backoff timer (no-op if not armed). Unlike the
+    /// old lazy `gen`-bump invalidation, the timer is physically removed and
+    /// never surfaces as a stale pop.
+    pub(crate) fn cancel_timer(&mut self, station: NodeId) {
+        self.timers.cancel(station);
+    }
+
+    /// Timestamp of the earliest pending event in either tier.
+    pub(crate) fn peek_time(&mut self) -> Option<SimTime> {
+        let heap_top = self.heap.peek().map(|s| (s.time, s.seq));
+        let timer_top = self.timers.peek().map(|t| (t.time, t.seq));
+        match (heap_top, timer_top) {
+            (None, None) => None,
+            (Some((t, _)), None) | (None, Some((t, _))) => Some(t),
+            (Some(h), Some(t)) => Some(h.min(t).0),
+        }
+    }
+
+    /// Pop the earliest pending event from either tier.
     pub(crate) fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+        let heap_top = self.heap.peek().map(|s| (s.time, s.seq));
+        let timer_top = self.timers.peek().map(|t| (t.time, t.seq));
+        let take_timer = match (heap_top, timer_top) {
+            (None, None) => return None,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(h), Some(t)) => t < h,
+        };
+        if take_timer {
+            let timer = self.timers.extract_min().expect("peeked timer vanished");
+            Some((
+                timer.time,
+                Event::TxStart {
+                    station: timer.station,
+                    gen: timer.gen,
+                },
+            ))
+        } else {
+            self.heap.pop().map(|s| (s.time, s.event))
+        }
     }
 
-    /// Number of pending events.
+    /// Number of pending events (both tiers).
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.timers.len()
     }
 }
 
@@ -94,12 +310,16 @@ impl EventQueue {
 mod tests {
     use super::*;
 
+    fn tx_id(n: u32) -> TxId {
+        TxId::from_parts(n, 0)
+    }
+
     #[test]
     fn events_pop_in_time_order() {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_micros(30), Event::StatsTick);
-        q.schedule(SimTime::from_micros(10), Event::TxEnd { tx_id: 1 });
-        q.schedule(SimTime::from_micros(20), Event::TxEnd { tx_id: 2 });
+        q.schedule(SimTime::from_micros(10), Event::TxEnd { tx: tx_id(1) });
+        q.schedule(SimTime::from_micros(20), Event::TxEnd { tx: tx_id(2) });
         assert_eq!(q.len(), 3);
         assert_eq!(q.pop().unwrap().0, SimTime::from_micros(10));
         assert_eq!(q.pop().unwrap().0, SimTime::from_micros(20));
@@ -128,5 +348,59 @@ mod tests {
         q.schedule(SimTime::from_micros(1), Event::StatsTick);
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(1)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_matches_reference_order() {
+        // Drive the heap tier through a pseudo-random interleaving of pushes
+        // and pops and check every pop against a sorted reference of
+        // (time, insertion index) — the total order the engine's determinism
+        // rests on. Each event carries its insertion index so FIFO tie-breaks
+        // are verified exactly, not just times.
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, usize)> = Vec::new(); // (time_us, insertion index)
+        let mut inserted = 0usize;
+        let mut state = 0x853c_49e6_748f_ea9bu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let check_pop = |q: &mut EventQueue, reference: &mut Vec<(u64, usize)>| {
+            let (t, ev) = q.pop().expect("reference says non-empty");
+            let min_pos = reference
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &entry)| entry)
+                .map(|(pos, _)| pos)
+                .expect("non-empty");
+            let (expect_t, expect_idx) = reference.swap_remove(min_pos);
+            assert_eq!(t, SimTime::from_micros(expect_t));
+            match ev {
+                Event::TxStart { station, .. } => assert_eq!(station, expect_idx),
+                other => panic!("unexpected event {other:?}"),
+            }
+        };
+        for _ in 0..5000 {
+            if reference.is_empty() || rng() % 3 != 0 {
+                let t = rng() % 500; // dense times force plenty of ties
+                q.schedule(
+                    SimTime::from_micros(t),
+                    Event::TxStart {
+                        station: inserted,
+                        gen: 0,
+                    },
+                );
+                reference.push((t, inserted));
+                inserted += 1;
+            } else {
+                check_pop(&mut q, &mut reference);
+            }
+        }
+        while !reference.is_empty() {
+            check_pop(&mut q, &mut reference);
+        }
+        assert!(q.pop().is_none());
     }
 }

@@ -1,19 +1,36 @@
 //! The discrete-event simulation engine.
 //!
 //! [`Simulator`] wires together the PHY timing, the topology's sensing relation,
-//! one [`BackoffPolicy`](crate::backoff::BackoffPolicy) per station, and an
-//! [`ApAlgorithm`](crate::ap::ApAlgorithm) at the access point, and advances a
+//! one [`Policy`](crate::backoff::Policy) per station, and a
+//! [`Controller`](crate::ap::Controller) at the access point, and advances a
 //! deterministic event queue. The model is the saturated uplink of the paper's
 //! Section II: every station always has a frame queued for the AP, a frame is
 //! received iff no other transmission overlaps it in time and the AP itself is
 //! not transmitting, and the AP answers every received frame with an ACK after
 //! SIFS, piggy-backing the controller's current control variable.
+//!
+//! ## Hot path
+//!
+//! Three structural choices keep the per-event cost low (see the "Hot path"
+//! section of `docs/ARCHITECTURE.md`):
+//!
+//! * **O(degree) sensing** — transmission start/end notifies only the
+//!   transmitter's precomputed sensing neighbours ([`Topology::neighbors`]),
+//!   in ascending id order, instead of scanning all N stations; ACK events
+//!   walk the sorted active-station list (every station senses the AP).
+//! * **Static dispatch** — stations own a [`Policy`] enum inline and the AP a
+//!   [`Controller`] enum, so the common policies dispatch without vtables.
+//! * **Transmission slab** — in-flight transmissions live in a generational
+//!   free-list slab ([`slab::TxSlab`]) and are reclaimed as soon as their
+//!   lifecycle ends, so memory is O(concurrent transmissions), not O(run
+//!   length).
 
 mod event;
+mod slab;
 mod station;
 
-use crate::ap::{ApAlgorithm, NullController};
-use crate::backoff::BackoffPolicy;
+use crate::ap::{ApAlgorithm, Controller, NullController};
+use crate::backoff::{BackoffPolicy, Policy};
 use crate::capture::CaptureModel;
 use crate::control::{BusyOutcome, ChannelObservation, ControlPayload};
 use crate::phy::PhyParams;
@@ -23,16 +40,16 @@ use crate::topology::{NodeId, Topology};
 use event::{Event, EventQueue};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use slab::{TxId, TxSlab};
 use station::{Phase, StationState};
 
-/// An in-flight (or completed) data transmission.
+/// An in-flight data transmission (slab-resident from `TxStart` until the end
+/// of its lifecycle: `TxEnd` when no ACK follows, `AckEnd` otherwise).
 #[derive(Debug, Clone)]
 struct Transmission {
     source: NodeId,
-    #[allow(dead_code)]
+    /// When the transmission started (feeds per-station airtime accounting).
     start: SimTime,
-    #[allow(dead_code)]
-    end: SimTime,
     payload_bits: u64,
     /// Received power at the AP (1.0 when no capture model is configured).
     rx_power: f64,
@@ -72,7 +89,7 @@ struct PendingAck {
 /// let topo = Topology::fully_connected(10);
 /// let mut sim = SimulatorBuilder::new(phy, topo)
 ///     .seed(7)
-///     .with_stations(|_, phy| Box::new(PPersistent::new(2.0 / (10.0 * phy.tc_star().sqrt()))))
+///     .with_stations(|_, phy| PPersistent::new(2.0 / (10.0 * phy.tc_star().sqrt())))
 ///     .build();
 /// sim.run_for(wlan_sim::SimDuration::from_millis(200));
 /// assert!(sim.stats().system_throughput_mbps() > 1.0);
@@ -82,8 +99,8 @@ pub struct SimulatorBuilder {
     topology: Topology,
     seed: u64,
     weights: Vec<f64>,
-    policies: Vec<Option<Box<dyn BackoffPolicy>>>,
-    ap: Box<dyn ApAlgorithm>,
+    policies: Vec<Option<Policy>>,
+    ap: Controller,
     throughput_bin: SimDuration,
     frame_error_rate: f64,
     initially_active: Option<usize>,
@@ -100,7 +117,7 @@ impl SimulatorBuilder {
             seed: 0,
             weights: vec![1.0; n],
             policies: (0..n).map(|_| None).collect(),
-            ap: Box::new(NullController::new()),
+            ap: Controller::Null(NullController::new()),
             throughput_bin: SimDuration::from_secs(1),
             frame_error_rate: 0.0,
             initially_active: None,
@@ -114,20 +131,24 @@ impl SimulatorBuilder {
         self
     }
 
-    /// Install the same policy constructor on every station.
-    pub fn with_stations<F>(mut self, mut factory: F) -> Self
+    /// Install the same policy constructor on every station. The factory may
+    /// return any concrete policy convertible into [`Policy`] (or a
+    /// `Box<dyn BackoffPolicy>`, which lands in the `Policy::Custom` escape
+    /// hatch and dispatches virtually).
+    pub fn with_stations<F, P>(mut self, mut factory: F) -> Self
     where
-        F: FnMut(NodeId, &PhyParams) -> Box<dyn BackoffPolicy>,
+        F: FnMut(NodeId, &PhyParams) -> P,
+        P: Into<Policy>,
     {
         for i in 0..self.policies.len() {
-            self.policies[i] = Some(factory(i, &self.phy));
+            self.policies[i] = Some(factory(i, &self.phy).into());
         }
         self
     }
 
     /// Install a policy on a single station.
-    pub fn with_station_policy(mut self, node: NodeId, policy: Box<dyn BackoffPolicy>) -> Self {
-        self.policies[node] = Some(policy);
+    pub fn with_station_policy(mut self, node: NodeId, policy: impl Into<Policy>) -> Self {
+        self.policies[node] = Some(policy.into());
         self
     }
 
@@ -139,9 +160,10 @@ impl SimulatorBuilder {
         self
     }
 
-    /// Install the AP-side controller.
-    pub fn ap_algorithm(mut self, ap: Box<dyn ApAlgorithm>) -> Self {
-        self.ap = ap;
+    /// Install the AP-side controller (any concrete controller convertible
+    /// into [`Controller`], or a `Box<dyn ApAlgorithm>` for the escape hatch).
+    pub fn ap_algorithm(mut self, ap: impl Into<Controller>) -> Self {
+        self.ap = ap.into();
         self
     }
 
@@ -180,6 +202,16 @@ impl SimulatorBuilder {
     /// PHY parameters are inconsistent.
     pub fn build(self) -> Simulator {
         self.phy.validate().expect("invalid PHY parameters");
+        // The TxEnd event elision in `station_busy_end` relies on the ACK
+        // freeze at `now + SIFS` always preceding a resumed countdown's
+        // earliest expiry at `now + DIFS + slot`. `validate()` guarantees
+        // DIFS >= SIFS today; assert the linkage here so a future loosening
+        // of `validate()` cannot silently turn elided timers into lost
+        // transmissions.
+        assert!(
+            self.phy.sifs < self.phy.difs + self.phy.slot,
+            "event elision requires SIFS < DIFS + slot"
+        );
         let n = self.topology.num_nodes();
         let mut master = ChaCha8Rng::seed_from_u64(self.seed);
         let mut stations = Vec::with_capacity(n);
@@ -193,10 +225,11 @@ impl SimulatorBuilder {
             phy: self.phy,
             topology: self.topology,
             stations,
+            active: Vec::with_capacity(n),
             ap: self.ap,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_stations(n),
             now: SimTime::ZERO,
-            txs: Vec::new(),
+            txs: TxSlab::new(),
             active_tx: Vec::new(),
             ap_transmitting: false,
             pending_ack: None,
@@ -211,8 +244,10 @@ impl SimulatorBuilder {
             bin_start: SimTime::ZERO,
             bin_bits: 0,
             frame_error_rate: self.frame_error_rate,
+            ack_can_be_lost: self.capture.as_ref().is_some_and(|c| c.sir_threshold < 1.0),
             capture: self.capture,
             engine_rng,
+            events_processed: 0,
         };
         let active = self.initially_active.unwrap_or(n);
         for i in 0..active {
@@ -229,11 +264,17 @@ pub struct Simulator {
     phy: PhyParams,
     topology: Topology,
     stations: Vec<StationState>,
-    ap: Box<dyn ApAlgorithm>,
+    /// Ids of active stations, **sorted ascending**. ACK events notify exactly
+    /// this set (every station senses the AP); keeping it sorted preserves the
+    /// engine's ascending-id notification order.
+    active: Vec<NodeId>,
+    ap: Controller,
     queue: EventQueue,
     now: SimTime,
-    txs: Vec<Transmission>,
-    active_tx: Vec<usize>,
+    /// In-flight transmissions; entries are reclaimed at the end of each
+    /// transmission's lifecycle, so the slab stays O(concurrent transmissions).
+    txs: TxSlab,
+    active_tx: Vec<TxId>,
     ap_transmitting: bool,
     pending_ack: Option<PendingAck>,
     stats: SimStats,
@@ -249,7 +290,14 @@ pub struct Simulator {
     bin_bits: u64,
     frame_error_rate: f64,
     capture: Option<CaptureModel>,
+    /// Whether a successfully received frame's ACK can still fail to reach
+    /// its sender. True only for capture models with `sir_threshold < 1`,
+    /// where two mutually overlapping frames can both decode and the second
+    /// success overwrites the pending ACK of the first. Gates the
+    /// success-path `AckTimeout` elision.
+    ack_can_be_lost: bool,
     engine_rng: ChaCha8Rng,
+    events_processed: u64,
 }
 
 impl Simulator {
@@ -270,7 +318,27 @@ impl Simulator {
 
     /// Number of stations currently active.
     pub fn active_stations(&self) -> usize {
-        self.stations.iter().filter(|s| s.is_active()).count()
+        self.active.len()
+    }
+
+    /// Total number of events the engine has processed so far (all event
+    /// kinds, including stale timers). This is the denominator-free measure of
+    /// engine work the `bench_engine` harness reports as events/sec.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Largest number of transmissions ever simultaneously resident in the
+    /// transmission slab. Bounded by the number of stations (each station has
+    /// at most one outstanding transmission), regardless of run length — the
+    /// memory-boundedness regression tests assert exactly that.
+    pub fn tx_slab_high_water(&self) -> usize {
+        self.txs.high_water()
+    }
+
+    /// Number of transmission-slab slots currently allocated (live + free).
+    pub fn tx_slab_capacity(&self) -> usize {
+        self.txs.capacity()
     }
 
     /// Immutable access to the collected statistics.
@@ -282,7 +350,7 @@ impl Simulator {
 
     /// The AP-side controller (for reading its trace after a run).
     pub fn ap_algorithm(&self) -> &dyn ApAlgorithm {
-        self.ap.as_ref()
+        &self.ap
     }
 
     /// The attempt probability currently reported by a station's policy, if any.
@@ -318,12 +386,15 @@ impl Simulator {
             st.idle_since = now;
             st.countdown_start = None;
         }
+        if let Err(pos) = self.active.binary_search(&node) {
+            self.active.insert(pos, node);
+        }
         // Recompute what the station currently senses.
         let sensed = self
             .active_tx
             .iter()
             .filter(|&&id| {
-                let src = self.txs[id].source;
+                let src = self.txs.get(id).source;
                 src != node && self.topology.senses(node, src)
             })
             .count() as u32
@@ -343,6 +414,10 @@ impl Simulator {
         st.countdown_start = None;
         st.timer_gen += 1;
         st.ack_gen += 1;
+        self.queue.cancel_timer(node);
+        if let Ok(pos) = self.active.binary_search(&node) {
+            self.active.remove(pos);
+        }
     }
 
     /// Run the simulation until the given absolute time.
@@ -372,11 +447,12 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, ev: Event) {
+        self.events_processed += 1;
         match ev {
             Event::TxStart { station, gen } => self.handle_tx_start(station, gen),
-            Event::TxEnd { tx_id } => self.handle_tx_end(tx_id),
-            Event::AckStart { tx_id } => self.handle_ack_start(tx_id),
-            Event::AckEnd { tx_id } => self.handle_ack_end(tx_id),
+            Event::TxEnd { tx } => self.handle_tx_end(tx),
+            Event::AckStart { tx } => self.handle_ack_start(tx),
+            Event::AckEnd { tx } => self.handle_ack_end(tx),
             Event::AckTimeout { station, gen } => self.handle_ack_timeout(station, gen),
             Event::StatsTick => self.handle_stats_tick(),
         }
@@ -413,21 +489,20 @@ impl Simulator {
         let collided = self.ap_transmitting;
         let mut interference = 0.0;
         for &id in &self.active_tx {
-            interference += self.txs[id].rx_power;
-            self.txs[id].interference += rx_power;
+            let other = self.txs.get_mut(id);
+            interference += other.rx_power;
+            other.interference += rx_power;
         }
 
-        let tx_id = self.txs.len();
-        self.txs.push(Transmission {
+        let tx = self.txs.insert(Transmission {
             source: node,
             start: now,
-            end,
             payload_bits,
             rx_power,
             interference,
             collided,
         });
-        self.active_tx.push(tx_id);
+        self.active_tx.push(tx);
         self.stats.nodes[node].attempts += 1;
 
         {
@@ -437,47 +512,73 @@ impl Simulator {
             st.timer_gen += 1;
         }
 
-        self.queue.schedule(end, Event::TxEnd { tx_id });
+        self.queue.schedule(end, Event::TxEnd { tx });
 
-        // Stations within sensing range of the transmitter see the medium go busy.
-        for other in 0..self.stations.len() {
-            if other != node
-                && self.stations[other].is_active()
-                && self.topology.senses(other, node)
-            {
-                self.sense_busy_start(other, true);
+        // Stations within sensing range of the transmitter see the medium go busy
+        // (ascending id order — the RNG-stream-stability rule).
+        {
+            let (phy, topology, stations, queue) = (
+                &self.phy,
+                &self.topology,
+                &mut self.stations,
+                &mut self.queue,
+            );
+            for &other in topology.neighbors(node) {
+                let st = &mut stations[other];
+                if st.is_active() {
+                    Self::station_busy_start(phy, queue, now, other, st, true);
+                }
             }
         }
         self.ap_channel_busy_start(true);
     }
 
-    fn handle_tx_end(&mut self, tx_id: usize) {
+    fn handle_tx_end(&mut self, tx: TxId) {
         let now = self.now;
-        self.active_tx.retain(|&id| id != tx_id);
-        let (source, decodable, payload_bits) = {
-            let tx = &self.txs[tx_id];
+        self.active_tx.retain(|&id| id != tx);
+        let (source, decodable, payload_bits, started) = {
+            let t = self.txs.get(tx);
             (
-                tx.source,
-                tx.decodable(self.capture.as_ref()),
-                tx.payload_bits,
+                t.source,
+                t.decodable(self.capture.as_ref()),
+                t.payload_bits,
+                t.start,
             )
         };
+        self.stats.nodes[source].airtime += now.duration_since(started);
 
-        // Sensing stations see the medium go (possibly) idle again.
-        for other in 0..self.stations.len() {
-            if other != source
-                && self.stations[other].is_active()
-                && self.topology.senses(other, source)
-            {
-                self.sense_busy_end(other);
-            }
-        }
-
-        // The transmitter itself starts listening for the ACK.
+        // Decide reception before notifying sensors so the sensing loop knows
+        // whether an AckStart will follow at now + SIFS. (The frame-error draw
+        // comes from the engine's own RNG stream, which no station shares, so
+        // drawing it before the stations' redraws does not perturb any station
+        // stream.)
         let mut reception_failed = !decodable;
         if !reception_failed && self.frame_error_rate > 0.0 {
             reception_failed = self.engine_rng.gen::<f64>() < self.frame_error_rate;
         }
+        let ack_follows = !reception_failed;
+
+        // Sensing stations see the medium go (possibly) idle again. When an ACK
+        // follows, the AP is guaranteed to re-freeze every one of them at
+        // now + SIFS — strictly before any countdown expiring at or after
+        // now + DIFS — so their TxStart events would be invalidated unread;
+        // `station_busy_end` elides those pushes entirely (see its doc comment).
+        {
+            let (phy, topology, stations, queue) = (
+                &self.phy,
+                &self.topology,
+                &mut self.stations,
+                &mut self.queue,
+            );
+            for &other in topology.neighbors(source) {
+                let st = &mut stations[other];
+                if st.is_active() {
+                    Self::station_busy_end(phy, queue, now, other, st, ack_follows);
+                }
+            }
+        }
+
+        // The transmitter itself starts listening for the ACK.
         if self.stations[source].is_active() {
             let timeout = self.phy.ack_timeout();
             let st = &mut self.stations[source];
@@ -487,17 +588,31 @@ impl Simulator {
             }
             st.ack_gen += 1;
             let gen = st.ack_gen;
-            self.queue.schedule(
-                now + timeout,
-                Event::AckTimeout {
-                    station: source,
-                    gen,
-                },
-            );
+            // On the success path the timeout (usually) could never take
+            // effect: the AckEnd (at now + SIFS + ACK airtime) either
+            // delivers the ACK and bumps `ack_gen`, or the station left
+            // `AwaitingAck` through deactivation — both of which already make
+            // the timeout a stale no-op before its fire time. Only schedule
+            // it when it can fire. The exception is a capture model with a
+            // sub-unity SIR threshold (`ack_can_be_lost`): there two
+            // overlapping frames can *both* decode, the second success
+            // overwrites `pending_ack`, and the first sender's ACK is never
+            // delivered — its timeout must stay scheduled or the station
+            // would be stranded in `AwaitingAck` forever.
+            if reception_failed || self.ack_can_be_lost {
+                self.queue.schedule(
+                    now + timeout,
+                    Event::AckTimeout {
+                        station: source,
+                        gen,
+                    },
+                );
+            }
         }
 
         if !reception_failed {
-            // The AP decoded the frame; ACK after SIFS.
+            // The AP decoded the frame; ACK after SIFS. The slab entry stays
+            // alive until AckEnd closes the lifecycle.
             self.ap_busy_has_success = true;
             self.ap.on_success(now, source, payload_bits);
             self.pending_ack = Some(PendingAck {
@@ -505,17 +620,20 @@ impl Simulator {
                 payload: ControlPayload::None,
             });
             self.queue
-                .schedule(now + self.phy.sifs, Event::AckStart { tx_id });
+                .schedule(now + self.phy.sifs, Event::AckStart { tx });
+        } else {
+            // No ACK will reference this transmission again: reclaim it now.
+            self.txs.remove(tx);
         }
 
         self.ap_channel_busy_end();
     }
 
-    fn handle_ack_start(&mut self, tx_id: usize) {
+    fn handle_ack_start(&mut self, tx: TxId) {
         let now = self.now;
         // The AP cannot receive while transmitting: any frame in flight is lost.
         for &id in &self.active_tx {
-            self.txs[id].collided = true;
+            self.txs.get_mut(id).collided = true;
         }
         self.ap_transmitting = true;
         let payload = self.ap.control_payload(now);
@@ -523,31 +641,40 @@ impl Simulator {
             ack.payload = payload;
         }
         let end = now + self.phy.ack_airtime();
-        self.queue.schedule(end, Event::AckEnd { tx_id });
+        self.queue.schedule(end, Event::AckEnd { tx });
 
         // Every active station senses the AP.
-        let tx_source = self.txs[tx_id].source;
-        for node in 0..self.stations.len() {
-            if self.stations[node].is_active() && node != tx_source {
-                self.sense_busy_start(node, false);
+        let tx_source = self.txs.get(tx).source;
+        {
+            let (phy, active, stations, queue) =
+                (&self.phy, &self.active, &mut self.stations, &mut self.queue);
+            for &node in active {
+                if node != tx_source {
+                    Self::station_busy_start(phy, queue, now, node, &mut stations[node], false);
+                }
             }
         }
         self.ap_channel_busy_start(false);
     }
 
-    fn handle_ack_end(&mut self, tx_id: usize) {
+    fn handle_ack_end(&mut self, tx: TxId) {
         let now = self.now;
         self.ap_transmitting = false;
+        // The ACK closes this transmission's lifecycle: reclaim the slab entry.
+        let ended = self.txs.remove(tx);
         let ack = self.pending_ack.take();
         let (dest, payload) = match ack {
             Some(a) => (a.dest, a.payload),
-            None => (self.txs[tx_id].source, ControlPayload::None),
+            None => (ended.source, ControlPayload::None),
         };
 
-        let tx_source = self.txs[tx_id].source;
-        for node in 0..self.stations.len() {
-            if self.stations[node].is_active() && node != tx_source {
-                self.sense_busy_end(node);
+        {
+            let (phy, active, stations, queue) =
+                (&self.phy, &self.active, &mut self.stations, &mut self.queue);
+            for &node in active {
+                if node != ended.source {
+                    Self::station_busy_end(phy, queue, now, node, &mut stations[node], false);
+                }
             }
         }
 
@@ -560,7 +687,7 @@ impl Simulator {
 
         // Deliver the ACK to its addressee.
         if self.stations[dest].phase == Phase::AwaitingAck {
-            let payload_bits = self.txs[tx_id].payload_bits;
+            let payload_bits = ended.payload_bits;
             self.stats.nodes[dest].successes += 1;
             self.stats.nodes[dest].payload_bits_delivered += payload_bits;
             self.bin_bits += payload_bits;
@@ -654,30 +781,38 @@ impl Simulator {
             st.timer_gen += 1;
             let gen = st.timer_gen;
             let fire = start + self.phy.slot * st.remaining_slots;
-            self.queue
-                .schedule(fire, Event::TxStart { station: node, gen });
+            self.queue.schedule_timer(node, gen, fire);
         }
     }
 
-    /// A transmission this station can sense has started.
-    fn sense_busy_start(&mut self, node: NodeId, is_data: bool) {
-        let now = self.now;
-        let slot = self.phy.slot;
-        let difs = self.phy.difs;
-        let st = &mut self.stations[node];
+    /// A transmission the station `st` (with id `node`) can sense has started:
+    /// freeze its countdown and cancel its armed backoff timer (if any).
+    fn station_busy_start(
+        phy: &PhyParams,
+        queue: &mut EventQueue,
+        now: SimTime,
+        node: NodeId,
+        st: &mut StationState,
+        is_data: bool,
+    ) {
+        let slot = phy.slot;
+        let difs = phy.difs;
         st.sensed_busy += 1;
         if st.sensed_busy > 1 {
             st.busy_has_data |= is_data;
             return;
         }
-        // Medium transition idle -> busy.
+        // Medium transition idle -> busy. Idle-slot accounting feeds only
+        // `on_observation`; skip the division for policies that ignore it.
         st.busy_has_data = is_data;
-        let idle_start = st.idle_since + difs;
-        st.pending_idle_slots = if now > idle_start {
-            now.duration_since(idle_start).div_duration(slot)
-        } else {
-            0
-        };
+        if st.wants_obs {
+            let idle_start = st.idle_since + difs;
+            st.pending_idle_slots = if now > idle_start {
+                now.duration_since(idle_start).div_duration(slot)
+            } else {
+                0
+            };
+        }
 
         if st.phase == Phase::Contending {
             if let Some(anchor) = st.countdown_start {
@@ -688,41 +823,57 @@ impl Simulator {
                 };
                 if elapsed >= st.remaining_slots {
                     // The station's own TxStart is due at exactly this instant and is
-                    // still pending in the queue; leave it valid so simultaneous
+                    // still armed in the queue; leave it valid so simultaneous
                     // transmissions (collisions) can happen.
                 } else {
                     st.remaining_slots -= elapsed;
                     st.countdown_start = None;
                     st.timer_gen += 1;
+                    queue.cancel_timer(node);
                 }
             }
         }
     }
 
-    /// A transmission this station was sensing has ended.
-    fn sense_busy_end(&mut self, node: NodeId) {
-        let now = self.now;
-        let difs = self.phy.difs;
-        debug_assert!(self.stations[node].sensed_busy > 0);
-        {
-            let st = &mut self.stations[node];
-            st.sensed_busy = st.sensed_busy.saturating_sub(1);
-            if st.sensed_busy > 0 {
-                return;
-            }
-            // Medium transition busy -> idle.
-            st.idle_since = now;
-            if st.busy_has_data {
-                let obs = ChannelObservation {
-                    idle_slots: st.pending_idle_slots,
-                    own_transmission: false,
-                    outcome: BusyOutcome::Unknown,
-                };
-                st.policy.on_observation(&obs);
-            }
+    /// A transmission the station `st` (with id `node`) was sensing has ended:
+    /// deliver the channel observation and, if the station is contending,
+    /// resume (or redraw) its countdown and schedule the next `TxStart`.
+    ///
+    /// `ack_follows` is the hot-path event-elision flag: when the caller knows
+    /// the AP will start an ACK at `now + SIFS`, every station resumed here is
+    /// guaranteed to be re-frozen before a countdown of one or more slots can
+    /// expire (the earliest expiry is `now + DIFS + slot > now + SIFS`), so the
+    /// `TxStart` it would schedule is dead on arrival. In that case the
+    /// countdown is armed (`countdown_start` set, backoff redrawn exactly as
+    /// usual — the RNG stream must not change) but the heap push is skipped.
+    /// A zero-slot countdown still schedules: its expiry at `now + DIFS` is
+    /// covered by the same-instant rule in `station_busy_start` (`elapsed >=
+    /// remaining_slots` leaves the timer valid), so that event genuinely fires.
+    fn station_busy_end(
+        phy: &PhyParams,
+        queue: &mut EventQueue,
+        now: SimTime,
+        node: NodeId,
+        st: &mut StationState,
+        ack_follows: bool,
+    ) {
+        let difs = phy.difs;
+        debug_assert!(st.sensed_busy > 0);
+        st.sensed_busy = st.sensed_busy.saturating_sub(1);
+        if st.sensed_busy > 0 {
+            return;
         }
-        if self.stations[node].phase == Phase::Contending {
-            let st = &mut self.stations[node];
+        // Medium transition busy -> idle.
+        st.idle_since = now;
+        if st.busy_has_data && st.wants_obs {
+            let obs = ChannelObservation {
+                idle_slots: st.pending_idle_slots,
+                own_transmission: false,
+                outcome: BusyOutcome::Unknown,
+            };
+            st.policy.on_observation(&obs);
+        }
+        if st.phase == Phase::Contending {
             if st.policy.redraw_on_resume() {
                 // Memoryless (p-persistent) policies attempt independently in
                 // every idle slot; resuming the frozen counter would bias the
@@ -732,11 +883,24 @@ impl Simulator {
             }
             let start = now + difs;
             st.countdown_start = Some(start);
-            st.timer_gen += 1;
-            let gen = st.timer_gen;
-            let fire = start + self.phy.slot * st.remaining_slots;
-            self.queue
-                .schedule(fire, Event::TxStart { station: node, gen });
+            if ack_follows && st.remaining_slots > 0 {
+                // Dead-on-arrival event elided; the AckStart freeze at
+                // now + SIFS finds the armed countdown with elapsed == 0 and
+                // re-freezes it, exactly as it would have invalidated the
+                // scheduled event.
+            } else {
+                st.timer_gen += 1;
+                let gen = st.timer_gen;
+                let fire = start + phy.slot * st.remaining_slots;
+                // The station can still be armed here: a zero-slot timer left
+                // valid by the same-instant rule whose busy period ended
+                // before it fired (e.g. an ACK shorter than DIFS). The old
+                // engine invalidated that event with the `timer_gen` bump
+                // above and pushed a replacement; with physical cancellation
+                // the replacement is explicit.
+                queue.cancel_timer(node);
+                queue.schedule_timer(node, gen, fire);
+            }
         }
     }
 
@@ -793,7 +957,7 @@ mod tests {
         let _ = n;
         SimulatorBuilder::new(phy, topo)
             .seed(seed)
-            .with_stations(move |_, _| Box::new(PPersistent::new(p)))
+            .with_stations(move |_, _| PPersistent::new(p))
             .build()
     }
 
@@ -803,7 +967,7 @@ mod tests {
         let phy = PhyParams::table1();
         let mut sim = SimulatorBuilder::new(phy.clone(), topo)
             .seed(1)
-            .with_stations(|_, _| Box::new(FixedWindow::new(1)))
+            .with_stations(|_, _| FixedWindow::new(1))
             .build();
         sim.run_for(SimDuration::from_secs(1));
         let stats = sim.stats();
@@ -865,7 +1029,7 @@ mod tests {
         let phy = PhyParams::table1();
         let mut sim = SimulatorBuilder::new(phy, topo)
             .seed(11)
-            .with_stations(|_, phy| Box::new(ExponentialBackoff::new(phy)))
+            .with_stations(|_, phy| ExponentialBackoff::new(phy))
             .build();
         sim.run_for(SimDuration::from_secs(2));
         let stats = sim.stats();
@@ -919,7 +1083,7 @@ mod tests {
         let phy = PhyParams::table1();
         let mut sim = SimulatorBuilder::new(phy, topo)
             .seed(2)
-            .with_stations(|_, _| Box::new(PPersistent::new(0.05)))
+            .with_stations(|_, _| PPersistent::new(0.05))
             .initially_active(2)
             .build();
         assert_eq!(sim.active_stations(), 2);
@@ -953,7 +1117,7 @@ mod tests {
         let phy = PhyParams::table1();
         let mut sim = SimulatorBuilder::new(phy, topo)
             .seed(6)
-            .with_stations(|_, _| Box::new(PPersistent::new(0.05)))
+            .with_stations(|_, _| PPersistent::new(0.05))
             .throughput_bin(SimDuration::from_millis(100))
             .build();
         sim.run_for(SimDuration::from_secs(1));
@@ -989,7 +1153,7 @@ mod tests {
         let phy = PhyParams::table1();
         let mut sim = SimulatorBuilder::new(phy, topo)
             .seed(3)
-            .with_stations(|_, _| Box::new(FixedWindow::new(8)))
+            .with_stations(|_, _| FixedWindow::new(8))
             .frame_error_rate(0.3)
             .build();
         sim.run_for(SimDuration::from_secs(1));
@@ -1010,9 +1174,125 @@ mod tests {
         let topo = Topology::fully_connected(3);
         let phy = PhyParams::table1();
         let sim = SimulatorBuilder::new(phy, topo)
-            .with_stations(|_, _| Box::new(PPersistent::new(0.1)))
+            .with_stations(|_, _| PPersistent::new(0.1))
             .weights(vec![1.0, 2.0, 3.0])
             .build();
         assert_eq!(sim.weights(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn events_are_counted() {
+        let topo = Topology::fully_connected(3);
+        let mut sim = quick_sim(3, topo, 0.05, 17);
+        assert_eq!(sim.events_processed(), 0);
+        sim.run_for(SimDuration::from_secs(1));
+        let events = sim.events_processed();
+        // At minimum: 4 events per successful frame plus the stats ticks.
+        assert!(
+            events > 4 * sim.stats().total_successes(),
+            "events={events}"
+        );
+    }
+
+    #[test]
+    fn slab_high_water_is_bounded_by_station_count() {
+        // The unbounded-memory regression test: over a long run the slab must
+        // retain at most one entry per station (plus nothing for the AP), no
+        // matter how many transmissions come and go.
+        for (n, p, seed) in [(1usize, 0.5, 1u64), (5, 0.1, 2), (12, 0.05, 3)] {
+            let topo = Topology::fully_connected(n);
+            let mut sim = quick_sim(n, topo, p, seed);
+            sim.run_for(SimDuration::from_secs(5));
+            let stats = sim.stats();
+            assert!(
+                stats.total_attempts() > 1000,
+                "n={n}: want a long run, got {} attempts",
+                stats.total_attempts()
+            );
+            assert!(
+                sim.tx_slab_high_water() <= n + 1,
+                "n={n}: slab high-water {} exceeds N+1",
+                sim.tx_slab_high_water()
+            );
+            assert!(sim.tx_slab_capacity() <= n + 1);
+        }
+    }
+
+    #[test]
+    fn hidden_stations_keep_slab_bounded_too() {
+        // Hidden pairs overlap freely, so concurrency genuinely approaches N.
+        let mut topo = Topology::fully_connected(4);
+        topo.set_senses(0, 1, false);
+        topo.set_senses(0, 2, false);
+        topo.set_senses(1, 3, false);
+        let mut sim = quick_sim(4, topo, 0.2, 21);
+        sim.run_for(SimDuration::from_secs(5));
+        assert!(sim.stats().total_attempts() > 1000);
+        assert!(sim.tx_slab_high_water() <= 5);
+        assert!(sim.tx_slab_high_water() >= 2, "hidden pairs should overlap");
+    }
+
+    #[test]
+    fn sub_unity_sir_threshold_does_not_strand_stations() {
+        // With sir_threshold < 1 two mutually overlapping frames can BOTH be
+        // decodable, so a second success overwrites `pending_ack` and the
+        // first sender's ACK is never delivered. Its AckTimeout must then
+        // fire (the success-path timeout elision has to be disabled), or the
+        // station would sit in AwaitingAck forever. Regression test for the
+        // `ack_can_be_lost` gate: both hidden stations must keep making
+        // progress for the whole run.
+        let mut topo = Topology::fully_connected(2);
+        topo.set_senses(0, 1, false);
+        let phy = PhyParams::table1();
+        let capture = CaptureModel {
+            sir_threshold: 0.5,
+            ..CaptureModel::default_indoor()
+        };
+        let mut sim = SimulatorBuilder::new(phy, topo)
+            .seed(19)
+            .with_stations(|_, _| PPersistent::new(0.2))
+            .capture_model(Some(capture))
+            .build();
+        sim.run_for(SimDuration::from_secs(1));
+        let before = sim.stats();
+        assert!(before.nodes[0].attempts > 100 && before.nodes[1].attempts > 100);
+        sim.run_for(SimDuration::from_secs(1));
+        let after = sim.stats();
+        for i in 0..2 {
+            assert!(
+                after.nodes[i].attempts > before.nodes[i].attempts + 100,
+                "station {i} stalled: {} -> {} attempts",
+                before.nodes[i].attempts,
+                after.nodes[i].attempts
+            );
+        }
+    }
+
+    #[test]
+    fn airtime_accounts_every_attempt() {
+        let topo = Topology::fully_connected(2);
+        let phy = PhyParams::table1();
+        let data_airtime = phy.data_airtime();
+        let mut sim = SimulatorBuilder::new(phy, topo)
+            .seed(8)
+            .with_stations(|_, _| PPersistent::new(0.05))
+            .build();
+        sim.run_for(SimDuration::from_secs(1));
+        let stats = sim.stats();
+        for i in 0..2 {
+            let n = &stats.nodes[i];
+            // Attempts still in flight at the end of the run have not been
+            // credited yet, so airtime lies within one frame of attempts×T.
+            let lower = data_airtime * n.attempts.saturating_sub(1);
+            let upper = data_airtime * n.attempts;
+            assert!(
+                n.airtime >= lower && n.airtime <= upper,
+                "station {i}: airtime {} vs attempts {}",
+                n.airtime,
+                n.attempts
+            );
+            assert!(stats.node_airtime_share(i) > 0.0);
+        }
+        assert!(stats.total_airtime() > SimDuration::ZERO);
     }
 }

@@ -1,0 +1,237 @@
+//! A free-list slab for in-flight transmissions, keyed by generational ids.
+//!
+//! The engine used to keep every `Transmission` it ever created in an
+//! append-only `Vec`, so memory grew linearly with simulated time — a real
+//! problem for the 10^5-frame convergence runs the adaptive protocols need.
+//! The slab reclaims an entry as soon as its transmission's lifecycle ends
+//! (at `TxEnd` when no ACK follows, at `AckEnd` otherwise), so resident
+//! entries are bounded by the number of *concurrent* transmissions — at most
+//! one per station — regardless of run length.
+//!
+//! Ids are generational: a [`TxId`] names `(slot index, generation)`, and the
+//! generation is bumped every time a slot is vacated. A stale id therefore can
+//! never silently alias a recycled slot; looking one up is a loud panic, which
+//! turns any lifecycle bug in the event engine into an immediate failure
+//! instead of a corrupted statistic.
+
+use super::Transmission;
+
+/// Generational identifier of a slab entry, carried by the engine's
+/// `TxEnd` / `AckStart` / `AckEnd` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TxId {
+    index: u32,
+    generation: u32,
+}
+
+#[cfg(test)]
+impl TxId {
+    /// Construct an id directly (tests only — real ids come from `TxSlab::insert`).
+    pub(crate) fn from_parts(index: u32, generation: u32) -> Self {
+        TxId { index, generation }
+    }
+}
+
+#[derive(Debug)]
+enum Slot {
+    Occupied { generation: u32, tx: Transmission },
+    Vacant { generation: u32, next_free: u32 },
+}
+
+/// Sentinel for "no next free slot".
+const NONE: u32 = u32::MAX;
+
+/// The transmission slab: O(1) insert/remove through an intrusive free list,
+/// with a high-water mark for the memory-boundedness regression tests.
+#[derive(Debug, Default)]
+pub(crate) struct TxSlab {
+    slots: Vec<Slot>,
+    free_head: u32,
+    len: usize,
+    high_water: usize,
+}
+
+impl TxSlab {
+    pub(crate) fn new() -> Self {
+        TxSlab {
+            slots: Vec::new(),
+            free_head: NONE,
+            len: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Number of live transmissions.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Largest number of transmissions ever live at once.
+    pub(crate) fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Number of slots ever allocated (live + free-listed).
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Store a transmission, reusing a vacated slot when one is available.
+    pub(crate) fn insert(&mut self, tx: Transmission) -> TxId {
+        self.len += 1;
+        self.high_water = self.high_water.max(self.len);
+        if self.free_head != NONE {
+            let index = self.free_head;
+            let slot = &mut self.slots[index as usize];
+            let generation = match *slot {
+                Slot::Vacant {
+                    generation,
+                    next_free,
+                } => {
+                    self.free_head = next_free;
+                    generation
+                }
+                Slot::Occupied { .. } => unreachable!("free list points at an occupied slot"),
+            };
+            *slot = Slot::Occupied { generation, tx };
+            TxId { index, generation }
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("more than u32::MAX live txs");
+            self.slots.push(Slot::Occupied { generation: 0, tx });
+            TxId {
+                index,
+                generation: 0,
+            }
+        }
+    }
+
+    /// Free an entry and return its transmission. Panics on a stale or vacant id.
+    pub(crate) fn remove(&mut self, id: TxId) -> Transmission {
+        let slot = &mut self.slots[id.index as usize];
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == id.generation => {
+                let vacant = Slot::Vacant {
+                    generation: id.generation.wrapping_add(1),
+                    next_free: self.free_head,
+                };
+                let old = std::mem::replace(slot, vacant);
+                self.free_head = id.index;
+                self.len -= 1;
+                match old {
+                    Slot::Occupied { tx, .. } => tx,
+                    Slot::Vacant { .. } => unreachable!(),
+                }
+            }
+            _ => panic!("stale or vacant TxId {id:?} removed"),
+        }
+    }
+
+    /// Look up a live transmission. Panics on a stale or vacant id.
+    pub(crate) fn get(&self, id: TxId) -> &Transmission {
+        match &self.slots[id.index as usize] {
+            Slot::Occupied { generation, tx } if *generation == id.generation => tx,
+            _ => panic!("stale or vacant TxId {id:?} read"),
+        }
+    }
+
+    /// Mutable lookup. Panics on a stale or vacant id.
+    pub(crate) fn get_mut(&mut self, id: TxId) -> &mut Transmission {
+        match &mut self.slots[id.index as usize] {
+            Slot::Occupied { generation, tx } if *generation == id.generation => tx,
+            _ => panic!("stale or vacant TxId {id:?} written"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn tx(source: usize) -> Transmission {
+        Transmission {
+            source,
+            start: SimTime::ZERO,
+            payload_bits: 8000,
+            rx_power: 1.0,
+            interference: 0.0,
+            collided: false,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut slab = TxSlab::new();
+        let a = slab.insert(tx(1));
+        let b = slab.insert(tx(2));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a).source, 1);
+        assert_eq!(slab.get(b).source, 2);
+        slab.get_mut(a).interference += 1.5;
+        assert_eq!(slab.get(a).interference, 1.5);
+        assert_eq!(slab.remove(a).source, 1);
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.remove(b).source, 2);
+        assert_eq!(slab.len(), 0);
+    }
+
+    #[test]
+    fn slots_are_reused_and_capacity_stays_bounded() {
+        let mut slab = TxSlab::new();
+        for round in 0..1000 {
+            let a = slab.insert(tx(round));
+            let b = slab.insert(tx(round + 1));
+            slab.remove(a);
+            slab.remove(b);
+        }
+        assert_eq!(slab.capacity(), 2, "two slots should be recycled forever");
+        assert_eq!(slab.high_water(), 2);
+        assert_eq!(slab.len(), 0);
+    }
+
+    #[test]
+    fn free_list_is_lifo_and_generations_advance() {
+        let mut slab = TxSlab::new();
+        let a = slab.insert(tx(1));
+        slab.remove(a);
+        let b = slab.insert(tx(2));
+        // Same slot, new generation.
+        assert_eq!(slab.capacity(), 1);
+        assert_ne!(a, b);
+        assert_eq!(slab.get(b).source, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale or vacant")]
+    fn stale_id_lookup_panics() {
+        let mut slab = TxSlab::new();
+        let a = slab.insert(tx(1));
+        slab.remove(a);
+        slab.insert(tx(2)); // recycles the slot with a new generation
+        let _ = slab.get(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale or vacant")]
+    fn double_remove_panics() {
+        let mut slab = TxSlab::new();
+        let a = slab.insert(tx(1));
+        slab.remove(a);
+        slab.remove(a);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_concurrency() {
+        let mut slab = TxSlab::new();
+        let ids: Vec<TxId> = (0..5).map(|i| slab.insert(tx(i))).collect();
+        for id in ids {
+            slab.remove(id);
+        }
+        for i in 0..3 {
+            let id = slab.insert(tx(i));
+            slab.remove(id);
+        }
+        assert_eq!(slab.high_water(), 5);
+    }
+}

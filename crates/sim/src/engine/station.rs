@@ -1,6 +1,6 @@
 //! Per-station MAC state tracked by the event engine.
 
-use crate::backoff::BackoffPolicy;
+use crate::backoff::Policy;
 use crate::time::SimTime;
 use rand_chacha::ChaCha8Rng;
 
@@ -19,8 +19,9 @@ pub(crate) enum Phase {
 
 /// MAC state machine bookkeeping for one station.
 pub(crate) struct StationState {
-    /// Contention-resolution policy (owned by the station).
-    pub policy: Box<dyn BackoffPolicy>,
+    /// Contention-resolution policy, stored inline and dispatched statically
+    /// (the [`Policy`] enum; `Policy::Custom` keeps the trait-object escape hatch).
+    pub policy: Policy,
     /// Per-station RNG stream (deterministic, derived from the master seed).
     pub rng: ChaCha8Rng,
     /// Station weight (used only for reporting weighted fairness).
@@ -46,12 +47,21 @@ pub(crate) struct StationState {
     pub pending_idle_slots: u64,
     /// Whether the busy period currently being sensed contains a data frame.
     pub busy_has_data: bool,
+    /// Cached [`BackoffPolicy::wants_observations`](crate::backoff::BackoffPolicy::wants_observations):
+    /// the engine skips idle-slot accounting (a division per sensed busy
+    /// period) for stations whose policy ignores channel observations.
+    pub wants_obs: bool,
 }
 
 impl StationState {
-    pub(crate) fn new(policy: Box<dyn BackoffPolicy>, rng: ChaCha8Rng, weight: f64) -> Self {
+    pub(crate) fn new(policy: Policy, rng: ChaCha8Rng, weight: f64) -> Self {
+        let wants_obs = {
+            use crate::backoff::BackoffPolicy;
+            policy.wants_observations()
+        };
         StationState {
             policy,
+            wants_obs,
             rng,
             weight,
             phase: Phase::Inactive,

@@ -16,17 +16,21 @@
 //!   SIFS;
 //! * the contention-resolution policy of every station is pluggable
 //!   ([`backoff::BackoffPolicy`]): standard exponential backoff, p-persistent
-//!   CSMA, the paper's RandomReset(j; p0) scheme, or a fixed window;
-//! * the AP may run a controller ([`ap::ApAlgorithm`]) that observes successful
-//!   receptions and piggy-backs control variables on every ACK — the hook used
-//!   by wTOP-CSMA and TORA-CSMA (implemented in the `wlan-core` crate).
+//!   CSMA, the paper's RandomReset(j; p0) scheme, IdleSense, or a fixed
+//!   window. The engine stores policies in the closed [`backoff::Policy`]
+//!   enum and dispatches them statically (with a `Custom` trait-object escape
+//!   hatch for policies defined elsewhere);
+//! * the AP may run a controller ([`ap::ApAlgorithm`], stored as an
+//!   [`ap::Controller`]) that observes successful receptions and piggy-backs
+//!   control variables on every ACK — the hook used by wTOP-CSMA and
+//!   TORA-CSMA (implemented in the `wlan-core` crate).
 //!
 //! The engine is single-threaded and fully deterministic for a given seed.
-//! Every simulator (and everything inside it — policies and AP controllers
-//! are `Send` trait objects, the RNG is an owned `ChaCha8Rng`, and there is
-//! no `Rc` or thread-bound interior mutability anywhere) is `Send`, so the
-//! campaign layer in `wlan-core` can run many independent simulations on a
-//! thread pool with bit-identical results.
+//! Every simulator (and everything inside it — custom policies and AP
+//! controllers are `Send` trait objects, the RNG is an owned `ChaCha8Rng`,
+//! and there is no `Rc` or thread-bound interior mutability anywhere) is
+//! `Send`, so the campaign layer in `wlan-core` can run many independent
+//! simulations on a thread pool with bit-identical results.
 //!
 //! ## Quick example
 //!
@@ -37,7 +41,7 @@
 //! // 10 saturated stations running plain IEEE 802.11 DCF, fully connected.
 //! let mut sim = SimulatorBuilder::new(PhyParams::table1(), Topology::fully_connected(10))
 //!     .seed(1)
-//!     .with_stations(|_, phy| Box::new(ExponentialBackoff::new(phy)))
+//!     .with_stations(|_, phy| ExponentialBackoff::new(phy))
 //!     .build();
 //! sim.run_for(SimDuration::from_millis(500));
 //! let stats = sim.stats();
@@ -52,6 +56,7 @@ pub mod backoff;
 pub mod capture;
 pub mod control;
 mod engine;
+pub mod idlesense;
 pub mod phy;
 pub mod stats;
 pub mod time;
@@ -68,8 +73,8 @@ const _: () = {
     assert_send::<phy::PhyParams>();
 };
 
-pub use ap::{ApAlgorithm, NullController};
-pub use backoff::BackoffPolicy;
+pub use ap::{ApAlgorithm, Controller, NullController};
+pub use backoff::{BackoffPolicy, Policy};
 pub use capture::CaptureModel;
 pub use control::{BusyOutcome, ChannelObservation, ControlPayload};
 pub use engine::{Simulator, SimulatorBuilder};

@@ -22,6 +22,9 @@ pub struct NodeStats {
     pub failures: u64,
     /// Total MAC payload bits delivered to the AP.
     pub payload_bits_delivered: u64,
+    /// Total time this station spent transmitting data frames (successful or
+    /// not), accumulated per transmission from the slab's start timestamps.
+    pub airtime: SimDuration,
 }
 
 impl NodeStats {
@@ -178,6 +181,21 @@ impl SimStats {
     /// Total failures across all stations.
     pub fn total_failures(&self) -> u64 {
         self.nodes.iter().map(|n| n.failures).sum()
+    }
+
+    /// Total data airtime across all stations.
+    pub fn total_airtime(&self) -> SimDuration {
+        self.nodes
+            .iter()
+            .fold(SimDuration::ZERO, |acc, n| acc + n.airtime)
+    }
+
+    /// Fraction of measured time one station spent transmitting data frames.
+    pub fn node_airtime_share(&self, node: NodeId) -> f64 {
+        if self.measured_time.is_zero() {
+            return 0.0;
+        }
+        self.nodes[node].airtime.as_secs_f64() / self.measured_time.as_secs_f64()
     }
 }
 

@@ -55,6 +55,14 @@ pub struct Topology {
     sensing_range: f64,
     /// `sense[i][j]` is true iff station `i` can sense station `j`'s transmissions.
     sense: Vec<Vec<bool>>,
+    /// Precomputed sensing adjacency: `neighbors[i]` lists every `j != i` with
+    /// `sense[j][i]`, **in ascending id order**. The simulator's hot path walks
+    /// these lists instead of scanning all stations, and the ascending order is
+    /// load-bearing: notifying sensors in id order preserves the engine's event
+    /// scheduling (and therefore RNG draw) order exactly (see the determinism
+    /// contract in `docs/ARCHITECTURE.md`). Kept in sync by `rebuild_neighbors`
+    /// after every mutation of `sense`.
+    neighbors: Vec<Vec<NodeId>>,
 }
 
 impl Topology {
@@ -79,13 +87,16 @@ impl Topology {
                 sense[i][j] = i == j || positions[i].distance(&positions[j]) <= sensing_range;
             }
         }
-        Topology {
+        let mut topo = Topology {
             positions,
             ap,
             tx_range,
             sensing_range,
             sense,
-        }
+            neighbors: Vec::new(),
+        };
+        topo.rebuild_neighbors();
+        topo
     }
 
     /// An idealised fully connected network of `n` stations: every station senses
@@ -98,6 +109,7 @@ impl Topology {
                 *cell = true;
             }
         }
+        topo.rebuild_neighbors();
         topo
     }
 
@@ -170,11 +182,25 @@ impl Topology {
         self.sense[i][j]
     }
 
+    /// The stations that can sense station `src` (excluding `src` itself), in
+    /// ascending id order. This is the precomputed adjacency list the simulator
+    /// walks on every transmission start/end, so looking it up is O(1) and
+    /// iterating it is O(degree) instead of O(N).
+    pub fn neighbors(&self, src: NodeId) -> &[NodeId] {
+        &self.neighbors[src]
+    }
+
     /// The set of stations that can sense station `src` (excluding `src` itself).
     pub fn sensors_of(&self, src: NodeId) -> Vec<NodeId> {
-        (0..self.num_nodes())
-            .filter(|&i| i != src && self.sense[i][src])
-            .collect()
+        self.neighbors[src].clone()
+    }
+
+    /// Recompute the per-node adjacency lists from the `sense` matrix.
+    fn rebuild_neighbors(&mut self) {
+        let n = self.num_nodes();
+        self.neighbors = (0..n)
+            .map(|src| (0..n).filter(|&i| i != src && self.sense[i][src]).collect())
+            .collect();
     }
 
     /// All unordered pairs of stations hidden from each other.
@@ -222,6 +248,7 @@ impl Topology {
         assert_ne!(i, j, "a station always senses itself");
         self.sense[i][j] = value;
         self.sense[j][i] = value;
+        self.rebuild_neighbors();
     }
 }
 
@@ -305,6 +332,29 @@ mod tests {
             assert!(!t.senses(i, j));
             assert!(!t.sensors_of(j).contains(&i));
         }
+    }
+
+    #[test]
+    fn neighbors_match_sense_matrix_in_ascending_order() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let t = Topology::uniform_disc(30, 20.0, &mut rng);
+        for src in 0..30 {
+            let expected: Vec<NodeId> = (0..30).filter(|&i| i != src && t.senses(i, src)).collect();
+            assert_eq!(t.neighbors(src), &expected[..], "src={src}");
+            // Ascending order is load-bearing for the determinism contract.
+            assert!(t.neighbors(src).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn set_senses_rebuilds_adjacency() {
+        let mut t = Topology::fully_connected(5);
+        assert_eq!(t.neighbors(2), &[0, 1, 3, 4]);
+        t.set_senses(2, 4, false);
+        assert_eq!(t.neighbors(2), &[0, 1, 3]);
+        assert_eq!(t.neighbors(4), &[0, 1, 3]);
+        t.set_senses(2, 4, true);
+        assert_eq!(t.neighbors(2), &[0, 1, 3, 4]);
     }
 
     #[test]

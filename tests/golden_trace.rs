@@ -1,0 +1,102 @@
+//! Golden-trace equivalence suite for the simulator hot path.
+//!
+//! Every `Protocol` is run on a fully-connected and a hidden-node topology at a
+//! fixed seed, and the resulting `ScenarioResult` must serialise **byte for
+//! byte** to the fixtures committed under `tests/golden/`. The fixtures were
+//! generated before the hot-path refactor (adjacency lists, enum dispatch,
+//! transmission slab), so these tests pin the refactored engine to the exact
+//! event ordering and RNG stream of the original O(N)-scan implementation.
+//!
+//! To regenerate the fixtures after an *intentional* behaviour change:
+//!
+//! ```text
+//! WLAN_GOLDEN_REGEN=1 cargo test --release --test golden_trace
+//! ```
+//!
+//! and commit the diff under `tests/golden/` together with an explanation of
+//! why the trace legitimately changed.
+
+use wlan_sa::{Protocol, Scenario, SimDuration, TopologySpec};
+
+/// The scenario grid the fixtures cover: every protocol on both topology
+/// classes. Short runs keep the suite fast; equivalence does not require the
+/// adaptive controllers to converge, only that every code path draws the same
+/// random numbers in the same order.
+fn cases() -> Vec<(&'static str, Scenario)> {
+    let protocols: Vec<(&'static str, Protocol)> = vec![
+        ("standard80211", Protocol::Standard80211),
+        ("idlesense", Protocol::IdleSense),
+        ("wtop", Protocol::WTopCsma),
+        ("tora", Protocol::ToraCsma),
+        (
+            "static_ppersistent",
+            Protocol::StaticPPersistent { p: 0.03 },
+        ),
+        (
+            "static_randomreset",
+            Protocol::StaticRandomReset { stage: 1, p0: 0.6 },
+        ),
+    ];
+    let topologies: Vec<(&'static str, TopologySpec)> = vec![
+        ("fully_connected", TopologySpec::FullyConnected),
+        ("hidden_disc20", TopologySpec::UniformDisc { radius: 20.0 }),
+    ];
+    let mut cases = Vec::new();
+    for (pname, proto) in &protocols {
+        for (tname, topo) in &topologies {
+            let scenario = Scenario::new(*proto, topo.clone(), 8)
+                .seed(7)
+                .durations(SimDuration::from_millis(300), SimDuration::from_millis(700))
+                .update_period(SimDuration::from_millis(50));
+            cases.push((
+                Box::leak(format!("{pname}_{tname}").into_boxed_str()) as &'static str,
+                scenario,
+            ));
+        }
+    }
+    cases
+}
+
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+#[test]
+fn scenario_results_match_pre_refactor_fixtures() {
+    let regen = std::env::var("WLAN_GOLDEN_REGEN")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let dir = golden_dir();
+    if regen {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+    let mut failures = Vec::new();
+    for (name, scenario) in cases() {
+        let result = scenario.run();
+        let json = serde_json::to_string_pretty(&result).expect("serialise ScenarioResult");
+        let path = dir.join(format!("{name}.json"));
+        if regen {
+            std::fs::write(&path, &json).expect("write fixture");
+            eprintln!("regenerated {}", path.display());
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run with WLAN_GOLDEN_REGEN=1",
+                path.display()
+            )
+        });
+        if json != expected {
+            failures.push(name);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "ScenarioResult diverged from pre-refactor golden fixtures for: {failures:?}\n\
+         The refactored engine must preserve the exact event ordering and RNG draw\n\
+         order of the original implementation (see docs/ARCHITECTURE.md, the\n\
+         determinism contract)."
+    );
+}

@@ -11,7 +11,7 @@ fn simulate_static_p(n: usize, p: f64, seed: u64, secs: u64) -> f64 {
     let phy = PhyParams::table1();
     let mut sim = SimulatorBuilder::new(phy, Topology::fully_connected(n))
         .seed(seed)
-        .with_stations(move |_, _| Box::new(PPersistent::new(p)))
+        .with_stations(move |_, _| PPersistent::new(p))
         .build();
     sim.run_for(SimDuration::from_millis(500));
     sim.reset_measurements();
@@ -75,7 +75,7 @@ fn dcf_simulation_matches_bianchi_model() {
         let phy = PhyParams::table1();
         let mut sim = SimulatorBuilder::new(phy, Topology::fully_connected(n))
             .seed(11)
-            .with_stations(|_, phy| Box::new(ExponentialBackoff::with_retry_limit(phy, None)))
+            .with_stations(|_, phy| ExponentialBackoff::with_retry_limit(phy, None))
             .build();
         sim.run_for(SimDuration::from_millis(500));
         sim.reset_measurements();
@@ -127,7 +127,7 @@ fn idle_slot_statistics_match_geometric_prediction() {
     let phy = PhyParams::table1();
     let mut sim = SimulatorBuilder::new(phy, Topology::fully_connected(n))
         .seed(5)
-        .with_stations(move |_, _| Box::new(PPersistent::new(p)))
+        .with_stations(move |_, _| PPersistent::new(p))
         .build();
     sim.run_for(SimDuration::from_secs(4));
     let measured = sim.stats().avg_idle_slots_per_transmission();
