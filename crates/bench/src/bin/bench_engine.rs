@@ -1,32 +1,44 @@
 //! Wall-clock performance benchmark of the simulator engine.
 //!
-//! Runs a scenario grid — fully-connected and hidden-node topologies,
-//! N ∈ {5, 20, 50, 100}, all six [`Protocol`]s — single-threaded, measuring
-//! for each cell the wall time, the engine events processed per wall second,
-//! and the achieved simulation rate (simulated seconds per wall second).
-//! Results are written to `BENCH_engine.json` in the current directory (the
-//! repo root in CI), establishing the repo's wall-clock perf trajectory.
+//! Runs a scenario grid — fully-connected and hidden-node topologies, all six
+//! [`Protocol`]s — single-threaded, measuring for each cell the wall time,
+//! the engine events processed per wall second, and the achieved simulation
+//! rate (simulated seconds per wall second). Results are written to
+//! `BENCH_engine.json` in the current directory (the repo root in CI),
+//! establishing the repo's wall-clock perf trajectory; every run also
+//! appends a dated one-line summary to `BENCH_history.jsonl` so the
+//! trajectory across PRs is machine-readable.
 //!
-//! Each cell is also compared against the committed pre-refactor baseline
+//! Grids:
+//!
+//! * `--quick` (default): N ∈ {5, 20, 50, 100} on both topologies, plus one
+//!   large-N smoke cell (Standard 802.11, fully connected, N = 500) — the CI
+//!   perf gate.
+//! * `--extended`: N ∈ {5, 20, 50, 100, 200, 500, 1000, 2000} — the scaling
+//!   grid the committed `BENCH_engine.json` is generated from.
+//! * `--full`: the extended grid with 10 sim-seconds per cell at N ≤ 100
+//!   (large-N cells stay at 2 s; events/sec is a rate and converges quickly).
+//!
+//! Cells present in the committed pre-refactor baseline
 //! (`crates/bench/data/bench_engine_baseline.json`, measured at commit
-//! 3d65cce before the hot-path refactor): `speedup_vs_pre_refactor` is the
-//! wall-time ratio on the identical simulated workload, which is exactly the
-//! ratio of events/sec on the pre-refactor event stream.
+//! 3d65cce) also report `speedup_vs_pre_refactor`: the wall-time ratio on
+//! the identical simulated workload.
 //!
 //! Usage:
 //!
 //! ```text
-//! bench_engine [--quick|--full] [--out PATH] [--check PATH]
+//! bench_engine [--quick|--extended|--full] [--out PATH] [--check PATH]
+//!              [--history PATH]
 //! ```
 //!
-//! `--quick` (default) simulates 2 s per cell, `--full` 10 s. `--check PATH`
-//! additionally loads a previously committed `BENCH_engine.json` and exits
-//! with status 2 if the geometric-mean events/sec regressed by more than 30%
-//! — the CI perf-smoke gate. Because the committed report may have been
-//! produced on different hardware than the checker (a laptop vs a shared CI
-//! runner), both sides are normalised by `calibration_mops` — a fixed
-//! deterministic integer workload timed in the same process — so the gate
-//! compares engine efficiency, not machine speed.
+//! `--check PATH` loads a previously committed `BENCH_engine.json` and exits
+//! with status 2 if events/sec regressed by more than 30% on the cells the
+//! two reports share (geometric mean of per-cell ratios). Because the
+//! committed report may come from different hardware, both sides are
+//! normalised by their own `calibration_mops` — a fixed deterministic integer
+//! workload timed in the same process — so the gate compares engine
+//! efficiency, not machine speed; comparing only shared cells keeps the gate
+//! meaningful across grid changes.
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -38,6 +50,23 @@ const BASELINE_JSON: &str = include_str!("../../data/bench_engine_baseline.json"
 
 /// Sim-seconds measured per cell by the pre-refactor baseline probe.
 const BASELINE_SIM_SECONDS: f64 = 2.0;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Quick,
+    Extended,
+    Full,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Quick => "quick",
+            Mode::Extended => "extended",
+            Mode::Full => "full",
+        }
+    }
+}
 
 #[derive(Debug, Deserialize)]
 struct Baseline {
@@ -65,7 +94,6 @@ struct Cell {
 #[derive(Debug, Serialize, Deserialize)]
 struct Report {
     mode: String,
-    sim_seconds_per_cell: f64,
     baseline_source: String,
     /// Machine-speed calibration: millions of iterations/sec of a fixed
     /// xorshift64 loop, measured in-process. `--check` divides events/sec by
@@ -79,22 +107,75 @@ struct Report {
     key_cell_speedup: f64,
 }
 
-fn grid() -> (Vec<Protocol>, Vec<(&'static str, TopologySpec)>, Vec<usize>) {
-    (
-        vec![
+/// One dated line of `BENCH_history.jsonl`.
+#[derive(Debug, Serialize)]
+struct HistoryEntry {
+    /// UTC calendar date (`YYYY-MM-DD`).
+    date: String,
+    /// Seconds since the Unix epoch.
+    unix_time: u64,
+    mode: String,
+    calibration_mops: f64,
+    geomean_events_per_sec: f64,
+    /// Calibration-normalised geomean (events per second per Mops) — the
+    /// machine-independent efficiency number to track across PRs.
+    geomean_events_per_mop: f64,
+    /// Events/sec of the headline cell (Standard 802.11, FC, N = 50).
+    key_cell_events_per_sec: Option<f64>,
+    /// Events/sec of the large-N cell (Standard 802.11, FC, N = 1000), when
+    /// the grid includes it.
+    n1000_cell_events_per_sec: Option<f64>,
+    cell_count: usize,
+}
+
+/// The cell grid for a mode: `(protocol, topology label, topology, n,
+/// sim-seconds)`, topology-major then N then protocol (the historical order).
+fn cells_for(mode: Mode) -> Vec<(Protocol, &'static str, TopologySpec, usize, u64)> {
+    let protocols = [
+        Protocol::Standard80211,
+        Protocol::IdleSense,
+        Protocol::WTopCsma,
+        Protocol::ToraCsma,
+        Protocol::StaticPPersistent { p: 0.02 },
+        Protocol::StaticRandomReset { stage: 1, p0: 0.6 },
+    ];
+    let topologies = [
+        ("fully_connected", TopologySpec::FullyConnected),
+        ("hidden_disc20", TopologySpec::UniformDisc { radius: 20.0 }),
+    ];
+    let ns: &[usize] = match mode {
+        Mode::Quick => &[5, 20, 50, 100],
+        Mode::Extended | Mode::Full => &[5, 20, 50, 100, 200, 500, 1000, 2000],
+    };
+    let mut cells = Vec::new();
+    for (tname, topo) in &topologies {
+        for &n in ns {
+            for proto in &protocols {
+                // Small cells need the longer full-mode run for stable
+                // baselines; at large N two sim-seconds already process tens
+                // of millions of events, so the rate has long converged.
+                let sim_secs = if mode == Mode::Full && n <= 100 {
+                    10
+                } else {
+                    2
+                };
+                cells.push((*proto, *tname, topo.clone(), n, sim_secs));
+            }
+        }
+    }
+    if mode == Mode::Quick {
+        // The CI perf gate's large-N smoke cell: plain 802.11, fully
+        // connected, N = 500 — cheap enough for every PR, big enough that an
+        // O(N) regression in the per-busy-period loops is unmissable.
+        cells.push((
             Protocol::Standard80211,
-            Protocol::IdleSense,
-            Protocol::WTopCsma,
-            Protocol::ToraCsma,
-            Protocol::StaticPPersistent { p: 0.02 },
-            Protocol::StaticRandomReset { stage: 1, p0: 0.6 },
-        ],
-        vec![
-            ("fully_connected", TopologySpec::FullyConnected),
-            ("hidden_disc20", TopologySpec::UniformDisc { radius: 20.0 }),
-        ],
-        vec![5, 20, 50, 100],
-    )
+            "fully_connected",
+            TopologySpec::FullyConnected,
+            500,
+            2,
+        ));
+    }
+    cells
 }
 
 /// Time a fixed, deterministic integer workload as a machine-speed probe.
@@ -132,83 +213,124 @@ fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
+/// Proleptic-Gregorian date from a Unix timestamp (days-to-civil algorithm),
+/// formatted `YYYY-MM-DD`. Avoids a chrono dependency for one timestamp.
+fn utc_date(unix: u64) -> String {
+    let days = (unix / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn cell_key(c: &Cell) -> String {
+    format!("{}:{}:{}", c.protocol, c.topology, c.n)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = !args.iter().any(|a| a == "--full");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
-    let check_path = args
-        .iter()
-        .position(|a| a == "--check")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let mode = if args.iter().any(|a| a == "--full") {
+        Mode::Full
+    } else if args.iter().any(|a| a == "--extended") {
+        Mode::Extended
+    } else {
+        Mode::Quick
+    };
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let history_path = arg_value("--history").unwrap_or_else(|| "BENCH_history.jsonl".to_string());
+    let check_path = arg_value("--check");
+    // Development aid: `--only SUBSTR` restricts the grid to matching cells
+    // (substring of "protocol:topology:n") — handy under a profiler. A
+    // filtered run never represents the grid, so unless `--out` names a file
+    // explicitly it writes no report and never appends to the history (a
+    // stray profiling run must not clobber the committed baseline or pollute
+    // the perf trajectory).
+    let only = arg_value("--only");
+    let out_explicit = args.iter().any(|a| a == "--out");
 
-    let sim_secs = if quick { 2u64 } else { 10 };
     let baseline: Baseline = serde_json::from_str(BASELINE_JSON).expect("parse embedded baseline");
-    let (protocols, topologies, ns) = grid();
+    let mut grid = cells_for(mode);
+    if let Some(filter) = &only {
+        grid.retain(|(proto, tname, _, n, _)| {
+            format!("{}:{tname}:{n}", proto.label()).contains(filter.as_str())
+        });
+    }
 
     let calibration = calibration_mops();
     println!(
-        "bench_engine: {} mode, {} sim-seconds per cell, single-threaded, calibration {calibration:.0} Mops\n",
-        if quick { "quick" } else { "full" },
-        sim_secs
+        "bench_engine: {} mode, {} cells, single-threaded, calibration {calibration:.0} Mops\n",
+        mode.label(),
+        grid.len(),
     );
 
     let mut cells = Vec::new();
-    for (tname, topo) in &topologies {
-        for &n in &ns {
-            for proto in &protocols {
-                let scenario = Scenario::new(*proto, topo.clone(), n)
-                    .seed(1)
-                    .durations(SimDuration::ZERO, SimDuration::from_secs(sim_secs));
-                let mut sim = scenario.build_simulator();
-                // Warm caches and branch predictors before the timed section.
-                sim.run_for(SimDuration::from_millis(100));
-                let events_before = sim.events_processed();
-                let start = Instant::now();
-                sim.run_for(SimDuration::from_secs(sim_secs));
-                let wall = start.elapsed().as_secs_f64();
-                let events = sim.events_processed() - events_before;
+    for (proto, tname, topo, n, sim_secs) in grid {
+        let scenario = Scenario::new(proto, topo, n)
+            .seed(1)
+            .durations(SimDuration::ZERO, SimDuration::from_secs(sim_secs));
+        let mut sim = scenario.build_simulator();
+        // Warm caches and branch predictors before the timed section.
+        sim.run_for(SimDuration::from_millis(100));
+        let events_before = sim.events_processed();
+        let start = Instant::now();
+        sim.run_for(SimDuration::from_secs(sim_secs));
+        let wall = start.elapsed().as_secs_f64();
+        let events = sim.events_processed() - events_before;
 
-                let key = format!("{}:{tname}:{n}", proto.label());
-                let baseline_wall = baseline
-                    .wall_s
-                    .get(&key)
-                    .map(|w| w * sim_secs as f64 / BASELINE_SIM_SECONDS);
-                let speedup = baseline_wall.map(|b| b / wall);
-                let cell = Cell {
-                    protocol: proto.label().to_string(),
-                    topology: tname.to_string(),
-                    n,
-                    sim_seconds: sim_secs as f64,
-                    wall_s: wall,
-                    events,
-                    events_per_sec: events as f64 / wall,
-                    sim_rate: sim_secs as f64 / wall,
-                    baseline_wall_s: baseline_wall,
-                    speedup_vs_pre_refactor: speedup,
-                };
-                println!(
-                    "  {:<22} {:<16} n={:<4} {:>8.1} ms  {:>6.2} Mev/s  x{:<6.2} sim-rate {:>6.0}",
-                    cell.protocol,
-                    cell.topology,
-                    cell.n,
-                    cell.wall_s * 1e3,
-                    cell.events_per_sec / 1e6,
-                    speedup.unwrap_or(f64::NAN),
-                    cell.sim_rate
-                );
-                cells.push(cell);
-            }
-        }
+        let key = format!("{}:{tname}:{n}", proto.label());
+        let baseline_wall = baseline
+            .wall_s
+            .get(&key)
+            .map(|w| w * sim_secs as f64 / BASELINE_SIM_SECONDS);
+        let speedup = baseline_wall.map(|b| b / wall);
+        let cell = Cell {
+            protocol: proto.label().to_string(),
+            topology: tname.to_string(),
+            n,
+            sim_seconds: sim_secs as f64,
+            wall_s: wall,
+            events,
+            events_per_sec: events as f64 / wall,
+            sim_rate: sim_secs as f64 / wall,
+            baseline_wall_s: baseline_wall,
+            speedup_vs_pre_refactor: speedup,
+        };
+        println!(
+            "  {:<22} {:<16} n={:<5} {:>8.1} ms  {:>6.2} Mev/s  x{:<6.2} sim-rate {:>6.0}",
+            cell.protocol,
+            cell.topology,
+            cell.n,
+            cell.wall_s * 1e3,
+            cell.events_per_sec / 1e6,
+            speedup.unwrap_or(f64::NAN),
+            cell.sim_rate
+        );
+        cells.push(cell);
     }
 
     let geomean_eps = geomean(cells.iter().map(|c| c.events_per_sec));
     let geomean_speedup = geomean(cells.iter().filter_map(|c| c.speedup_vs_pre_refactor));
+    let key_cell_eps = cells
+        .iter()
+        .find(|c| c.protocol == "Standard 802.11" && c.topology == "fully_connected" && c.n == 50)
+        .map(|c| c.events_per_sec);
+    let n1000_cell_eps = cells
+        .iter()
+        .find(|c| c.protocol == "Standard 802.11" && c.topology == "fully_connected" && c.n == 1000)
+        .map(|c| c.events_per_sec);
     let key_cell_speedup = cells
         .iter()
         .find(|c| c.protocol == "Standard 802.11" && c.topology == "fully_connected" && c.n == 50)
@@ -216,8 +338,7 @@ fn main() {
         .unwrap_or(0.0);
 
     let report = Report {
-        mode: if quick { "quick" } else { "full" }.to_string(),
-        sim_seconds_per_cell: sim_secs as f64,
+        mode: mode.label().to_string(),
         baseline_source:
             "crates/bench/data/bench_engine_baseline.json (pre-refactor engine, commit 3d65cce)"
                 .to_string(),
@@ -227,35 +348,84 @@ fn main() {
         geomean_speedup,
         key_cell_speedup,
     };
-    std::fs::write(
-        &out_path,
-        serde_json::to_string_pretty(&report).expect("serialise report") + "\n",
-    )
-    .expect("write report");
     println!(
         "\n  geomean events/sec: {:.2}M   geomean speedup: x{:.2}   key cell (802.11 FC N=50): x{:.2}",
         geomean_eps / 1e6,
         geomean_speedup,
         key_cell_speedup
     );
-    println!("  wrote {out_path}");
+    if only.is_none() || out_explicit {
+        std::fs::write(
+            &out_path,
+            serde_json::to_string_pretty(&report).expect("serialise report") + "\n",
+        )
+        .expect("write report");
+        println!("  wrote {out_path}");
+    } else {
+        println!("  --only run: no report written (pass --out to force)");
+    }
+
+    // Dated history line: the machine-readable perf trajectory across PRs.
+    // Filtered (`--only`) runs are excluded: their aggregates describe a
+    // hand-picked cell subset, not the grid the trajectory tracks.
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = HistoryEntry {
+        date: utc_date(unix_time),
+        unix_time,
+        mode: report.mode.clone(),
+        calibration_mops: calibration,
+        geomean_events_per_sec: geomean_eps,
+        geomean_events_per_mop: geomean_eps / calibration,
+        key_cell_events_per_sec: key_cell_eps,
+        n1000_cell_events_per_sec: n1000_cell_eps,
+        cell_count: report.cells.len(),
+    };
+    if only.is_none() {
+        let line = serde_json::to_string(&entry).expect("serialise history entry") + "\n";
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history_path)
+            .and_then(|mut f| f.write_all(line.as_bytes()))
+            .expect("append history entry");
+        println!("  appended {history_path}");
+    }
 
     if let Some(path) = check_path {
         let committed: Report = serde_json::from_str(
             &std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}")),
         )
         .expect("parse committed report");
-        // Normalise both sides by their own machine's calibration so the
-        // committed report (possibly from different hardware) and this run
-        // are compared on engine efficiency, not raw machine speed.
-        let committed_norm = committed.geomean_events_per_sec / committed.calibration_mops;
-        let current_norm = geomean_eps / calibration;
-        let floor = committed_norm * 0.7;
-        println!(
-            "  check vs {path}: committed {:.0} ev/s-per-Mops, floor {:.0}, current {:.0}",
-            committed_norm, floor, current_norm
+        // Compare only the cells both reports contain, each side normalised
+        // by its own machine's calibration, folded with a geometric mean.
+        let committed_cells: std::collections::BTreeMap<String, f64> = committed
+            .cells
+            .iter()
+            .map(|c| (cell_key(c), c.events_per_sec / committed.calibration_mops))
+            .collect();
+        let ratios: Vec<f64> = report
+            .cells
+            .iter()
+            .filter_map(|c| {
+                committed_cells
+                    .get(&cell_key(c))
+                    .map(|&base| (c.events_per_sec / calibration) / base)
+            })
+            .collect();
+        assert!(
+            !ratios.is_empty(),
+            "no shared cells between this run and {path} — the gate would be vacuous"
         );
-        if current_norm < floor {
+        let ratio = geomean(ratios.iter().copied());
+        println!(
+            "  check vs {path}: {} shared cells, calibration-normalised events/sec ratio x{ratio:.3} (floor x0.70)",
+            ratios.len(),
+        );
+        if ratio < 0.7 {
             eprintln!(
                 "PERF REGRESSION: calibration-normalised events/sec dropped more than 30% below the committed baseline"
             );

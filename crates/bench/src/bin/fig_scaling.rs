@@ -1,0 +1,17 @@
+//! Standalone driver for the large-N scaling campaign: throughput vs
+//! N ∈ {200, 500, 1000, 2000} for all six protocols on the fully-connected
+//! cell plus the two scaling topologies (fixed-side grid, clustered
+//! hotspots). See [`wlan_bench::experiments::fig_scaling`].
+//!
+//! Usage: `fig_scaling [--quick|--full] [--threads N]` (quick is the
+//! default: 2 seeds per cell and short warm-ups; full averages 5 seeds with
+//! converged controllers).
+
+use wlan_bench::experiments;
+use wlan_bench::harness::RunConfig;
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    let summary = experiments::fig_scaling(&cfg);
+    println!("-> {summary}");
+}

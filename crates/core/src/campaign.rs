@@ -134,6 +134,7 @@ pub struct Campaign {
     static_warmup: SimDuration,
     measure: SimDuration,
     update_period: Option<SimDuration>,
+    throughput_bin: Option<SimDuration>,
     threads: Option<usize>,
 }
 
@@ -156,6 +157,7 @@ impl Campaign {
             static_warmup: SimDuration::from_secs(10),
             measure: SimDuration::from_secs(10),
             update_period: None,
+            throughput_bin: None,
             threads: None,
         }
     }
@@ -205,6 +207,16 @@ impl Campaign {
         self
     }
 
+    /// Width of the throughput time-series bins, which is also the beacon
+    /// interval (defaults to the scenario default of 1 s). The scaling
+    /// campaign shortens it: in a collision-collapsed cold start no ACKs
+    /// flow, so controller segments close — and the control variable reaches
+    /// stations — only at beacon cadence.
+    pub fn throughput_bin(mut self, bin: SimDuration) -> Self {
+        self.throughput_bin = Some(bin);
+        self
+    }
+
     /// Worker-thread count; defaults to [`default_threads`].
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
@@ -229,6 +241,9 @@ impl Campaign {
                             .seed(seed);
                         if let Some(period) = self.update_period {
                             s = s.update_period(period);
+                        }
+                        if let Some(bin) = self.throughput_bin {
+                            s.throughput_bin = bin;
                         }
                         jobs.push(s);
                     }
@@ -414,6 +429,23 @@ mod tests {
             Protocol::StaticPPersistent { .. }
         ));
         assert!(matches!(jobs[6].protocol, Protocol::Standard80211));
+    }
+
+    #[test]
+    fn update_period_and_bin_flow_into_jobs() {
+        let jobs = tiny_campaign()
+            .update_period(SimDuration::from_millis(100))
+            .throughput_bin(SimDuration::from_millis(50))
+            .jobs();
+        assert!(jobs.iter().all(|j| {
+            j.update_period == SimDuration::from_millis(100)
+                && j.throughput_bin == SimDuration::from_millis(50)
+        }));
+        // Unset -> scenario defaults.
+        let defaults = tiny_campaign().jobs();
+        assert!(defaults
+            .iter()
+            .all(|j| j.throughput_bin == SimDuration::from_secs(1)));
     }
 
     #[test]

@@ -158,8 +158,8 @@ pub fn run_dynamic(
         control_trace: sim
             .ap_algorithm()
             .control_trace()
-            .into_iter()
-            .map(|(t, v)| (t.as_secs_f64(), v))
+            .iter()
+            .map(|&(t, v)| (t.as_secs_f64(), v))
             .collect(),
         mean_throughput_mbps: stats.system_throughput_mbps(),
     }

@@ -43,6 +43,7 @@ pub mod idlesense;
 pub mod protocol;
 pub mod scenario;
 pub mod tora;
+pub(crate) mod trace;
 pub mod wtop;
 
 pub use campaign::{

@@ -28,18 +28,50 @@ pub enum TopologySpec {
         /// Disc radius in metres.
         radius: f64,
     },
+    /// Stations on a regular square lattice whose total side length is fixed
+    /// (metres): the per-station spacing is `side / ceil(sqrt(n))`, so
+    /// growing `n` densifies the same physical cell instead of expanding it —
+    /// the scaling campaign's "office floor" regime, with a roughly
+    /// scale-stable hidden-pair fraction. Keep `side × √2 / 2` within the
+    /// 24 m sensing range so every station consistently senses the AP (see
+    /// [`Topology::grid`]); the scaling campaign uses 32 m.
+    Grid {
+        /// Side length of the lattice in metres.
+        side: f64,
+    },
+    /// Stations grouped into hotspot clusters: cluster centres uniform in a
+    /// disc of radius `spread`, stations uniform in a disc of radius
+    /// `cluster_radius` around their (round-robin assigned) centre. Dense
+    /// local neighbourhoods, hidden pairs only between distant clusters.
+    Clustered {
+        /// Number of hotspot clusters.
+        clusters: usize,
+        /// Radius of the disc the cluster centres are drawn from (metres).
+        spread: f64,
+        /// Radius of each cluster (metres).
+        cluster_radius: f64,
+    },
 }
 
 impl TopologySpec {
     /// Materialise the topology for `n` stations using `seed` for random placement.
     pub fn build(&self, n: usize, seed: u64) -> Topology {
+        let placement_rng = || ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         match self {
             TopologySpec::FullyConnected => Topology::fully_connected(n),
             TopologySpec::Ring { radius } => Topology::ring(n, *radius),
             TopologySpec::UniformDisc { radius } => {
-                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
-                Topology::uniform_disc(n, *radius, &mut rng)
+                Topology::uniform_disc(n, *radius, &mut placement_rng())
             }
+            TopologySpec::Grid { side } => {
+                let cols = (n as f64).sqrt().ceil().max(1.0);
+                Topology::grid(n, side / cols)
+            }
+            TopologySpec::Clustered {
+                clusters,
+                spread,
+                cluster_radius,
+            } => Topology::clustered(n, *clusters, *spread, *cluster_radius, &mut placement_rng()),
         }
     }
 }
@@ -156,8 +188,8 @@ impl Scenario {
         let control_trace = sim
             .ap_algorithm()
             .control_trace()
-            .into_iter()
-            .map(|(t, v)| (t.as_secs_f64(), v))
+            .iter()
+            .map(|&(t, v)| (t.as_secs_f64(), v))
             .collect();
         let station_attempt_probabilities = (0..self.n)
             .map(|i| sim.station_attempt_probability(i))
@@ -269,6 +301,28 @@ mod tests {
             .is_fully_connected());
         let disc = TopologySpec::UniformDisc { radius: 20.0 }.build(30, 3);
         assert_eq!(disc.num_nodes(), 30);
+        // A 36 m grid has hidden pairs at any density; a 10 m grid never does.
+        assert!(!TopologySpec::Grid { side: 36.0 }
+            .build(64, 1)
+            .is_fully_connected());
+        assert!(TopologySpec::Grid { side: 10.0 }
+            .build(64, 1)
+            .is_fully_connected());
+        let clustered = TopologySpec::Clustered {
+            clusters: 4,
+            spread: 18.0,
+            cluster_radius: 3.0,
+        }
+        .build(40, 9);
+        assert_eq!(clustered.num_nodes(), 40);
+        // Placement is seed-deterministic.
+        let again = TopologySpec::Clustered {
+            clusters: 4,
+            spread: 18.0,
+            cluster_radius: 3.0,
+        }
+        .build(40, 9);
+        assert_eq!(clustered.positions(), again.positions());
     }
 
     #[test]

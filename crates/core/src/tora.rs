@@ -12,6 +12,7 @@
 //!
 //! The pair `(p0, 2^j CWmin)` is piggy-backed on every ACK.
 
+use crate::trace::BoundedTrace;
 use stochastic_approx::{KieferWolfowitz, PowerLawGains};
 use wlan_sim::backoff::RandomReset;
 use wlan_sim::{ApAlgorithm, ControlPayload, PhyParams, Policy, SimDuration, SimTime};
@@ -35,6 +36,12 @@ pub struct ToraConfig {
     pub measurement_scale_bps: f64,
     /// Gain sequences.
     pub gains: PowerLawGains,
+    /// Upper bound on retained trace entries (default 4096). The sampled
+    /// `p0` trace is bounded by stride-doubling decimation, exactly as in
+    /// [`WtopConfig::trace_cap`](crate::wtop::WtopConfig::trace_cap); the
+    /// stage *transition* log keeps its most recent half at the cap instead
+    /// (decimation would erase transitions).
+    pub trace_cap: usize,
 }
 
 impl ToraConfig {
@@ -49,6 +56,7 @@ impl ToraConfig {
             delta_high: 0.95,
             measurement_scale_bps: phy.bit_rate_bps as f64,
             gains: PowerLawGains::paper_defaults(),
+            trace_cap: 4096,
         }
     }
 }
@@ -65,8 +73,13 @@ pub struct ToraController {
     bits_received: u64,
     segment_start: Option<SimTime>,
     advertised_p0: f64,
-    p0_trace: Vec<(SimTime, f64)>,
+    /// Sampled signal, bounded by `trace_cap` (see [`BoundedTrace`]).
+    p0_trace: BoundedTrace<f64>,
+    /// Event log of stage *transitions* — decimating it would erase
+    /// transitions and misreport which stage was active, so it is bounded by
+    /// discarding the oldest half at the cap instead.
     stage_trace: Vec<(SimTime, u8)>,
+    trace_cap: usize,
 }
 
 impl ToraController {
@@ -91,8 +104,9 @@ impl ToraController {
             bits_received: 0,
             segment_start: None,
             advertised_p0,
-            p0_trace: Vec::new(),
+            p0_trace: BoundedTrace::new(config.trace_cap),
             stage_trace: Vec::new(),
+            trace_cap: config.trace_cap,
         }
     }
 
@@ -140,15 +154,27 @@ impl ToraController {
             if pval <= self.delta_low && self.stage + 1 < self.max_stage {
                 self.stage += 1;
                 self.kw.reset_estimate(0.5);
-                self.stage_trace.push((now, self.stage));
+                self.push_stage(now);
             } else if pval >= self.delta_high && self.stage > 0 {
                 self.stage -= 1;
                 self.kw.reset_estimate(0.5);
-                self.stage_trace.push((now, self.stage));
+                self.push_stage(now);
             }
         }
         self.advertised_p0 = self.kw.probe();
-        self.p0_trace.push((now, self.kw.estimate()));
+        self.p0_trace.push(now, self.kw.estimate());
+    }
+
+    fn push_stage(&mut self, now: SimTime) {
+        self.stage_trace.push((now, self.stage));
+        // Stage switches are rare, but bound the log anyway (a controller
+        // oscillating at a threshold for a very long run must not grow it
+        // without limit). This is a step-change event log: dropping interior
+        // entries would erase transitions, so keep the most recent half.
+        if self.stage_trace.len() >= self.trace_cap {
+            let drop = self.stage_trace.len() / 2;
+            self.stage_trace.drain(..drop);
+        }
     }
 }
 
@@ -184,8 +210,8 @@ impl ApAlgorithm for ToraController {
         "TORA-CSMA"
     }
 
-    fn control_trace(&self) -> Vec<(SimTime, f64)> {
-        self.p0_trace.clone()
+    fn control_trace(&self) -> &[(SimTime, f64)] {
+        self.p0_trace.as_slice()
     }
 }
 
@@ -310,6 +336,24 @@ mod tests {
         // The policy itself is exercised in depth in wlan-sim's backoff tests; here we
         // only check the control path is wired.
         assert_eq!(policy.name(), "random-reset");
+    }
+
+    #[test]
+    fn p0_trace_stays_bounded_by_the_cap() {
+        let phy = PhyParams::table1();
+        let mut cfg = ToraConfig::for_phy(&phy);
+        cfg.trace_cap = 8;
+        let mut c = ToraController::new(cfg);
+        let mut ms = 0;
+        for i in 0..200 {
+            // Alternate outcomes so the estimate (and occasionally the
+            // stage) keeps moving.
+            let bits = if i % 2 == 0 { HIGH } else { LOW };
+            feed_measurement(&mut c, &mut ms, bits);
+        }
+        assert!(c.control_trace().len() < 8, "{}", c.control_trace().len());
+        assert!(!c.control_trace().is_empty());
+        assert!(c.stage_trace().len() < 8);
     }
 
     #[test]

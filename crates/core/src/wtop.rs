@@ -14,6 +14,7 @@
 //! fully connected network (Theorems 1 and 2) and tracks a local maximum when
 //! hidden terminals make the throughput function unknown.
 
+use crate::trace::BoundedTrace;
 use stochastic_approx::{KieferWolfowitz, PowerLawGains};
 use wlan_sim::backoff::PPersistent;
 use wlan_sim::{ApAlgorithm, ControlPayload, PhyParams, Policy, SimDuration, SimTime};
@@ -51,6 +52,15 @@ pub struct WtopConfig {
     /// mean the attempt probability is far too high, so stepping down is always
     /// the correct direction. Set to 0 to disable.
     pub collapse_threshold: f64,
+    /// Upper bound on the number of retained probe/estimate trace entries
+    /// (default 4096). The traces are recorded once per measurement segment,
+    /// which is O(simulated time / update period) — unbounded over long runs.
+    /// At the cap the traces are decimated (every second entry dropped) and
+    /// the recording stride doubles, so memory stays O(cap) while the trace
+    /// still spans the whole run at uniform resolution. Figure-length runs
+    /// (≤ `cap` segments) are recorded exactly as before. Set via
+    /// [`WtopConfig::trace_cap`]; must be at least 2.
+    pub trace_cap: usize,
     /// Run the Kiefer–Wolfowitz iteration on `ln p` instead of `p` directly.
     ///
     /// The optimal attempt probability scales as `1/N` (eq. 8) and is two orders
@@ -81,6 +91,7 @@ impl WtopConfig {
             // `ablation_gain_sequences` bench for the sweep behind this choice.
             gains: PowerLawGains::new(16.0, 1.0, 1.0, 1.0 / 3.0),
             collapse_threshold: 0.05,
+            trace_cap: 4096,
             log_domain: true,
         }
     }
@@ -97,9 +108,11 @@ pub struct WtopController {
     bits_received: u64,
     segment_start: Option<SimTime>,
     advertised_p: f64,
-    /// `(time, advertised probe p)` and `(time, pval estimate)` histories.
-    probe_trace: Vec<(SimTime, f64)>,
-    estimate_trace: Vec<(SimTime, f64)>,
+    /// `(time, advertised probe p)` and `(time, pval estimate)` histories,
+    /// bounded by `trace_cap` (see [`BoundedTrace`]). Both receive identical
+    /// push sequences, so their stride gates stay in lockstep.
+    probe_trace: BoundedTrace<f64>,
+    estimate_trace: BoundedTrace<f64>,
 }
 
 impl WtopController {
@@ -107,6 +120,7 @@ impl WtopController {
     pub fn new(config: WtopConfig) -> Self {
         assert!(config.probe_min > 0.0 && config.probe_min < config.probe_max);
         assert!(config.measurement_scale_bps > 0.0);
+
         let (initial, bounds) = if config.log_domain {
             (
                 config
@@ -129,8 +143,8 @@ impl WtopController {
             bits_received: 0,
             segment_start: None,
             advertised_p: 0.0,
-            probe_trace: Vec::new(),
-            estimate_trace: Vec::new(),
+            probe_trace: BoundedTrace::new(config.trace_cap),
+            estimate_trace: BoundedTrace::new(config.trace_cap),
         };
         controller.advertised_p = controller.domain_to_p(controller.kw.probe());
         controller
@@ -173,7 +187,12 @@ impl WtopController {
 
     /// History of the estimate `pval` over time.
     pub fn estimate_trace(&self) -> &[(SimTime, f64)] {
-        &self.estimate_trace
+        self.estimate_trace.as_slice()
+    }
+
+    /// History of the advertised probe value over time.
+    pub fn probe_trace(&self) -> &[(SimTime, f64)] {
+        self.probe_trace.as_slice()
     }
 
     fn finish_segment(&mut self, now: SimTime, segment_start: SimTime) {
@@ -208,8 +227,8 @@ impl WtopController {
         self.bits_received = 0;
         self.segment_start = Some(now);
         self.advertised_p = self.domain_to_p(self.kw.probe());
-        self.probe_trace.push((now, self.advertised_p));
-        self.estimate_trace.push((now, self.estimate()));
+        self.probe_trace.push(now, self.advertised_p);
+        self.estimate_trace.push(now, self.estimate());
     }
 }
 
@@ -243,8 +262,8 @@ impl ApAlgorithm for WtopController {
         "wTOP-CSMA"
     }
 
-    fn control_trace(&self) -> Vec<(SimTime, f64)> {
-        self.estimate_trace.clone()
+    fn control_trace(&self) -> &[(SimTime, f64)] {
+        self.estimate_trace.as_slice()
     }
 }
 
@@ -323,6 +342,45 @@ mod tests {
         policy.on_control(&ControlPayload::AttemptProbability(0.3));
         let expected = 2.0 * 0.3 / (1.0 + 0.3);
         assert!((policy.attempt_probability().unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traces_stay_bounded_by_the_cap() {
+        let mut cfg = WtopConfig::for_phy(&PhyParams::table1());
+        cfg.trace_cap = 8;
+        let mut c = WtopController::new(cfg);
+        let mut cursor = 0;
+        for _ in 0..200 {
+            feed_measurement(&mut c, &mut cursor, 2_000_000);
+        }
+        assert!(c.iterations() >= 90, "iterations {}", c.iterations());
+        assert!(
+            c.estimate_trace().len() < 8 && c.probe_trace().len() < 8,
+            "trace lengths {} / {}",
+            c.estimate_trace().len(),
+            c.probe_trace().len()
+        );
+        assert!(!c.estimate_trace().is_empty());
+        // The retained points still span (roughly) the whole run: the last
+        // retained timestamp is in the final quarter of the feed.
+        let last = c.estimate_trace().last().unwrap().0;
+        assert!(
+            last >= SimTime::from_millis(cursor * 3 / 4),
+            "last retained point {last} vs cursor {cursor} ms"
+        );
+    }
+
+    #[test]
+    fn short_runs_record_every_segment_exactly_as_before() {
+        // Below the cap the stride never doubles: one trace entry per
+        // completed segment, the behaviour every figure run relies on.
+        let mut c = controller();
+        let mut cursor = 0;
+        for _ in 0..20 {
+            feed_measurement(&mut c, &mut cursor, 2_000_000);
+        }
+        assert_eq!(c.estimate_trace().len(), 20);
+        assert_eq!(c.probe_trace().len(), 20);
     }
 
     #[test]

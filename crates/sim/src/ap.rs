@@ -43,8 +43,13 @@ pub trait ApAlgorithm: Send {
 
     /// Time series of the controller's scalar control variable (`p` for wTOP-CSMA,
     /// `p0` for TORA-CSMA). Used to reproduce Figs. 9 and 11.
-    fn control_trace(&self) -> Vec<(SimTime, f64)> {
-        Vec::new()
+    ///
+    /// Returns a borrowed slice: the trace is read once per scenario (after
+    /// the run) but can hold thousands of entries, and the previous
+    /// clone-per-call signature showed up as avoidable allocation in the
+    /// large-N campaign profiles.
+    fn control_trace(&self) -> &[(SimTime, f64)] {
+        &[]
     }
 }
 
@@ -106,7 +111,7 @@ impl ApAlgorithm for Controller {
         }
     }
 
-    fn control_trace(&self) -> Vec<(SimTime, f64)> {
+    fn control_trace(&self) -> &[(SimTime, f64)] {
         match self {
             Controller::Null(c) => c.control_trace(),
             Controller::Custom(c) => c.control_trace(),

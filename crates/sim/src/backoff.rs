@@ -52,6 +52,12 @@ pub trait BackoffPolicy: Send {
     /// new slot (the paper's eq. 2-3 and the idle-slot counts of Table III
     /// assume no such memory). Counter-freezing policies such as IEEE 802.11
     /// exponential backoff keep the default `false`.
+    ///
+    /// The answer must be **constant for the lifetime of the policy**: like
+    /// [`wants_observations`](Self::wants_observations), the engine samples
+    /// it once per station at build time and caches it on the resume hot
+    /// path, so a policy that changed its answer mid-run would keep its
+    /// build-time behaviour. Every built-in policy is constant here.
     fn redraw_on_resume(&self) -> bool {
         false
     }
@@ -389,6 +395,13 @@ pub struct PPersistent {
     weight: f64,
     /// Cached `(1 - p).ln()` for the geometric draw (kept in sync with `p`).
     ln_q: f64,
+    /// The last global control value applied via `on_control`. The AP
+    /// advertises the same probe value on every ACK within a measurement
+    /// segment, and every ACK broadcasts it to all N stations — without this
+    /// cache each broadcast paid N Lemma-1 mappings plus N `ln` calls for a
+    /// value that changes only once per segment. Reset by `set_p` (a direct
+    /// set invalidates it).
+    last_control_p: Option<f64>,
 }
 
 impl PPersistent {
@@ -413,6 +426,7 @@ impl PPersistent {
             p,
             weight,
             ln_q: (1.0 - p).ln(),
+            last_control_p: None,
         }
     }
 
@@ -430,6 +444,7 @@ impl PPersistent {
     pub fn set_p(&mut self, p: f64) {
         self.p = p.clamp(0.0, 1.0);
         self.ln_q = (1.0 - self.p).ln();
+        self.last_control_p = None;
     }
 
     /// The Lemma-1 weighted mapping from a global control variable to this
@@ -459,7 +474,13 @@ impl BackoffPolicy for PPersistent {
 
     fn on_control(&mut self, payload: &ControlPayload) {
         if let ControlPayload::AttemptProbability(p) = payload {
+            // Re-applying the value already in effect would recompute the
+            // identical `p`/`ln_q` state; skip it (bit-for-bit equivalent).
+            if self.last_control_p == Some(*p) {
+                return;
+            }
             self.set_p(Self::weighted_probability(*p, self.weight));
+            self.last_control_p = Some(*p);
         }
     }
 

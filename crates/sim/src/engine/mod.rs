@@ -11,7 +11,7 @@
 //!
 //! ## Hot path
 //!
-//! Three structural choices keep the per-event cost low (see the "Hot path"
+//! Five structural choices keep the per-event cost low (see the "Hot path"
 //! section of `docs/ARCHITECTURE.md`):
 //!
 //! * **O(degree) sensing** — transmission start/end notifies only the
@@ -24,15 +24,25 @@
 //!   free-list slab ([`slab::TxSlab`]) and are reclaimed as soon as their
 //!   lifecycle ends, so memory is O(concurrent transmissions), not O(run
 //!   length).
+//! * **Calendar-queue scheduler** — general events live in a bucketed
+//!   calendar queue with O(1) amortized operations behind the `Scheduler`
+//!   abstraction ([`sched`]), backoff timers in an indexed timer set; both
+//!   tiers share one `(time, seq)` counter so pops follow the exact
+//!   historical single-heap order.
+//! * **Hot/cold station state** — the per-station fields touched on every
+//!   medium transition are packed into one 56-byte record per station
+//!   ([`station::Stations`]), separate from the fat policy/RNG arrays, so
+//!   the sensing loops stream one sub-cache-line record per neighbour.
 
 mod event;
+mod sched;
 mod slab;
 mod station;
 
 use crate::ap::{ApAlgorithm, Controller, NullController};
 use crate::backoff::{BackoffPolicy, Policy};
 use crate::capture::CaptureModel;
-use crate::control::{BusyOutcome, ChannelObservation, ControlPayload};
+use crate::control::ControlPayload;
 use crate::phy::PhyParams;
 use crate::stats::{SimStats, ThroughputSample};
 use crate::time::{SimDuration, SimTime};
@@ -41,7 +51,7 @@ use event::{Event, EventQueue};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use slab::{TxId, TxSlab};
-use station::{Phase, StationState};
+use station::{Phase, Stations};
 
 /// An in-flight data transmission (slab-resident from `TxStart` until the end
 /// of its lifecycle: `TxEnd` when no ACK follows, `AckEnd` otherwise).
@@ -102,6 +112,7 @@ pub struct SimulatorBuilder {
     policies: Vec<Option<Policy>>,
     ap: Controller,
     throughput_bin: SimDuration,
+    throughput_series_cap: usize,
     frame_error_rate: f64,
     initially_active: Option<usize>,
     capture: Option<CaptureModel>,
@@ -119,6 +130,7 @@ impl SimulatorBuilder {
             policies: (0..n).map(|_| None).collect(),
             ap: Controller::Null(NullController::new()),
             throughput_bin: SimDuration::from_secs(1),
+            throughput_series_cap: 4096,
             frame_error_rate: 0.0,
             initially_active: None,
             capture: None,
@@ -174,6 +186,21 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Upper bound on the number of stored throughput-series samples
+    /// (default 4096). When the series reaches the cap, adjacent samples are
+    /// merged pairwise and subsequent samples aggregate twice as many ticks,
+    /// so the series memory stays O(cap) over arbitrarily long runs while
+    /// the `StatsTick` cadence — and therefore every controller beacon and
+    /// every event timestamp — is completely unaffected.
+    pub fn throughput_series_cap(mut self, cap: usize) -> Self {
+        assert!(
+            cap >= 2 && cap.is_multiple_of(2),
+            "series cap must be even and >= 2"
+        );
+        self.throughput_series_cap = cap;
+        self
+    }
+
     /// Independent and identically distributed frame-error probability applied to
     /// otherwise-successful receptions (default 0; the paper's footnote-1 extension).
     pub fn frame_error_rate(mut self, fer: f64) -> Self {
@@ -214,11 +241,11 @@ impl SimulatorBuilder {
         );
         let n = self.topology.num_nodes();
         let mut master = ChaCha8Rng::seed_from_u64(self.seed);
-        let mut stations = Vec::with_capacity(n);
+        let mut stations = Stations::with_capacity(n);
         for (i, policy) in self.policies.into_iter().enumerate() {
             let policy = policy.unwrap_or_else(|| panic!("station {i} has no backoff policy"));
             let rng = ChaCha8Rng::seed_from_u64(master.gen());
-            stations.push(StationState::new(policy, rng, self.weights[i]));
+            stations.push(policy, rng, self.weights[i]);
         }
         let engine_rng = ChaCha8Rng::seed_from_u64(master.gen());
         let mut sim = Simulator {
@@ -243,8 +270,18 @@ impl SimulatorBuilder {
             throughput_bin: self.throughput_bin,
             bin_start: SimTime::ZERO,
             bin_bits: 0,
+            series_cap: self.throughput_series_cap,
+            series_stride: 1,
+            stride_ticks: 0,
             frame_error_rate: self.frame_error_rate,
-            ack_can_be_lost: self.capture.as_ref().is_some_and(|c| c.sir_threshold < 1.0),
+            // `<=` is load-bearing: `decodable` compares with `>=`, so at a
+            // threshold of exactly 1.0 two equal-power overlapping frames
+            // BOTH decode and the second success overwrites the first
+            // sender's pending ACK — its timeout must stay scheduled.
+            ack_can_be_lost: self
+                .capture
+                .as_ref()
+                .is_some_and(|c| c.sir_threshold <= 1.0),
             capture: self.capture,
             engine_rng,
             events_processed: 0,
@@ -263,7 +300,7 @@ impl SimulatorBuilder {
 pub struct Simulator {
     phy: PhyParams,
     topology: Topology,
-    stations: Vec<StationState>,
+    stations: Stations,
     /// Ids of active stations, **sorted ascending**. ACK events notify exactly
     /// this set (every station senses the AP); keeping it sorted preserves the
     /// engine's ascending-id notification order.
@@ -288,6 +325,12 @@ pub struct Simulator {
     throughput_bin: SimDuration,
     bin_start: SimTime,
     bin_bits: u64,
+    /// Throughput-series bound: at `series_cap` samples the series is merged
+    /// pairwise and `series_stride` doubles (samples then aggregate that many
+    /// ticks), keeping the series O(cap) over arbitrarily long runs.
+    series_cap: usize,
+    series_stride: u32,
+    stride_ticks: u32,
     frame_error_rate: f64,
     capture: Option<CaptureModel>,
     /// Whether a successfully received frame's ACK can still fail to reach
@@ -355,12 +398,12 @@ impl Simulator {
 
     /// The attempt probability currently reported by a station's policy, if any.
     pub fn station_attempt_probability(&self, node: NodeId) -> Option<f64> {
-        self.stations[node].policy.attempt_probability()
+        self.stations.policy[node].attempt_probability()
     }
 
     /// Per-station weights.
     pub fn weights(&self) -> Vec<f64> {
-        self.stations.iter().map(|s| s.weight).collect()
+        self.stations.weight.clone()
     }
 
     /// Discard all measurements collected so far and start measuring from the
@@ -371,20 +414,22 @@ impl Simulator {
         self.measure_start = self.now;
         self.bin_start = self.now;
         self.bin_bits = 0;
+        self.series_stride = 1;
+        self.stride_ticks = 0;
     }
 
     /// Bring an inactive station into the network (it starts contending immediately).
     pub fn activate_station(&mut self, node: NodeId) {
-        if self.stations[node].is_active() {
+        if self.stations.is_active(node) {
             return;
         }
         let now = self.now;
         {
-            let st = &mut self.stations[node];
-            st.phase = Phase::Contending;
-            st.sensed_busy = 0;
-            st.idle_since = now;
-            st.countdown_start = None;
+            let h = &mut self.stations.hot[node];
+            h.phase = Phase::Contending;
+            h.sensed_busy = 0;
+            h.idle_since = now;
+            h.clear_countdown();
         }
         if let Err(pos) = self.active.binary_search(&node) {
             self.active.insert(pos, node);
@@ -399,21 +444,21 @@ impl Simulator {
             })
             .count() as u32
             + if self.ap_transmitting { 1 } else { 0 };
-        self.stations[node].sensed_busy = sensed;
+        self.stations.hot[node].sensed_busy = sensed;
         self.begin_contention(node);
     }
 
     /// Remove a station from the network. Any in-flight transmission it has is
     /// abandoned (no success or failure is recorded for it).
     pub fn deactivate_station(&mut self, node: NodeId) {
-        let st = &mut self.stations[node];
-        if !st.is_active() {
+        if !self.stations.is_active(node) {
             return;
         }
-        st.phase = Phase::Inactive;
-        st.countdown_start = None;
-        st.timer_gen += 1;
-        st.ack_gen += 1;
+        let h = &mut self.stations.hot[node];
+        h.phase = Phase::Inactive;
+        h.clear_countdown();
+        h.timer_gen += 1;
+        h.ack_gen += 1;
         self.queue.cancel_timer(node);
         if let Ok(pos) = self.active.binary_search(&node) {
             self.active.remove(pos);
@@ -460,16 +505,15 @@ impl Simulator {
 
     fn handle_tx_start(&mut self, node: NodeId, gen: u64) {
         {
-            let st = &self.stations[node];
+            let h = &self.stations.hot[node];
             // A timer is valid iff it is the most recently scheduled one and the
             // station is still counting down. Note that `sensed_busy` may be non-zero
             // here: if another station started transmitting at exactly this instant,
             // this station's counter still legitimately reached zero in the same slot
             // and both transmit (that is precisely how same-slot collisions happen).
             // Timers that were frozen strictly before their expiry are invalidated by
-            // bumping `timer_gen` in `sense_busy_start`.
-            if st.phase != Phase::Contending || st.timer_gen != gen || st.countdown_start.is_none()
-            {
+            // bumping `timer_gen` in `busy_start`.
+            if h.phase != Phase::Contending || h.timer_gen != gen || h.countdown().is_none() {
                 return; // stale timer
             }
         }
@@ -506,10 +550,10 @@ impl Simulator {
         self.stats.nodes[node].attempts += 1;
 
         {
-            let st = &mut self.stations[node];
-            st.phase = Phase::Transmitting;
-            st.countdown_start = None;
-            st.timer_gen += 1;
+            let h = &mut self.stations.hot[node];
+            h.phase = Phase::Transmitting;
+            h.clear_countdown();
+            h.timer_gen += 1;
         }
 
         self.queue.schedule(end, Event::TxEnd { tx });
@@ -524,9 +568,9 @@ impl Simulator {
                 &mut self.queue,
             );
             for &other in topology.neighbors(node) {
-                let st = &mut stations[other];
-                if st.is_active() {
-                    Self::station_busy_start(phy, queue, now, other, st, true);
+                let h = &mut stations.hot[other];
+                if h.is_active() {
+                    h.busy_start(phy, queue, now, other, true);
                 }
             }
         }
@@ -571,23 +615,20 @@ impl Simulator {
                 &mut self.queue,
             );
             for &other in topology.neighbors(source) {
-                let st = &mut stations[other];
-                if st.is_active() {
-                    Self::station_busy_end(phy, queue, now, other, st, ack_follows);
-                }
+                stations.busy_end(phy, queue, now, other, ack_follows);
             }
         }
 
         // The transmitter itself starts listening for the ACK.
-        if self.stations[source].is_active() {
+        if self.stations.is_active(source) {
             let timeout = self.phy.ack_timeout();
-            let st = &mut self.stations[source];
-            st.phase = Phase::AwaitingAck;
-            if st.sensed_busy == 0 {
-                st.idle_since = now;
+            let h = &mut self.stations.hot[source];
+            h.phase = Phase::AwaitingAck;
+            if h.sensed_busy == 0 {
+                h.idle_since = now;
             }
-            st.ack_gen += 1;
-            let gen = st.ack_gen;
+            h.ack_gen += 1;
+            let gen = h.ack_gen;
             // On the success path the timeout (usually) could never take
             // effect: the AckEnd (at now + SIFS + ACK airtime) either
             // delivers the ACK and bumps `ack_gen`, or the station left
@@ -650,7 +691,8 @@ impl Simulator {
                 (&self.phy, &self.active, &mut self.stations, &mut self.queue);
             for &node in active {
                 if node != tx_source {
-                    Self::station_busy_start(phy, queue, now, node, &mut stations[node], false);
+                    // Stations on the active list are active by construction.
+                    stations.hot[node].busy_start(phy, queue, now, node, false);
                 }
             }
         }
@@ -673,31 +715,34 @@ impl Simulator {
                 (&self.phy, &self.active, &mut self.stations, &mut self.queue);
             for &node in active {
                 if node != ended.source {
-                    Self::station_busy_end(phy, queue, now, node, &mut stations[node], false);
+                    stations.busy_end(phy, queue, now, node, false);
                 }
             }
         }
 
-        // Every station overhears the control payload carried by the ACK.
+        // Every station overhears the control payload carried by the ACK
+        // (`active` is exactly the active set, in ascending id order).
         if !payload.is_none() {
-            for st in self.stations.iter_mut().filter(|s| s.is_active()) {
-                st.policy.on_control(&payload);
+            let (stations, active) = (&mut self.stations, &self.active);
+            for &node in active {
+                stations.policy[node].on_control(&payload);
             }
         }
 
         // Deliver the ACK to its addressee.
-        if self.stations[dest].phase == Phase::AwaitingAck {
+        if self.stations.hot[dest].phase == Phase::AwaitingAck {
             let payload_bits = ended.payload_bits;
             self.stats.nodes[dest].successes += 1;
             self.stats.nodes[dest].payload_bits_delivered += payload_bits;
             self.bin_bits += payload_bits;
             {
-                let st = &mut self.stations[dest];
-                st.ack_gen += 1; // cancel the pending timeout
-                let rng: &mut dyn RngCore = &mut st.rng;
-                st.policy.on_success(rng);
-                if st.sensed_busy == 0 {
-                    st.idle_since = now;
+                let st = &mut self.stations;
+                st.hot[dest].ack_gen += 1; // cancel the pending timeout
+                let rng: &mut dyn RngCore = &mut st.rng[dest];
+                st.policy[dest].on_success(rng);
+                let h = &mut st.hot[dest];
+                if h.sensed_busy == 0 {
+                    h.idle_since = now;
                 }
             }
             self.begin_contention(dest);
@@ -708,33 +753,44 @@ impl Simulator {
 
     fn handle_ack_timeout(&mut self, node: NodeId, gen: u64) {
         {
-            let st = &self.stations[node];
-            if st.phase != Phase::AwaitingAck || st.ack_gen != gen {
+            let h = &self.stations.hot[node];
+            if h.phase != Phase::AwaitingAck || h.ack_gen != gen {
                 return; // stale timeout (the ACK arrived)
             }
         }
         self.stats.nodes[node].failures += 1;
         {
-            let st = &mut self.stations[node];
-            let rng: &mut dyn RngCore = &mut st.rng;
-            st.policy.on_failure(rng);
+            let st = &mut self.stations;
+            let rng: &mut dyn RngCore = &mut st.rng[node];
+            st.policy[node].on_failure(rng);
         }
         self.begin_contention(node);
     }
 
     fn handle_stats_tick(&mut self) {
         let now = self.now;
-        let elapsed = now.duration_since(self.bin_start);
-        if !elapsed.is_zero() {
-            let bps = self.bin_bits as f64 / elapsed.as_secs_f64();
-            self.stats.throughput_series.push(ThroughputSample {
-                time: now,
-                bps,
-                active_nodes: self.active_stations(),
-            });
+        // One sample per `series_stride` ticks; the tick cadence itself (and
+        // with it the beacon schedule and every event timestamp) never
+        // changes, so the series cap is invisible to the event stream.
+        self.stride_ticks += 1;
+        if self.stride_ticks >= self.series_stride {
+            self.stride_ticks = 0;
+            let elapsed = now.duration_since(self.bin_start);
+            if !elapsed.is_zero() {
+                let bps = self.bin_bits as f64 / elapsed.as_secs_f64();
+                self.stats.throughput_series.push(ThroughputSample {
+                    time: now,
+                    bps,
+                    active_nodes: self.active_stations(),
+                });
+                if self.stats.throughput_series.len() >= self.series_cap {
+                    decimate_series(&mut self.stats.throughput_series);
+                    self.series_stride *= 2;
+                }
+            }
+            self.bin_start = now;
+            self.bin_bits = 0;
         }
-        self.bin_start = now;
-        self.bin_bits = 0;
 
         // Beacon: give the controller a chance to act even in an ACK-less lull and
         // broadcast its current control variable to every station (the paper's
@@ -742,8 +798,9 @@ impl Simulator {
         self.ap.on_beacon(now);
         let payload = self.ap.control_payload(now);
         if !payload.is_none() {
-            for st in self.stations.iter_mut().filter(|s| s.is_active()) {
-                st.policy.on_control(&payload);
+            let (stations, active) = (&mut self.stations, &self.active);
+            for &node in active {
+                stations.policy[node].on_control(&payload);
             }
         }
 
@@ -760,147 +817,27 @@ impl Simulator {
     fn begin_contention(&mut self, node: NodeId) {
         let now = self.now;
         let difs = self.phy.difs;
-        {
-            let st = &mut self.stations[node];
-            if !st.is_active() {
-                return;
-            }
-            st.phase = Phase::Contending;
-            let rng: &mut dyn RngCore = &mut st.rng;
-            st.remaining_slots = st.policy.next_backoff(rng);
-            st.countdown_start = None;
+        let st = &mut self.stations;
+        if !st.is_active(node) {
+            return;
         }
-        if self.stations[node].sensed_busy == 0 {
-            let st = &mut self.stations[node];
-            let start = if st.idle_since + difs > now {
-                st.idle_since + difs
+        let rng: &mut dyn RngCore = &mut st.rng[node];
+        let drawn = st.policy[node].next_backoff(rng);
+        let h = &mut st.hot[node];
+        h.phase = Phase::Contending;
+        h.remaining_slots = drawn;
+        h.clear_countdown();
+        if h.sensed_busy == 0 {
+            let start = if h.idle_since + difs > now {
+                h.idle_since + difs
             } else {
                 now
             };
-            st.countdown_start = Some(start);
-            st.timer_gen += 1;
-            let gen = st.timer_gen;
-            let fire = start + self.phy.slot * st.remaining_slots;
+            h.set_countdown(start);
+            h.timer_gen += 1;
+            let gen = h.timer_gen;
+            let fire = start + self.phy.slot * h.remaining_slots;
             self.queue.schedule_timer(node, gen, fire);
-        }
-    }
-
-    /// A transmission the station `st` (with id `node`) can sense has started:
-    /// freeze its countdown and cancel its armed backoff timer (if any).
-    fn station_busy_start(
-        phy: &PhyParams,
-        queue: &mut EventQueue,
-        now: SimTime,
-        node: NodeId,
-        st: &mut StationState,
-        is_data: bool,
-    ) {
-        let slot = phy.slot;
-        let difs = phy.difs;
-        st.sensed_busy += 1;
-        if st.sensed_busy > 1 {
-            st.busy_has_data |= is_data;
-            return;
-        }
-        // Medium transition idle -> busy. Idle-slot accounting feeds only
-        // `on_observation`; skip the division for policies that ignore it.
-        st.busy_has_data = is_data;
-        if st.wants_obs {
-            let idle_start = st.idle_since + difs;
-            st.pending_idle_slots = if now > idle_start {
-                now.duration_since(idle_start).div_duration(slot)
-            } else {
-                0
-            };
-        }
-
-        if st.phase == Phase::Contending {
-            if let Some(anchor) = st.countdown_start {
-                let elapsed = if now > anchor {
-                    now.duration_since(anchor).div_duration(slot)
-                } else {
-                    0
-                };
-                if elapsed >= st.remaining_slots {
-                    // The station's own TxStart is due at exactly this instant and is
-                    // still armed in the queue; leave it valid so simultaneous
-                    // transmissions (collisions) can happen.
-                } else {
-                    st.remaining_slots -= elapsed;
-                    st.countdown_start = None;
-                    st.timer_gen += 1;
-                    queue.cancel_timer(node);
-                }
-            }
-        }
-    }
-
-    /// A transmission the station `st` (with id `node`) was sensing has ended:
-    /// deliver the channel observation and, if the station is contending,
-    /// resume (or redraw) its countdown and schedule the next `TxStart`.
-    ///
-    /// `ack_follows` is the hot-path event-elision flag: when the caller knows
-    /// the AP will start an ACK at `now + SIFS`, every station resumed here is
-    /// guaranteed to be re-frozen before a countdown of one or more slots can
-    /// expire (the earliest expiry is `now + DIFS + slot > now + SIFS`), so the
-    /// `TxStart` it would schedule is dead on arrival. In that case the
-    /// countdown is armed (`countdown_start` set, backoff redrawn exactly as
-    /// usual — the RNG stream must not change) but the heap push is skipped.
-    /// A zero-slot countdown still schedules: its expiry at `now + DIFS` is
-    /// covered by the same-instant rule in `station_busy_start` (`elapsed >=
-    /// remaining_slots` leaves the timer valid), so that event genuinely fires.
-    fn station_busy_end(
-        phy: &PhyParams,
-        queue: &mut EventQueue,
-        now: SimTime,
-        node: NodeId,
-        st: &mut StationState,
-        ack_follows: bool,
-    ) {
-        let difs = phy.difs;
-        debug_assert!(st.sensed_busy > 0);
-        st.sensed_busy = st.sensed_busy.saturating_sub(1);
-        if st.sensed_busy > 0 {
-            return;
-        }
-        // Medium transition busy -> idle.
-        st.idle_since = now;
-        if st.busy_has_data && st.wants_obs {
-            let obs = ChannelObservation {
-                idle_slots: st.pending_idle_slots,
-                own_transmission: false,
-                outcome: BusyOutcome::Unknown,
-            };
-            st.policy.on_observation(&obs);
-        }
-        if st.phase == Phase::Contending {
-            if st.policy.redraw_on_resume() {
-                // Memoryless (p-persistent) policies attempt independently in
-                // every idle slot; resuming the frozen counter would bias the
-                // first post-busy slot (see `BackoffPolicy::redraw_on_resume`).
-                let rng: &mut dyn RngCore = &mut st.rng;
-                st.remaining_slots = st.policy.next_backoff(rng);
-            }
-            let start = now + difs;
-            st.countdown_start = Some(start);
-            if ack_follows && st.remaining_slots > 0 {
-                // Dead-on-arrival event elided; the AckStart freeze at
-                // now + SIFS finds the armed countdown with elapsed == 0 and
-                // re-freezes it, exactly as it would have invalidated the
-                // scheduled event.
-            } else {
-                st.timer_gen += 1;
-                let gen = st.timer_gen;
-                let fire = start + phy.slot * st.remaining_slots;
-                // The station can still be armed here: a zero-slot timer left
-                // valid by the same-instant rule whose busy period ended
-                // before it fired (e.g. an ACK shorter than DIFS). The old
-                // engine invalidated that event with the `timer_gen` bump
-                // above and pushed a replacement; with physical cancellation
-                // the replacement is explicit.
-                queue.cancel_timer(node);
-                queue.schedule_timer(node, gen, fire);
-            }
         }
     }
 
@@ -945,6 +882,24 @@ impl Simulator {
         self.ap_busy_has_data = false;
         self.ap_busy_has_success = false;
     }
+}
+
+/// Halve a throughput series in place by merging adjacent samples: the merged
+/// sample keeps the later timestamp and station count and averages the rates
+/// (samples cover equal-length intervals, so the plain mean is the
+/// time-weighted mean). A trailing unpaired sample is kept as-is.
+fn decimate_series(series: &mut Vec<ThroughputSample>) {
+    let mut merged = Vec::with_capacity(series.len() / 2 + 1);
+    let mut chunks = series.chunks_exact(2);
+    for pair in &mut chunks {
+        merged.push(ThroughputSample {
+            time: pair[1].time,
+            bps: (pair[0].bps + pair[1].bps) / 2.0,
+            active_nodes: pair[1].active_nodes,
+        });
+    }
+    merged.extend_from_slice(chunks.remainder());
+    *series = merged;
 }
 
 #[cfg(test)]
@@ -1234,37 +1189,48 @@ mod tests {
 
     #[test]
     fn sub_unity_sir_threshold_does_not_strand_stations() {
-        // With sir_threshold < 1 two mutually overlapping frames can BOTH be
-        // decodable, so a second success overwrites `pending_ack` and the
-        // first sender's ACK is never delivered. Its AckTimeout must then
-        // fire (the success-path timeout elision has to be disabled), or the
-        // station would sit in AwaitingAck forever. Regression test for the
-        // `ack_can_be_lost` gate: both hidden stations must keep making
-        // progress for the whole run.
-        let mut topo = Topology::fully_connected(2);
-        topo.set_senses(0, 1, false);
-        let phy = PhyParams::table1();
-        let capture = CaptureModel {
-            sir_threshold: 0.5,
-            ..CaptureModel::default_indoor()
-        };
-        let mut sim = SimulatorBuilder::new(phy, topo)
-            .seed(19)
-            .with_stations(|_, _| PPersistent::new(0.2))
-            .capture_model(Some(capture))
-            .build();
-        sim.run_for(SimDuration::from_secs(1));
-        let before = sim.stats();
-        assert!(before.nodes[0].attempts > 100 && before.nodes[1].attempts > 100);
-        sim.run_for(SimDuration::from_secs(1));
-        let after = sim.stats();
-        for i in 0..2 {
+        // With sir_threshold <= 1 two mutually overlapping frames can BOTH be
+        // decodable (`decodable` compares with `>=`, so equal-power frames
+        // both pass at exactly 1.0), so a second success overwrites
+        // `pending_ack` and the first sender's ACK is never delivered. Its
+        // AckTimeout must then fire (the success-path timeout elision has to
+        // be disabled), or the station would sit in AwaitingAck forever.
+        // Regression test for the `ack_can_be_lost` gate: both hidden
+        // stations must keep making progress for the whole run — including
+        // at the boundary threshold of exactly 1.0, where the gate was once
+        // `< 1.0` and station 0 made a single attempt in two simulated
+        // seconds.
+        for sir_threshold in [0.5, 1.0] {
+            let mut topo = Topology::fully_connected(2);
+            topo.set_senses(0, 1, false);
+            let phy = PhyParams::table1();
+            let capture = CaptureModel {
+                sir_threshold,
+                ..CaptureModel::default_indoor()
+            };
+            let mut sim = SimulatorBuilder::new(phy, topo)
+                .seed(19)
+                .with_stations(|_, _| PPersistent::new(0.2))
+                .capture_model(Some(capture))
+                .build();
+            sim.run_for(SimDuration::from_secs(1));
+            let before = sim.stats();
             assert!(
-                after.nodes[i].attempts > before.nodes[i].attempts + 100,
-                "station {i} stalled: {} -> {} attempts",
-                before.nodes[i].attempts,
-                after.nodes[i].attempts
+                before.nodes[0].attempts > 100 && before.nodes[1].attempts > 100,
+                "sir {sir_threshold}: {} / {} attempts in warm-up",
+                before.nodes[0].attempts,
+                before.nodes[1].attempts
             );
+            sim.run_for(SimDuration::from_secs(1));
+            let after = sim.stats();
+            for i in 0..2 {
+                assert!(
+                    after.nodes[i].attempts > before.nodes[i].attempts + 100,
+                    "sir {sir_threshold}: station {i} stalled: {} -> {} attempts",
+                    before.nodes[i].attempts,
+                    after.nodes[i].attempts
+                );
+            }
         }
     }
 

@@ -1,7 +1,34 @@
-//! Per-station MAC state tracked by the event engine.
+//! Per-station MAC state tracked by the event engine, in a cache-conscious
+//! hot/cold struct-of-arrays layout.
+//!
+//! Every transmission start/end walks the transmitter's sensing neighbours
+//! and touches, per neighbour, only a handful of small fields: the busy
+//! counter, the countdown (freeze/resume) state, the generation counters and
+//! two flag bits. The old layout stored one big struct per station,
+//! interleaving those few bytes with the two *large* cold fields — the
+//! [`Policy`] enum and the per-station ChaCha RNG (hundreds of bytes
+//! together) — so each neighbour update pulled cache lines that were mostly
+//! dead weight, and at N = 1000+ the sensing loops streamed hundreds of
+//! kilobytes per busy period.
+//!
+//! [`Stations`] splits the state into parallel arrays: one packed
+//! [`HotState`] record (56 bytes — under a cache line) per station for
+//! everything the medium-transition loops touch, and separate `policy` /
+//! `rng` / `weight` arrays for the cold data referenced only on actual
+//! backoff draws and outcome notifications. The hot loops therefore perform
+//! exactly one indexed access per neighbour (like the old layout) while
+//! streaming ~7× fewer bytes. Keeping the hot record packed — rather than
+//! one array per field — also keeps the per-access cost flat at small N,
+//! where a field-per-array layout pays eight bounds-checked pointer chases
+//! for state that fits in L1 anyway.
 
-use crate::backoff::Policy;
+use super::event::EventQueue;
+use crate::backoff::{BackoffPolicy, Policy};
+use crate::control::{BusyOutcome, ChannelObservation};
+use crate::phy::PhyParams;
 use crate::time::SimTime;
+use crate::topology::NodeId;
+use rand::RngCore;
 use rand_chacha::ChaCha8Rng;
 
 /// What a station is currently doing.
@@ -17,67 +44,335 @@ pub(crate) enum Phase {
     AwaitingAck,
 }
 
-/// MAC state machine bookkeeping for one station.
-pub(crate) struct StationState {
-    /// Contention-resolution policy, stored inline and dispatched statically
-    /// (the [`Policy`] enum; `Policy::Custom` keeps the trait-object escape hatch).
-    pub policy: Policy,
-    /// Per-station RNG stream (deterministic, derived from the master seed).
-    pub rng: ChaCha8Rng,
-    /// Station weight (used only for reporting weighted fairness).
-    pub weight: f64,
+/// Sentinel for "no countdown anchored" in [`HotState::countdown_start`]
+/// (`Option<SimTime>` would cost 8 more bytes per station; the sentinel value
+/// is unreachable — it is ~584 years of simulated time).
+const COUNTDOWN_NONE: SimTime = SimTime::from_nanos(u64::MAX);
+
+/// Flag bit: the station's policy consumes channel observations (cached
+/// [`BackoffPolicy::wants_observations`] — see that method's docs).
+const FLAG_WANTS_OBS: u8 = 1 << 0;
+/// Flag bit: the busy period currently being sensed contains a data frame.
+const FLAG_BUSY_HAS_DATA: u8 = 1 << 1;
+/// Flag bit: cached [`BackoffPolicy::redraw_on_resume`]. Like
+/// `wants_observations`, this is sampled once at build time: every built-in
+/// policy answers it constantly, and custom policies are documented to do the
+/// same.
+const FLAG_REDRAW_ON_RESUME: u8 = 1 << 2;
+
+/// The per-station fields touched on every medium transition, packed into
+/// one sub-cache-line record.
+#[derive(Debug, Clone)]
+pub(crate) struct HotState {
+    /// The per-station state machine.
     pub phase: Phase,
-    /// Backoff slots still to be counted down.
-    pub remaining_slots: u64,
+    /// Cached policy capabilities plus the busy-has-data bit.
+    flags: u8,
     /// Number of in-flight transmissions this station currently senses
     /// (other stations within sensing range, plus the AP).
     pub sensed_busy: u32,
-    /// When this station's perceived medium last became idle. Only meaningful
-    /// while `sensed_busy == 0`.
+    /// Backoff slots still to be counted down.
+    pub remaining_slots: u64,
+    /// When this station's perceived medium last became idle. Only
+    /// meaningful while `sensed_busy == 0`.
     pub idle_since: SimTime,
     /// When the current backoff countdown (re)starts: `idle_since + DIFS`,
-    /// possibly in the future. `None` while the medium is sensed busy or the
-    /// station is not contending.
-    pub countdown_start: Option<SimTime>,
-    /// Generation counter for lazily invalidating scheduled `TxStart` events.
+    /// possibly in the future. [`COUNTDOWN_NONE`] while the medium is sensed
+    /// busy or the station is not contending.
+    countdown_start: SimTime,
+    /// Generation counter lazily invalidating scheduled `TxStart` events.
     pub timer_gen: u64,
-    /// Generation counter for lazily invalidating scheduled `AckTimeout` events.
+    /// Generation counter lazily invalidating scheduled `AckTimeout` events.
     pub ack_gen: u64,
-    /// Idle slots counted immediately before the busy period currently being sensed.
+    /// Idle slots counted immediately before the busy period currently being
+    /// sensed.
     pub pending_idle_slots: u64,
-    /// Whether the busy period currently being sensed contains a data frame.
-    pub busy_has_data: bool,
-    /// Cached [`BackoffPolicy::wants_observations`](crate::backoff::BackoffPolicy::wants_observations):
-    /// the engine skips idle-slot accounting (a division per sensed busy
-    /// period) for stations whose policy ignores channel observations.
-    pub wants_obs: bool,
 }
 
-impl StationState {
-    pub(crate) fn new(policy: Policy, rng: ChaCha8Rng, weight: f64) -> Self {
-        let wants_obs = {
-            use crate::backoff::BackoffPolicy;
-            policy.wants_observations()
-        };
-        StationState {
-            policy,
-            wants_obs,
-            rng,
-            weight,
-            phase: Phase::Inactive,
-            remaining_slots: 0,
-            sensed_busy: 0,
-            idle_since: SimTime::ZERO,
-            countdown_start: None,
-            timer_gen: 0,
-            ack_gen: 0,
-            pending_idle_slots: 0,
-            busy_has_data: false,
+impl HotState {
+    /// The station's countdown anchor, if one is armed.
+    #[inline]
+    pub(crate) fn countdown(&self) -> Option<SimTime> {
+        if self.countdown_start == COUNTDOWN_NONE {
+            None
+        } else {
+            Some(self.countdown_start)
         }
     }
 
+    /// Anchor the countdown at `start`.
+    #[inline]
+    pub(crate) fn set_countdown(&mut self, start: SimTime) {
+        self.countdown_start = start;
+    }
+
+    /// Clear the countdown anchor.
+    #[inline]
+    pub(crate) fn clear_countdown(&mut self) {
+        self.countdown_start = COUNTDOWN_NONE;
+    }
+
     /// Whether the station is participating in the network.
+    #[inline]
     pub(crate) fn is_active(&self) -> bool {
         self.phase != Phase::Inactive
+    }
+
+    #[inline]
+    pub(crate) fn wants_obs(&self) -> bool {
+        self.flags & FLAG_WANTS_OBS != 0
+    }
+
+    #[inline]
+    pub(crate) fn redraw_on_resume(&self) -> bool {
+        self.flags & FLAG_REDRAW_ON_RESUME != 0
+    }
+
+    #[inline]
+    pub(crate) fn busy_has_data(&self) -> bool {
+        self.flags & FLAG_BUSY_HAS_DATA != 0
+    }
+
+    #[inline]
+    pub(crate) fn set_busy_has_data(&mut self, value: bool) {
+        if value {
+            self.flags |= FLAG_BUSY_HAS_DATA;
+        } else {
+            self.flags &= !FLAG_BUSY_HAS_DATA;
+        }
+    }
+
+    /// A transmission this station can sense has started: freeze the
+    /// countdown and cancel the armed backoff timer (if any). This is the
+    /// inner loop of every `TxStart`/`AckStart`; it reads and writes only
+    /// this hot record (never the policy), so callers index the hot array
+    /// exactly once per neighbour.
+    #[inline]
+    pub(crate) fn busy_start(
+        &mut self,
+        phy: &PhyParams,
+        queue: &mut EventQueue,
+        now: SimTime,
+        node: NodeId,
+        is_data: bool,
+    ) {
+        let slot = phy.slot;
+        let difs = phy.difs;
+        self.sensed_busy += 1;
+        if self.sensed_busy > 1 {
+            if is_data {
+                self.flags |= FLAG_BUSY_HAS_DATA;
+            }
+            return;
+        }
+        // Medium transition idle -> busy. Idle-slot accounting feeds only
+        // `on_observation`; skip the division for policies that ignore it.
+        self.set_busy_has_data(is_data);
+        if self.wants_obs() {
+            let idle_start = self.idle_since + difs;
+            self.pending_idle_slots = if now > idle_start {
+                now.duration_since(idle_start).div_duration(slot)
+            } else {
+                0
+            };
+        }
+
+        if self.phase == Phase::Contending {
+            if let Some(anchor) = self.countdown() {
+                let elapsed = if now > anchor {
+                    now.duration_since(anchor).div_duration(slot)
+                } else {
+                    0
+                };
+                if elapsed >= self.remaining_slots {
+                    // The station's own TxStart is due at exactly this instant and is
+                    // still armed in the queue; leave it valid so simultaneous
+                    // transmissions (collisions) can happen.
+                } else {
+                    self.remaining_slots -= elapsed;
+                    self.clear_countdown();
+                    self.timer_gen += 1;
+                    queue.cancel_timer(node);
+                }
+            }
+        }
+    }
+
+    /// Arm the countdown after a busy period ended (`remaining_slots` is
+    /// already final): the resume half of `busy_end`, shared between its
+    /// hot-only and policy-touching paths.
+    #[inline]
+    fn resume_countdown(
+        &mut self,
+        phy: &PhyParams,
+        queue: &mut EventQueue,
+        now: SimTime,
+        node: NodeId,
+        ack_follows: bool,
+    ) {
+        let start = now + phy.difs;
+        self.set_countdown(start);
+        if ack_follows && self.remaining_slots > 0 {
+            // Dead-on-arrival event elided; the AckStart freeze at
+            // now + SIFS finds the armed countdown with elapsed == 0 and
+            // re-freezes it, exactly as it would have invalidated the
+            // scheduled event.
+        } else {
+            self.timer_gen += 1;
+            let gen = self.timer_gen;
+            let fire = start + phy.slot * self.remaining_slots;
+            // The station can still be armed here: a zero-slot timer left
+            // valid by the same-instant rule whose busy period ended
+            // before it fired (e.g. an ACK shorter than DIFS). The old
+            // engine invalidated that event with the `timer_gen` bump
+            // above and pushed a replacement; with physical cancellation
+            // the replacement is explicit.
+            queue.cancel_timer(node);
+            queue.schedule_timer(node, gen, fire);
+        }
+    }
+}
+
+/// MAC state for all stations: the hot records in one packed array, the cold
+/// per-station data (policy, RNG stream, reporting weight) in parallel
+/// arrays, all indexed by [`NodeId`]. Stations are only ever appended at
+/// build time, so the arrays stay index-aligned by construction.
+pub(crate) struct Stations {
+    pub hot: Vec<HotState>,
+    pub policy: Vec<Policy>,
+    pub rng: Vec<ChaCha8Rng>,
+    pub weight: Vec<f64>,
+}
+
+impl Stations {
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        Stations {
+            hot: Vec::with_capacity(n),
+            policy: Vec::with_capacity(n),
+            rng: Vec::with_capacity(n),
+            weight: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append one station (build time only).
+    pub(crate) fn push(&mut self, policy: Policy, rng: ChaCha8Rng, weight: f64) {
+        let mut flags = 0u8;
+        if policy.wants_observations() {
+            flags |= FLAG_WANTS_OBS;
+        }
+        if policy.redraw_on_resume() {
+            flags |= FLAG_REDRAW_ON_RESUME;
+        }
+        self.hot.push(HotState {
+            phase: Phase::Inactive,
+            flags,
+            sensed_busy: 0,
+            remaining_slots: 0,
+            idle_since: SimTime::ZERO,
+            countdown_start: COUNTDOWN_NONE,
+            timer_gen: 0,
+            ack_gen: 0,
+            pending_idle_slots: 0,
+        });
+        self.policy.push(policy);
+        self.rng.push(rng);
+        self.weight.push(weight);
+    }
+
+    /// Number of stations.
+    pub(crate) fn len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Whether the station is participating in the network.
+    #[inline]
+    pub(crate) fn is_active(&self, node: NodeId) -> bool {
+        self.hot[node].is_active()
+    }
+
+    /// A transmission station `node` was sensing has ended: deliver the
+    /// channel observation and, if the station is contending, resume (or
+    /// redraw) its countdown and schedule the next `TxStart`. Inactive
+    /// stations return immediately (they do not track the medium; activation
+    /// recomputes `sensed_busy` from scratch).
+    ///
+    /// `ack_follows` is the hot-path event-elision flag: when the caller knows
+    /// the AP will start an ACK at `now + SIFS`, every station resumed here is
+    /// guaranteed to be re-frozen before a countdown of one or more slots can
+    /// expire (the earliest expiry is `now + DIFS + slot > now + SIFS`), so the
+    /// `TxStart` it would schedule is dead on arrival. In that case the
+    /// countdown is armed (`countdown_start` set, backoff redrawn exactly as
+    /// usual — the RNG stream must not change) but the queue push is skipped.
+    /// A zero-slot countdown still schedules: its expiry at `now + DIFS` is
+    /// covered by the same-instant rule in `busy_start` (`elapsed >=
+    /// remaining_slots` leaves the timer valid), so that event genuinely fires.
+    ///
+    /// Structured so the common case — a policy that neither consumes
+    /// observations nor redraws on resume, i.e. plain 802.11 — runs entirely
+    /// on one borrow of the hot record; only observation/redraw policies take
+    /// the slower path that touches the cold `policy`/`rng` arrays.
+    #[inline]
+    pub(crate) fn busy_end(
+        &mut self,
+        phy: &PhyParams,
+        queue: &mut EventQueue,
+        now: SimTime,
+        node: NodeId,
+        ack_follows: bool,
+    ) {
+        let h = &mut self.hot[node];
+        if !h.is_active() {
+            return;
+        }
+        debug_assert!(h.sensed_busy > 0);
+        h.sensed_busy = h.sensed_busy.saturating_sub(1);
+        if h.sensed_busy > 0 {
+            return;
+        }
+        // Medium transition busy -> idle.
+        h.idle_since = now;
+        let contending = h.phase == Phase::Contending;
+        let needs_obs = h.busy_has_data() && h.wants_obs();
+        let redraw = contending && h.redraw_on_resume();
+        if !(needs_obs || redraw) {
+            if contending {
+                h.resume_countdown(phy, queue, now, node, ack_follows);
+            }
+            return;
+        }
+        if needs_obs {
+            let obs = ChannelObservation {
+                idle_slots: h.pending_idle_slots,
+                own_transmission: false,
+                outcome: BusyOutcome::Unknown,
+            };
+            self.policy[node].on_observation(&obs);
+        }
+        if redraw {
+            // Memoryless (p-persistent) policies attempt independently in
+            // every idle slot; resuming the frozen counter would bias the
+            // first post-busy slot (see `BackoffPolicy::redraw_on_resume`).
+            let rng: &mut dyn RngCore = &mut self.rng[node];
+            self.hot[node].remaining_slots = self.policy[node].next_backoff(rng);
+        }
+        if contending {
+            self.hot[node].resume_countdown(phy, queue, now, node, ack_follows);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_state_fits_one_cache_line() {
+        // The whole point of the hot/cold split: the sensing loops must touch
+        // at most one cache line per neighbour.
+        assert!(
+            std::mem::size_of::<HotState>() <= 56,
+            "HotState is {} bytes (documented budget: 56, hard ceiling: one 64-byte line)",
+            std::mem::size_of::<HotState>()
+        );
     }
 }

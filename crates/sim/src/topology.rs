@@ -133,6 +133,83 @@ impl Topology {
         )
     }
 
+    /// Stations on a regular square lattice centred on the AP, row-major with
+    /// the given spacing (metres) between adjacent stations.
+    ///
+    /// The lattice has `ceil(sqrt(n))` columns, so passing a spacing of
+    /// `side / ceil(sqrt(n))` keeps the cell's physical extent fixed while
+    /// `n` grows — the *densifying* regime of the large-N scaling campaign,
+    /// where the hidden-pair fraction stays roughly constant instead of
+    /// exploding with the area. A spacing of 0 degenerates to all stations at
+    /// the AP (fully connected); large spacings produce mostly-hidden grids.
+    ///
+    /// The engine models every station as sensing the AP (ACKs freeze all
+    /// active stations), so for a physically consistent layout keep the
+    /// lattice half-diagonal — `side × √2 / 2` for a square side — within
+    /// [`DEFAULT_SENSING_RANGE`]: a side of 32 m puts the corners ≈ 21.7 m
+    /// from the AP at any density, a side of 36 m pushes them past 24 m
+    /// for N ≳ 400.
+    pub fn grid(n: usize, spacing: f64) -> Self {
+        assert!(spacing >= 0.0, "spacing must be non-negative");
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let cols = cols.max(1);
+        let rows = n.div_ceil(cols);
+        // Centre the lattice on the AP.
+        let x0 = -(cols.saturating_sub(1) as f64) * spacing / 2.0;
+        let y0 = -(rows.saturating_sub(1) as f64) * spacing / 2.0;
+        let positions = (0..n)
+            .map(|i| {
+                let (row, col) = (i / cols, i % cols);
+                Position::new(x0 + col as f64 * spacing, y0 + row as f64 * spacing)
+            })
+            .collect();
+        Self::from_positions(
+            positions,
+            Position::ORIGIN,
+            DEFAULT_TX_RANGE,
+            DEFAULT_SENSING_RANGE,
+        )
+    }
+
+    /// Stations grouped into hotspot clusters: `clusters` cluster centres are
+    /// placed uniformly at random in a disc of radius `spread` around the AP,
+    /// then each station is assigned round-robin to a cluster and placed
+    /// uniformly in a disc of radius `cluster_radius` around its centre.
+    ///
+    /// This models the conference-room / lecture-hall regime the scaling
+    /// campaign needs: dense local neighbourhoods (intra-cluster pairs always
+    /// sense each other for `cluster_radius` well below the sensing range)
+    /// with hidden pairs arising only *between* distant clusters. The RNG
+    /// draw order is fixed (all centres first, then the stations in id
+    /// order), so a given `(n, rng stream)` yields one deterministic layout.
+    pub fn clustered<R: Rng + ?Sized>(
+        n: usize,
+        clusters: usize,
+        spread: f64,
+        cluster_radius: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(clusters >= 1, "need at least one cluster");
+        assert!(spread >= 0.0 && cluster_radius >= 0.0);
+        let disc_point = |rng: &mut R, centre: Position, radius: f64| {
+            let r = radius * rng.gen::<f64>().sqrt();
+            let theta = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
+            Position::new(centre.x + r * theta.cos(), centre.y + r * theta.sin())
+        };
+        let centres: Vec<Position> = (0..clusters)
+            .map(|_| disc_point(rng, Position::ORIGIN, spread))
+            .collect();
+        let positions = (0..n)
+            .map(|i| disc_point(rng, centres[i % clusters], cluster_radius))
+            .collect();
+        Self::from_positions(
+            positions,
+            Position::ORIGIN,
+            DEFAULT_TX_RANGE,
+            DEFAULT_SENSING_RANGE,
+        )
+    }
+
     /// Stations placed uniformly at random in a disc of the given radius centred on
     /// the AP (the paper's hidden-node configuration: radius 16 m or 20 m).
     pub fn uniform_disc<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Self {
@@ -365,6 +442,90 @@ mod tests {
         assert_eq!(t.num_hidden_pairs(), 1);
         assert_eq!(t.hidden_pairs(), vec![(0, 2)]);
         assert!((t.hidden_pair_fraction() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_layout_is_centred_and_spaced() {
+        let t = Topology::grid(9, 4.0);
+        assert_eq!(t.num_nodes(), 9);
+        // 3x3 lattice, 4 m spacing, centred: corners at (±4, ±4).
+        assert_eq!(t.positions()[0], Position::new(-4.0, -4.0));
+        assert_eq!(t.positions()[4], Position::new(0.0, 0.0));
+        assert_eq!(t.positions()[8], Position::new(4.0, 4.0));
+        // 8 m maximal extent (diagonal ~11.3 m) < 24 m sensing: fully connected.
+        assert!(t.is_fully_connected());
+    }
+
+    #[test]
+    fn grid_with_fixed_side_keeps_hidden_fraction_stable() {
+        // Densifying regime: side ~32 m regardless of N (the scaling
+        // campaign's setting). The hidden-pair fraction should stay in the
+        // same ballpark as N quadruples, and every station must stay within
+        // the AP's sensing range (the engine models all stations as sensing
+        // the AP, so the corners may not exceed it).
+        let side = 32.0;
+        let grid = |n: usize| {
+            let cols = (n as f64).sqrt().ceil();
+            Topology::grid(n, side / cols)
+        };
+        let frac = |n: usize| grid(n).hidden_pair_fraction();
+        let (f100, f400) = (frac(100), frac(400));
+        assert!(f100 > 0.02, "32 m grid should have hidden pairs: {f100}");
+        assert!(
+            (f100 - f400).abs() < 0.15,
+            "hidden fraction should be scale-stable: {f100} vs {f400}"
+        );
+        for n in [100, 500, 1000, 2000] {
+            let t = grid(n);
+            for i in 0..n {
+                assert!(
+                    t.distance_to_ap(i) <= DEFAULT_SENSING_RANGE,
+                    "n={n}: station {i} at {:.2} m is outside the AP's sensing range",
+                    t.distance_to_ap(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_handles_degenerate_sizes() {
+        assert_eq!(Topology::grid(1, 3.0).num_nodes(), 1);
+        assert!(Topology::grid(1, 3.0).is_fully_connected());
+        let t = Topology::grid(7, 2.0); // non-square count: 3 cols x 3 rows, last row short
+        assert_eq!(t.num_nodes(), 7);
+        assert_eq!(Topology::grid(0, 2.0).num_nodes(), 0);
+    }
+
+    #[test]
+    fn clustered_keeps_intra_cluster_pairs_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (n, clusters) = (40, 4);
+        let t = Topology::clustered(n, clusters, 18.0, 3.0, &mut rng);
+        assert_eq!(t.num_nodes(), n);
+        // Stations i and i + clusters share a cluster; their distance is at
+        // most the cluster diameter (6 m) < 24 m, so they always sense each
+        // other.
+        for i in 0..n - clusters {
+            assert!(
+                t.senses(i, i + clusters),
+                "intra-cluster pair ({i}, {}) should sense each other",
+                i + clusters
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_wide_spread_has_hidden_pairs_between_clusters() {
+        let mut any_hidden = false;
+        for seed in 0..10 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let t = Topology::clustered(30, 5, 20.0, 2.0, &mut rng);
+            any_hidden |= !t.is_fully_connected();
+        }
+        assert!(
+            any_hidden,
+            "20 m spread hotspots should produce hidden pairs"
+        );
     }
 
     #[test]

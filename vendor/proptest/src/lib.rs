@@ -118,6 +118,25 @@ impl<T: Arbitrary> Strategy for Any<T> {
     }
 }
 
+// Tuples of strategies are themselves strategies (as in upstream proptest),
+// which is what lets `collection::vec((0u64..3, 0u64..100), ..)` draw vectors
+// of heterogeneous pairs.
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
 /// Collection strategies.
 pub mod collection {
     use super::{Strategy, TestRng};

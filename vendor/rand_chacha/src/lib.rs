@@ -8,6 +8,16 @@
 //! guaranteed to be word-for-word identical to upstream `rand_chacha` (word
 //! extraction order is an implementation detail); everything in this workspace
 //! only relies on determinism for a fixed seed, which this provides.
+//!
+//! Refills are **batched**: each refill runs the block function for four
+//! consecutive counter values into one buffer. The four
+//! block computations are mutually independent, so the compiler can
+//! interleave their quarter-round chains (instruction-level parallelism the
+//! serial one-block loop cannot expose), and the per-refill loop overhead is
+//! amortised over four times as many output words. The keystream itself is
+//! unchanged word for word — blocks are generated in counter order and
+//! consumed in order — which the `batched_refill_matches_single_block` test
+//! pins against an independent one-block-at-a-time implementation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,15 +26,18 @@ use rand::{RngCore, SeedableRng};
 
 const BLOCK_WORDS: usize = 16;
 const ROUNDS: usize = 8;
+/// Keystream blocks generated per refill.
+const BATCH_BLOCKS: usize = 4;
+const BUF_WORDS: usize = BLOCK_WORDS * BATCH_BLOCKS;
 
 /// A deterministic RNG backed by the ChaCha8 stream cipher.
 #[derive(Debug, Clone)]
 pub struct ChaCha8Rng {
     /// Cipher input state: constants, key, block counter, nonce.
     state: [u32; BLOCK_WORDS],
-    /// Current keystream block.
-    block: [u32; BLOCK_WORDS],
-    /// Next unconsumed word of `block`; `BLOCK_WORDS` forces a refill.
+    /// Current batch of keystream blocks, in counter order.
+    block: [u32; BUF_WORDS],
+    /// Next unconsumed word of `block`; `BUF_WORDS` forces a refill.
     index: usize,
 }
 
@@ -40,34 +53,56 @@ fn quarter_round(s: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: us
     s[b] = (s[b] ^ s[c]).rotate_left(7);
 }
 
+/// Run the ChaCha8 block function on `input`, writing the keystream block to
+/// `out`.
+#[inline]
+fn block_fn(input: &[u32; BLOCK_WORDS], out: &mut [u32]) {
+    let mut working = *input;
+    for _ in 0..ROUNDS / 2 {
+        // Column round.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    for (out, (w, s)) in out.iter_mut().zip(working.iter().zip(input.iter())) {
+        *out = w.wrapping_add(*s);
+    }
+}
+
+/// Advance the 64-bit block counter held in words 12..14 of `state`.
+#[inline]
+fn bump_counter(state: &mut [u32; BLOCK_WORDS]) {
+    let (lo, carry) = state[12].overflowing_add(1);
+    state[12] = lo;
+    if carry {
+        state[13] = state[13].wrapping_add(1);
+    }
+}
+
 impl ChaCha8Rng {
     fn refill(&mut self) {
-        let mut working = self.state;
-        for _ in 0..ROUNDS / 2 {
-            // Column round.
-            quarter_round(&mut working, 0, 4, 8, 12);
-            quarter_round(&mut working, 1, 5, 9, 13);
-            quarter_round(&mut working, 2, 6, 10, 14);
-            quarter_round(&mut working, 3, 7, 11, 15);
-            // Diagonal round.
-            quarter_round(&mut working, 0, 5, 10, 15);
-            quarter_round(&mut working, 1, 6, 11, 12);
-            quarter_round(&mut working, 2, 7, 8, 13);
-            quarter_round(&mut working, 3, 4, 9, 14);
+        // Generate BATCH_BLOCKS consecutive blocks into the buffer. The
+        // intermediate counter states are tiny copies; the block mixes are
+        // independent and can execute in parallel at the instruction level.
+        let mut inputs = [self.state; BATCH_BLOCKS];
+        for i in 1..BATCH_BLOCKS {
+            inputs[i] = inputs[i - 1];
+            bump_counter(&mut inputs[i]);
         }
-        for (out, (w, s)) in self
-            .block
-            .iter_mut()
-            .zip(working.iter().zip(self.state.iter()))
-        {
-            *out = w.wrapping_add(*s);
+        for (i, input) in inputs.iter().enumerate() {
+            block_fn(
+                input,
+                &mut self.block[i * BLOCK_WORDS..(i + 1) * BLOCK_WORDS],
+            );
         }
-        // 64-bit block counter in words 12..14.
-        let (lo, carry) = self.state[12].overflowing_add(1);
-        self.state[12] = lo;
-        if carry {
-            self.state[13] = self.state[13].wrapping_add(1);
-        }
+        self.state = inputs[BATCH_BLOCKS - 1];
+        bump_counter(&mut self.state);
         self.index = 0;
     }
 }
@@ -93,15 +128,15 @@ impl SeedableRng for ChaCha8Rng {
         // Words 12..16: block counter and nonce, all zero at the stream start.
         ChaCha8Rng {
             state,
-            block: [0; BLOCK_WORDS],
-            index: BLOCK_WORDS,
+            block: [0; BUF_WORDS],
+            index: BUF_WORDS,
         }
     }
 }
 
 impl RngCore for ChaCha8Rng {
     fn next_u32(&mut self) -> u32 {
-        if self.index >= BLOCK_WORDS {
+        if self.index >= BUF_WORDS {
             self.refill();
         }
         let word = self.block[self.index];
@@ -146,6 +181,47 @@ mod tests {
         let mut b = a.clone();
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn batched_refill_matches_single_block() {
+        // An independent one-block-at-a-time generator: the pre-batching
+        // implementation, kept as the executable specification of the
+        // keystream. The batched refill must produce the identical word
+        // sequence (this is what keeps every simulator RNG stream — and the
+        // golden traces that pin them — bit-identical across the change).
+        struct Scalar {
+            state: [u32; BLOCK_WORDS],
+            block: [u32; BLOCK_WORDS],
+            index: usize,
+        }
+        impl Scalar {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= BLOCK_WORDS {
+                    block_fn(&self.state, &mut self.block);
+                    bump_counter(&mut self.state);
+                    self.index = 0;
+                }
+                let w = self.block[self.index];
+                self.index += 1;
+                w
+            }
+        }
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            let mut batched = ChaCha8Rng::seed_from_u64(seed);
+            let mut scalar = Scalar {
+                state: batched.state,
+                block: [0; BLOCK_WORDS],
+                index: BLOCK_WORDS,
+            };
+            for i in 0..BUF_WORDS * 5 + 3 {
+                assert_eq!(
+                    batched.next_u32(),
+                    scalar.next_u32(),
+                    "seed {seed} word {i}"
+                );
+            }
         }
     }
 
