@@ -43,7 +43,7 @@
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use wlan_core::{Protocol, Scenario, TopologySpec};
-use wlan_sim::SimDuration;
+use wlan_sim::{SimDuration, TrafficSpec};
 
 /// The committed pre-refactor measurements (see module docs).
 const BASELINE_JSON: &str = include_str!("../../data/bench_engine_baseline.json");
@@ -129,8 +129,21 @@ struct HistoryEntry {
 }
 
 /// The cell grid for a mode: `(protocol, topology label, topology, n,
-/// sim-seconds)`, topology-major then N then protocol (the historical order).
-fn cells_for(mode: Mode) -> Vec<(Protocol, &'static str, TopologySpec, usize, u64)> {
+/// sim-seconds, traffic)`, topology-major then N then protocol (the
+/// historical order). Smoke cells are appended at the end: the N = 500
+/// large-N cell in Quick mode only (the extended grids already reach
+/// N = 2000), the finite-load cell in every mode.
+#[allow(clippy::type_complexity)]
+fn cells_for(
+    mode: Mode,
+) -> Vec<(
+    Protocol,
+    &'static str,
+    TopologySpec,
+    usize,
+    u64,
+    TrafficSpec,
+)> {
     let protocols = [
         Protocol::Standard80211,
         Protocol::IdleSense,
@@ -159,7 +172,14 @@ fn cells_for(mode: Mode) -> Vec<(Protocol, &'static str, TopologySpec, usize, u6
                 } else {
                     2
                 };
-                cells.push((*proto, *tname, topo.clone(), n, sim_secs));
+                cells.push((
+                    *proto,
+                    *tname,
+                    topo.clone(),
+                    n,
+                    sim_secs,
+                    TrafficSpec::saturated(),
+                ));
             }
         }
     }
@@ -173,8 +193,22 @@ fn cells_for(mode: Mode) -> Vec<(Protocol, &'static str, TopologySpec, usize, u6
             TopologySpec::FullyConnected,
             500,
             2,
+            TrafficSpec::saturated(),
         ));
     }
+    // The finite-load smoke cell (every mode, so the committed extended
+    // report gates it too): Poisson offered load at ~75% of capacity over
+    // N = 200 stations exercises the arrival tier, the queue path and the
+    // QueueEmpty transitions the saturated grid never touches. 15 fps ×
+    // 200 stations × 8000 bits = 24 Mbps offered.
+    cells.push((
+        Protocol::Standard80211,
+        "fc_poisson_load",
+        TopologySpec::FullyConnected,
+        200,
+        2,
+        TrafficSpec::poisson(15.0).with_queue_frames(64),
+    ));
     cells
 }
 
@@ -264,7 +298,7 @@ fn main() {
     let baseline: Baseline = serde_json::from_str(BASELINE_JSON).expect("parse embedded baseline");
     let mut grid = cells_for(mode);
     if let Some(filter) = &only {
-        grid.retain(|(proto, tname, _, n, _)| {
+        grid.retain(|(proto, tname, _, n, _, _)| {
             format!("{}:{tname}:{n}", proto.label()).contains(filter.as_str())
         });
     }
@@ -277,10 +311,11 @@ fn main() {
     );
 
     let mut cells = Vec::new();
-    for (proto, tname, topo, n, sim_secs) in grid {
+    for (proto, tname, topo, n, sim_secs, traffic) in grid {
         let scenario = Scenario::new(proto, topo, n)
             .seed(1)
-            .durations(SimDuration::ZERO, SimDuration::from_secs(sim_secs));
+            .durations(SimDuration::ZERO, SimDuration::from_secs(sim_secs))
+            .traffic(traffic);
         let mut sim = scenario.build_simulator();
         // Warm caches and branch predictors before the timed section.
         sim.run_for(SimDuration::from_millis(100));

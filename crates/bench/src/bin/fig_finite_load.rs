@@ -1,0 +1,12 @@
+//! Finite-load campaign (beyond the paper): throughput-vs-offered-load and
+//! delay-vs-offered-load curves for all six protocols under Poisson traffic,
+//! exposing the saturation knee. See `experiments::fig_finite_load`.
+
+use wlan_bench::experiments;
+use wlan_bench::harness::RunConfig;
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    let summary = experiments::fig_finite_load(&cfg);
+    println!("-> {summary}");
+}

@@ -33,6 +33,7 @@ fn main() {
         ("fig07", ex::fig07),
         ("fig08_09", ex::fig08_09),
         ("fig10_11", ex::fig10_11),
+        ("finite_load", ex::fig_finite_load),
         ("scaling", ex::fig_scaling),
     ];
     let mut summaries = Vec::new();

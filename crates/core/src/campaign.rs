@@ -32,7 +32,7 @@ use crate::scenario::{Scenario, ScenarioResult, TopologySpec};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use wlan_sim::SimDuration;
+use wlan_sim::{SimDuration, TrafficSpec};
 
 // The campaign executor moves scenarios and results across threads; these
 // compile-time assertions are the "is everything Send?" audit the pool relies
@@ -135,6 +135,7 @@ pub struct Campaign {
     measure: SimDuration,
     update_period: Option<SimDuration>,
     throughput_bin: Option<SimDuration>,
+    traffic: Option<TrafficSpec>,
     threads: Option<usize>,
 }
 
@@ -158,6 +159,7 @@ impl Campaign {
             measure: SimDuration::from_secs(10),
             update_period: None,
             throughput_bin: None,
+            traffic: None,
             threads: None,
         }
     }
@@ -217,6 +219,14 @@ impl Campaign {
         self
     }
 
+    /// Offered-load model applied to every job (defaults to the scenario
+    /// default of saturated sources). Finite-load campaigns make each
+    /// [`ScenarioResult`] carry a `TrafficSummary` with delay/drop metrics.
+    pub fn traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = Some(traffic);
+        self
+    }
+
     /// Worker-thread count; defaults to [`default_threads`].
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
@@ -244,6 +254,9 @@ impl Campaign {
                         }
                         if let Some(bin) = self.throughput_bin {
                             s.throughput_bin = bin;
+                        }
+                        if let Some(traffic) = self.traffic {
+                            s = s.traffic(traffic);
                         }
                         jobs.push(s);
                     }
@@ -446,6 +459,29 @@ mod tests {
         assert!(defaults
             .iter()
             .all(|j| j.throughput_bin == SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn traffic_spec_flows_into_jobs_and_results() {
+        let spec = TrafficSpec::poisson(200.0).with_queue_frames(16);
+        let campaign = tiny_campaign().traffic(spec);
+        assert!(campaign.jobs().iter().all(|j| j.traffic == spec));
+        // Saturated default stays saturated.
+        assert!(tiny_campaign()
+            .jobs()
+            .iter()
+            .all(|j| j.traffic.is_saturated()));
+        // A finite-load campaign's results all carry traffic summaries.
+        let outcome = campaign.threads(2).run();
+        for cell in &outcome.cells {
+            for r in &cell.results {
+                let t = r.traffic.as_ref().expect("finite-load result");
+                assert_eq!(
+                    t.queued_at_start + t.total_arrivals,
+                    t.total_delivered + t.total_drops + t.queued_at_end
+                );
+            }
+        }
     }
 
     #[test]

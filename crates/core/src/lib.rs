@@ -53,6 +53,7 @@ pub use campaign::{
 pub use dynamics::{run_dynamic, DynamicResult, MembershipChange, MembershipSchedule};
 pub use idlesense::{IdleSenseConfig, IdleSensePolicy};
 pub use protocol::Protocol;
-pub use scenario::{mean_throughput, Scenario, ScenarioResult, TopologySpec};
+pub use scenario::{mean_throughput, Scenario, ScenarioResult, TopologySpec, TrafficSummary};
 pub use tora::{ToraConfig, ToraController};
+pub use wlan_sim::{ArrivalProcess, TrafficSpec};
 pub use wtop::{WtopConfig, WtopController};

@@ -8,7 +8,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use wlan_sim::{
     CaptureModel, PhyParams, SimDuration, SimStats, Simulator, SimulatorBuilder, ThroughputSample,
-    Topology,
+    Topology, TrafficSpec,
 };
 
 /// How the stations are laid out around the AP.
@@ -105,6 +105,11 @@ pub struct Scenario {
     /// (which is also what the analytical models assume). Irrelevant for ring /
     /// fully-connected layouts, where all stations are equidistant from the AP.
     pub capture: Option<CaptureModel>,
+    /// Offered-load model: arrival process + per-station queue bound.
+    /// Defaults to the paper's saturated sources (no traffic layer at all);
+    /// any finite-load spec makes the run also report a
+    /// [`TrafficSummary`] (delay, jitter, drops, queue occupancy).
+    pub traffic: TrafficSpec,
 }
 
 impl Scenario {
@@ -123,12 +128,19 @@ impl Scenario {
             phy: PhyParams::table1(),
             throughput_bin: SimDuration::from_secs(1),
             capture: Some(CaptureModel::default_indoor()),
+            traffic: TrafficSpec::saturated(),
         }
     }
 
     /// Disable (or replace) the physical-layer capture model.
     pub fn capture(mut self, capture: Option<CaptureModel>) -> Self {
         self.capture = capture;
+        self
+    }
+
+    /// Replace the offered-load model (default: saturated sources).
+    pub fn traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = traffic;
         self
     }
 
@@ -171,6 +183,7 @@ impl Scenario {
             .ap_algorithm(self.protocol.ap_algorithm(&self.phy, self.update_period))
             .throughput_bin(self.throughput_bin)
             .capture_model(self.capture)
+            .traffic(self.traffic)
             .build()
     }
 
@@ -184,6 +197,11 @@ impl Scenario {
         }
         sim.run_for(self.measure);
         let stats = sim.stats();
+        let traffic = if sim.has_finite_load() {
+            Some(TrafficSummary::from_run(&sim, &stats, &self.phy))
+        } else {
+            None
+        };
         let weights = sim.weights();
         let control_trace = sim
             .ap_algorithm()
@@ -202,12 +220,121 @@ impl Scenario {
             &weights,
             control_trace,
             station_attempt_probabilities,
+            traffic,
         )
     }
 }
 
-/// Summary of one scenario run — every quantity the paper's tables and figures use.
+/// Finite-load metrics of one scenario run: offered vs carried load,
+/// per-frame delay statistics, jitter, drops and queue occupancy. Present on
+/// a [`ScenarioResult`] only when the scenario ran with a non-saturated
+/// [`TrafficSpec`]; saturated runs omit it entirely (and serialise exactly
+/// as before the traffic layer existed).
 #[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficSummary {
+    /// Offered load over the measured interval in Mbps
+    /// (arrivals × payload bits / measured time).
+    pub offered_mbps: f64,
+    /// Mean per-frame delay (arrival → ACK) in milliseconds.
+    pub mean_delay_ms: f64,
+    /// Median per-frame delay in milliseconds (log-bucket resolution).
+    pub p50_delay_ms: f64,
+    /// 95th-percentile per-frame delay in milliseconds.
+    pub p95_delay_ms: f64,
+    /// 99th-percentile per-frame delay in milliseconds.
+    pub p99_delay_ms: f64,
+    /// Largest per-frame delay in milliseconds.
+    pub max_delay_ms: f64,
+    /// Pooled standard deviation of the per-frame delay in milliseconds.
+    pub delay_stddev_ms: f64,
+    /// Mean inter-frame delay variation (RFC 3550-style) in milliseconds.
+    pub mean_jitter_ms: f64,
+    /// Fraction of arrivals tail-dropped at full queues.
+    pub drop_fraction: f64,
+    /// Total frames generated over the measured interval.
+    pub total_arrivals: u64,
+    /// Total frames tail-dropped.
+    pub total_drops: u64,
+    /// Total frames delivered.
+    pub total_delivered: u64,
+    /// Frames already queued when the measured interval began (arrived
+    /// during warm-up, still awaiting service). Closes the conservation
+    /// identity `queued_at_start + total_arrivals == total_delivered +
+    /// total_drops + queued_at_end`.
+    pub queued_at_start: u64,
+    /// Frames still queued when the run ended.
+    pub queued_at_end: u64,
+    /// Largest per-station queue length observed (frames, including the
+    /// head-of-line frame in service).
+    pub max_queue_high_water: u64,
+}
+
+impl TrafficSummary {
+    /// Fold the simulator's per-station traffic counters into the summary.
+    fn from_run(sim: &Simulator, stats: &SimStats, phy: &PhyParams) -> Self {
+        let ms = |d: wlan_sim::SimDuration| d.as_secs_f64() * 1e3;
+        let arrivals = stats.total_frame_arrivals();
+        let delivered = stats.total_frames_delivered();
+        let drops = stats.total_frame_drops();
+        let hist = stats.frame_delay_histogram();
+        let measured = stats.measured_time.as_secs_f64();
+        let offered_mbps = if measured > 0.0 {
+            arrivals as f64 * phy.payload_bits as f64 / measured / 1e6
+        } else {
+            0.0
+        };
+        // Pooled delay variance across stations from the per-station
+        // Σdelay / Σdelay² accumulators.
+        let (delay_sum, delay_sq, delay_max) =
+            stats
+                .nodes
+                .iter()
+                .fold((0.0f64, 0.0f64, 0.0f64), |(sum, sq, max), n| {
+                    (
+                        sum + n.traffic.delay_total.as_secs_f64(),
+                        sq + n.traffic.delay_sq_s2,
+                        max.max(n.traffic.delay_max.as_secs_f64()),
+                    )
+                });
+        let delay_stddev_ms = if delivered >= 2 {
+            let nf = delivered as f64;
+            let mean = delay_sum / nf;
+            ((delay_sq / nf - mean * mean).max(0.0) * nf / (nf - 1.0)).sqrt() * 1e3
+        } else {
+            0.0
+        };
+        TrafficSummary {
+            offered_mbps,
+            mean_delay_ms: ms(stats.mean_frame_delay()),
+            p50_delay_ms: ms(hist.quantile(0.50)),
+            p95_delay_ms: ms(hist.quantile(0.95)),
+            p99_delay_ms: ms(hist.quantile(0.99)),
+            max_delay_ms: delay_max * 1e3,
+            delay_stddev_ms,
+            mean_jitter_ms: ms(stats.mean_frame_jitter()),
+            drop_fraction: if arrivals == 0 {
+                0.0
+            } else {
+                drops as f64 / arrivals as f64
+            },
+            total_arrivals: arrivals,
+            total_drops: drops,
+            total_delivered: delivered,
+            queued_at_start: stats.nodes.iter().map(|n| n.traffic.queued_at_start).sum(),
+            queued_at_end: sim.total_queued_frames() as u64,
+            max_queue_high_water: stats.max_queue_high_water(),
+        }
+    }
+}
+
+/// Summary of one scenario run — every quantity the paper's tables and figures use.
+///
+/// Serialisation is hand-written rather than derived for one reason: the
+/// `traffic` field must be **omitted entirely** when absent (the vendored
+/// serde has no `skip_serializing_if`), so saturated runs serialise
+/// byte-identically to the pre-traffic-layer engine and the golden-trace
+/// fixtures stay valid unmodified.
+#[derive(Debug, Clone)]
 pub struct ScenarioResult {
     /// Protocol label.
     pub protocol: String,
@@ -236,9 +363,82 @@ pub struct ScenarioResult {
     pub control_trace: Vec<(f64, f64)>,
     /// Final per-station attempt probabilities reported by the policies.
     pub station_attempt_probabilities: Vec<Option<f64>>,
+    /// Finite-load metrics; `None` for saturated runs (and then omitted from
+    /// the serialised form entirely).
+    pub traffic: Option<TrafficSummary>,
+}
+
+impl Serialize for ScenarioResult {
+    fn to_value(&self) -> serde::Value {
+        let mut m: Vec<(String, serde::Value)> = vec![
+            ("protocol".into(), self.protocol.to_value()),
+            ("n".into(), self.n.to_value()),
+            ("hidden_pairs".into(), self.hidden_pairs.to_value()),
+            ("throughput_mbps".into(), self.throughput_mbps.to_value()),
+            ("per_node_mbps".into(), self.per_node_mbps.to_value()),
+            ("normalized_mbps".into(), self.normalized_mbps.to_value()),
+            ("avg_idle_slots".into(), self.avg_idle_slots.to_value()),
+            (
+                "collision_fraction".into(),
+                self.collision_fraction.to_value(),
+            ),
+            ("jain_index".into(), self.jain_index.to_value()),
+            (
+                "weighted_jain_index".into(),
+                self.weighted_jain_index.to_value(),
+            ),
+            (
+                "throughput_series".into(),
+                self.throughput_series.to_value(),
+            ),
+            ("control_trace".into(), self.control_trace.to_value()),
+            (
+                "station_attempt_probabilities".into(),
+                self.station_attempt_probabilities.to_value(),
+            ),
+        ];
+        if let Some(traffic) = &self.traffic {
+            m.push(("traffic".into(), traffic.to_value()));
+        }
+        serde::Value::Map(m)
+    }
+}
+
+impl Deserialize for ScenarioResult {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Map(m) = value else {
+            return Err(serde::Error::custom(format!(
+                "expected map for struct ScenarioResult, got {value:?}"
+            )));
+        };
+        let field = |name: &str| serde::map_get(m, name);
+        Ok(ScenarioResult {
+            protocol: Deserialize::from_value(field("protocol")?)?,
+            n: Deserialize::from_value(field("n")?)?,
+            hidden_pairs: Deserialize::from_value(field("hidden_pairs")?)?,
+            throughput_mbps: Deserialize::from_value(field("throughput_mbps")?)?,
+            per_node_mbps: Deserialize::from_value(field("per_node_mbps")?)?,
+            normalized_mbps: Deserialize::from_value(field("normalized_mbps")?)?,
+            avg_idle_slots: Deserialize::from_value(field("avg_idle_slots")?)?,
+            collision_fraction: Deserialize::from_value(field("collision_fraction")?)?,
+            jain_index: Deserialize::from_value(field("jain_index")?)?,
+            weighted_jain_index: Deserialize::from_value(field("weighted_jain_index")?)?,
+            throughput_series: Deserialize::from_value(field("throughput_series")?)?,
+            control_trace: Deserialize::from_value(field("control_trace")?)?,
+            station_attempt_probabilities: Deserialize::from_value(field(
+                "station_attempt_probabilities",
+            )?)?,
+            // Absent key (pre-traffic dumps, saturated runs) => None.
+            traffic: match field("traffic") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl ScenarioResult {
+    #[allow(clippy::too_many_arguments)]
     fn from_stats(
         protocol: String,
         n: usize,
@@ -247,6 +447,7 @@ impl ScenarioResult {
         weights: &[f64],
         control_trace: Vec<(f64, f64)>,
         station_attempt_probabilities: Vec<Option<f64>>,
+        traffic: Option<TrafficSummary>,
     ) -> Self {
         let per_node = stats.per_node_throughput_mbps();
         let normalized = per_node.iter().zip(weights).map(|(x, w)| x / w).collect();
@@ -268,6 +469,7 @@ impl ScenarioResult {
                 .collect(),
             control_trace,
             station_attempt_probabilities,
+            traffic,
         }
     }
 }
@@ -403,6 +605,64 @@ mod tests {
             .iter()
             .any(|r| (r.throughput_mbps - mean).abs() > 1e-12));
         assert_eq!(mean_throughput(&[]), 0.0);
+    }
+
+    #[test]
+    fn saturated_results_serialise_without_a_traffic_key() {
+        // The golden-trace contract: the traffic layer must be invisible in
+        // the serialised form of a saturated run.
+        let r = short(
+            Protocol::StaticPPersistent { p: 0.03 },
+            TopologySpec::FullyConnected,
+            4,
+        )
+        .run();
+        assert!(r.traffic.is_none());
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(
+            !json.contains("\"traffic\""),
+            "saturated JSON grew a traffic key"
+        );
+        // And deserialisation of a traffic-less dump yields None.
+        let back: ScenarioResult = serde_json::from_str(&json).unwrap();
+        assert!(back.traffic.is_none());
+        assert_eq!(back.throughput_mbps, r.throughput_mbps);
+        assert_eq!(back.per_node_mbps, r.per_node_mbps);
+    }
+
+    #[test]
+    fn finite_load_results_carry_a_traffic_summary() {
+        use wlan_sim::TrafficSpec;
+        let r = short(
+            Protocol::StaticPPersistent { p: 0.05 },
+            TopologySpec::FullyConnected,
+            5,
+        )
+        .traffic(TrafficSpec::poisson(100.0).with_queue_frames(32))
+        .run();
+        let t = r
+            .traffic
+            .as_ref()
+            .expect("finite load must summarise traffic");
+        assert!(t.total_arrivals > 0);
+        assert!(t.total_delivered > 0);
+        assert!(t.mean_delay_ms > 0.0);
+        assert!(t.p95_delay_ms >= t.p50_delay_ms);
+        assert!(t.p99_delay_ms >= t.p95_delay_ms);
+        assert!(t.offered_mbps > 0.0);
+        // Conservation at the system level.
+        assert_eq!(
+            t.queued_at_start + t.total_arrivals,
+            t.total_delivered + t.total_drops + t.queued_at_end
+        );
+        // Light load: carried ≈ offered.
+        assert!((r.throughput_mbps - t.offered_mbps).abs() / t.offered_mbps < 0.25);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"traffic\""));
+        let back: ScenarioResult = serde_json::from_str(&json).unwrap();
+        let bt = back.traffic.expect("round trip keeps the summary");
+        assert_eq!(bt.total_arrivals, t.total_arrivals);
+        assert_eq!(bt.queued_at_end, t.queued_at_end);
     }
 
     #[test]

@@ -17,10 +17,18 @@
 //! recomputation amortised over bursts), and a cancelled timer vanishes
 //! physically instead of rotting in the heap. Every other event kind goes to
 //! the general tier — a [`CalendarQueue`] (see `sched.rs`) with O(1)
-//! amortized enqueue/dequeue, replacing the original binary heap. Both tiers
+//! amortized enqueue/dequeue, replacing the original binary heap. All tiers
 //! draw sequence numbers from one shared counter, so the merged pop order is
 //! exactly the `(time, seq)` total order the old single-heap implementation
 //! produced.
+//!
+//! The finite-load traffic layer adds a third tier with the same shape as
+//! the backoff timers: each station has **at most one pending
+//! `FrameArrival`** (the next frame its arrival process will generate), so
+//! arrivals reuse the [`TimerSet`] machinery — O(1) arm on pop, physical
+//! cancel on station deactivation. In saturated runs the arrival set stays
+//! empty and the merged pop order is untouched (the two-tier order is a
+//! special case of the three-tier order with an empty third tier).
 
 use super::sched::{CalendarQueue, Scheduler};
 use super::slab::TxId;
@@ -41,6 +49,11 @@ pub(crate) enum Event {
     AckEnd { tx: TxId },
     /// A station gives up waiting for an ACK. `gen` invalidates stale timeouts.
     AckTimeout { station: NodeId, gen: u64 },
+    /// A station's arrival process generates the next frame (finite-load
+    /// traffic only; never scheduled in saturated runs). At most one is
+    /// pending per station, so deactivation cancels it physically — no
+    /// generation counter is needed.
+    FrameArrival { station: NodeId },
     /// Periodic statistics sampling tick.
     StatsTick,
 }
@@ -187,12 +200,15 @@ impl TimerSet {
 }
 
 /// A deterministic time-ordered event queue: a [`CalendarQueue`] for general
-/// events plus the [`TimerSet`] tier for backoff timers, merged at pop time by
-/// the shared `(time, seq)` total order.
+/// events plus [`TimerSet`] tiers for backoff timers and frame arrivals,
+/// merged at pop time by the shared `(time, seq)` total order.
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
     general: CalendarQueue<Event>,
     timers: TimerSet,
+    /// Pending `FrameArrival`s, at most one per station. Empty in saturated
+    /// runs, so the two-tier pop order is preserved exactly.
+    arrivals: TimerSet,
     next_seq: u64,
 }
 
@@ -202,11 +218,13 @@ impl EventQueue {
         Self::with_stations(64)
     }
 
-    /// Create a queue able to hold one backoff timer for each of `n` stations.
+    /// Create a queue able to hold one backoff timer and one pending frame
+    /// arrival for each of `n` stations.
     pub(crate) fn with_stations(n: usize) -> Self {
         EventQueue {
             general: CalendarQueue::new(),
             timers: TimerSet::with_stations(n),
+            arrivals: TimerSet::with_stations(n),
             next_seq: 0,
         }
     }
@@ -240,46 +258,90 @@ impl EventQueue {
         self.timers.cancel(station);
     }
 
-    /// Timestamp of the earliest pending event in either tier.
+    /// Schedule `station`'s next `FrameArrival` at `time`. The station must
+    /// not already have one pending (the engine schedules the next arrival
+    /// exactly when the previous one pops, and on activation after a
+    /// cancelling deactivation).
+    pub(crate) fn schedule_arrival(&mut self, station: NodeId, time: SimTime) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.arrivals.arm(Timer {
+            time,
+            seq,
+            station,
+            gen: 0,
+        });
+    }
+
+    /// Cancel `station`'s pending frame arrival (no-op if none is pending).
+    pub(crate) fn cancel_arrival(&mut self, station: NodeId) {
+        self.arrivals.cancel(station);
+    }
+
+    /// Key of the earliest pending event across all tiers.
+    fn peek_key(&mut self) -> Option<(SimTime, u64, Tier)> {
+        let mut best: Option<(SimTime, u64, Tier)> =
+            self.general.peek_key().map(|(t, s)| (t, s, Tier::General));
+        for (set, tier) in [
+            (&mut self.timers, Tier::Timer),
+            (&mut self.arrivals, Tier::Arrival),
+        ] {
+            if let Some(t) = set.peek() {
+                if best.is_none_or(|(bt, bs, _)| (t.time, t.seq) < (bt, bs)) {
+                    best = Some((t.time, t.seq, tier));
+                }
+            }
+        }
+        best
+    }
+
+    /// Timestamp of the earliest pending event in any tier.
     pub(crate) fn peek_time(&mut self) -> Option<SimTime> {
-        let general_top = self.general.peek_key();
-        let timer_top = self.timers.peek().map(|t| (t.time, t.seq));
-        match (general_top, timer_top) {
-            (None, None) => None,
-            (Some((t, _)), None) | (None, Some((t, _))) => Some(t),
-            (Some(h), Some(t)) => Some(h.min(t).0),
-        }
+        self.peek_key().map(|(t, _, _)| t)
     }
 
-    /// Pop the earliest pending event from either tier.
+    /// Pop the earliest pending event from any tier.
     pub(crate) fn pop(&mut self) -> Option<(SimTime, Event)> {
-        let general_top = self.general.peek_key();
-        let timer_top = self.timers.peek().map(|t| (t.time, t.seq));
-        let take_timer = match (general_top, timer_top) {
-            (None, None) => return None,
-            (Some(_), None) => false,
-            (None, Some(_)) => true,
-            (Some(h), Some(t)) => t < h,
-        };
-        if take_timer {
-            let timer = self.timers.extract_min().expect("peeked timer vanished");
-            Some((
-                timer.time,
-                Event::TxStart {
-                    station: timer.station,
-                    gen: timer.gen,
-                },
-            ))
-        } else {
-            self.general.pop().map(|(t, _, ev)| (t, ev))
+        match self.peek_key()? {
+            (_, _, Tier::Timer) => {
+                let timer = self.timers.extract_min().expect("peeked timer vanished");
+                Some((
+                    timer.time,
+                    Event::TxStart {
+                        station: timer.station,
+                        gen: timer.gen,
+                    },
+                ))
+            }
+            (_, _, Tier::Arrival) => {
+                let timer = self
+                    .arrivals
+                    .extract_min()
+                    .expect("peeked arrival vanished");
+                Some((
+                    timer.time,
+                    Event::FrameArrival {
+                        station: timer.station,
+                    },
+                ))
+            }
+            (_, _, Tier::General) => self.general.pop().map(|(t, _, ev)| (t, ev)),
         }
     }
 
-    /// Number of pending events (both tiers).
+    /// Number of pending events (all tiers).
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn len(&self) -> usize {
-        self.general.len() + self.timers.len()
+        self.general.len() + self.timers.len() + self.arrivals.len()
     }
+}
+
+/// Which tier holds the earliest pending event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    General,
+    Timer,
+    Arrival,
 }
 
 #[cfg(test)]
@@ -316,6 +378,52 @@ mod tests {
                 other => panic!("unexpected event {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn arrival_tier_merges_into_the_total_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(20), Event::StatsTick);
+        q.schedule_timer(3, 7, SimTime::from_micros(10));
+        q.schedule_arrival(5, SimTime::from_micros(15));
+        q.schedule_arrival(6, SimTime::from_micros(15)); // FIFO tie with nothing
+        assert_eq!(q.len(), 4);
+        assert_eq!(
+            q.pop().unwrap(),
+            (
+                SimTime::from_micros(10),
+                Event::TxStart { station: 3, gen: 7 }
+            )
+        );
+        assert_eq!(
+            q.pop().unwrap(),
+            (SimTime::from_micros(15), Event::FrameArrival { station: 5 })
+        );
+        assert_eq!(
+            q.pop().unwrap(),
+            (SimTime::from_micros(15), Event::FrameArrival { station: 6 })
+        );
+        assert_eq!(
+            q.pop().unwrap(),
+            (SimTime::from_micros(20), Event::StatsTick)
+        );
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn arrival_cancel_is_physical() {
+        let mut q = EventQueue::new();
+        q.schedule_arrival(2, SimTime::from_micros(5));
+        q.cancel_arrival(2);
+        q.cancel_arrival(2); // no-op when not armed
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+        // Re-arming after a cancel works (deactivate/activate cycle).
+        q.schedule_arrival(2, SimTime::from_micros(9));
+        assert_eq!(
+            q.pop().unwrap(),
+            (SimTime::from_micros(9), Event::FrameArrival { station: 2 })
+        );
     }
 
     #[test]

@@ -3,11 +3,17 @@
 //! [`Simulator`] wires together the PHY timing, the topology's sensing relation,
 //! one [`Policy`](crate::backoff::Policy) per station, and a
 //! [`Controller`](crate::ap::Controller) at the access point, and advances a
-//! deterministic event queue. The model is the saturated uplink of the paper's
-//! Section II: every station always has a frame queued for the AP, a frame is
-//! received iff no other transmission overlaps it in time and the AP itself is
-//! not transmitting, and the AP answers every received frame with an ACK after
-//! SIFS, piggy-backing the controller's current control variable.
+//! deterministic event queue. The default model is the saturated uplink of the
+//! paper's Section II: every station always has a frame queued for the AP, a
+//! frame is received iff no other transmission overlaps it in time and the AP
+//! itself is not transmitting, and the AP answers every received frame with an
+//! ACK after SIFS, piggy-backing the controller's current control variable. A
+//! [`TrafficSpec`](crate::traffic::TrafficSpec) relaxes saturation: stations
+//! then draw frames from per-station arrival processes into bounded FIFO
+//! queues, and a station with an empty queue parks in the `QueueEmpty`
+//! lifecycle state (sensing, but neither contending nor drawing backoff). The
+//! saturated configuration builds no traffic state at all and is RNG-stream
+//! and event-order identical to the pre-traffic engine.
 //!
 //! ## Hot path
 //!
@@ -47,11 +53,13 @@ use crate::phy::PhyParams;
 use crate::stats::{SimStats, ThroughputSample};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology};
+use crate::traffic::{ArrivalProcess, ArrivalSampler, TrafficSpec};
 use event::{Event, EventQueue};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use slab::{TxId, TxSlab};
 use station::{Phase, Stations};
+use std::collections::VecDeque;
 
 /// An in-flight data transmission (slab-resident from `TxStart` until the end
 /// of its lifecycle: `TxEnd` when no ACK follows, `AckEnd` otherwise).
@@ -89,6 +97,59 @@ struct PendingAck {
     payload: ControlPayload,
 }
 
+/// Runtime traffic state of one finite-load station: its arrival sampler,
+/// the dedicated traffic RNG stream, and the bounded FIFO frame queue.
+#[derive(Debug)]
+struct FiniteSource {
+    sampler: ArrivalSampler,
+    /// Traffic randomness only — never shared with the station's contention
+    /// stream (the RNG-stream-stability rule).
+    rng: ChaCha8Rng,
+    /// Arrival timestamps of queued frames; the head is the frame in
+    /// service, which stays queued until its ACK is delivered.
+    queue: VecDeque<SimTime>,
+    /// Queue capacity in frames (`usize::MAX` when unbounded).
+    cap: usize,
+    /// Delay of this station's previous delivery (jitter accumulator input).
+    last_delay: Option<SimDuration>,
+}
+
+/// Per-station traffic state: the saturated degenerate case carries nothing.
+#[derive(Debug)]
+enum StationTraffic {
+    /// Always backlogged — the paper's model, no queue and no arrivals.
+    Saturated,
+    /// Finite-load source feeding a bounded FIFO queue (boxed: the sampler +
+    /// RNG + queue block is ~half a KB, and mixed cells may be mostly
+    /// saturated).
+    Finite(Box<FiniteSource>),
+}
+
+impl StationTraffic {
+    /// Whether the station currently has a frame to send.
+    fn has_frame(&self) -> bool {
+        match self {
+            StationTraffic::Saturated => true,
+            StationTraffic::Finite(src) => !src.queue.is_empty(),
+        }
+    }
+
+    /// Current queue length (0 for saturated stations).
+    fn queue_len(&self) -> usize {
+        match self {
+            StationTraffic::Saturated => 0,
+            StationTraffic::Finite(src) => src.queue.len(),
+        }
+    }
+}
+
+/// The finite-load traffic layer. `None` on the simulator when every station
+/// is saturated, so the saturated hot path pays nothing.
+#[derive(Debug)]
+struct TrafficLayer {
+    stations: Vec<StationTraffic>,
+}
+
 /// Builder for [`Simulator`].
 ///
 /// ```
@@ -116,6 +177,8 @@ pub struct SimulatorBuilder {
     frame_error_rate: f64,
     initially_active: Option<usize>,
     capture: Option<CaptureModel>,
+    traffic: TrafficSpec,
+    arrival_overrides: Vec<Option<ArrivalProcess>>,
 }
 
 impl SimulatorBuilder {
@@ -134,6 +197,8 @@ impl SimulatorBuilder {
             frame_error_rate: 0.0,
             initially_active: None,
             capture: None,
+            traffic: TrafficSpec::default(),
+            arrival_overrides: (0..n).map(|_| None).collect(),
         }
     }
 
@@ -225,6 +290,26 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Install a traffic specification (arrival process + queue bound) on
+    /// every station. The default is [`TrafficSpec::saturated`] — the
+    /// paper's model, with no traffic layer at all; a saturated build is
+    /// RNG-stream and event-order identical to the pre-traffic engine.
+    /// Per-station deviations go through
+    /// [`station_arrival`](Self::station_arrival).
+    pub fn traffic(mut self, spec: TrafficSpec) -> Self {
+        self.traffic = spec;
+        self
+    }
+
+    /// Override the arrival process of a single station (the queue bound
+    /// stays the shared [`TrafficSpec::queue_frames`]). Mixing saturated and
+    /// finite-load stations is allowed: saturated stations keep the
+    /// always-backlogged semantics while the others queue.
+    pub fn station_arrival(mut self, node: NodeId, arrival: ArrivalProcess) -> Self {
+        self.arrival_overrides[node] = Some(arrival);
+        self
+    }
+
     /// Construct the simulator. Panics if any station is missing a policy or the
     /// PHY parameters are inconsistent.
     pub fn build(self) -> Simulator {
@@ -239,6 +324,15 @@ impl SimulatorBuilder {
             self.phy.sifs < self.phy.difs + self.phy.slot,
             "event elision requires SIFS < DIFS + slot"
         );
+        self.traffic.validate().expect("invalid traffic spec");
+        let arrivals: Vec<ArrivalProcess> = self
+            .arrival_overrides
+            .iter()
+            .map(|o| o.unwrap_or(self.traffic.arrival))
+            .collect();
+        for a in &arrivals {
+            a.validate().expect("invalid per-station arrival process");
+        }
         let n = self.topology.num_nodes();
         let mut master = ChaCha8Rng::seed_from_u64(self.seed);
         let mut stations = Stations::with_capacity(n);
@@ -248,6 +342,33 @@ impl SimulatorBuilder {
             stations.push(policy, rng, self.weights[i]);
         }
         let engine_rng = ChaCha8Rng::seed_from_u64(master.gen());
+        // Traffic RNG streams are derived from the master strictly *after*
+        // every pre-existing draw (station contention streams, engine
+        // stream), and only when some station actually has a finite-load
+        // source: a saturated build draws exactly the historical sequence,
+        // so its RNG streams — and with them the golden traces — are
+        // bit-identical to the pre-traffic engine.
+        let traffic = if arrivals.iter().all(ArrivalProcess::is_saturated) {
+            None
+        } else {
+            let cap = self.traffic.queue_frames.unwrap_or(usize::MAX);
+            let mut traffic_master = ChaCha8Rng::seed_from_u64(master.gen());
+            Some(TrafficLayer {
+                stations: arrivals
+                    .iter()
+                    .map(|a| match ArrivalSampler::new(*a) {
+                        None => StationTraffic::Saturated,
+                        Some(sampler) => StationTraffic::Finite(Box::new(FiniteSource {
+                            sampler,
+                            rng: ChaCha8Rng::seed_from_u64(traffic_master.gen()),
+                            queue: VecDeque::new(),
+                            cap,
+                            last_delay: None,
+                        })),
+                    })
+                    .collect(),
+            })
+        };
         let mut sim = Simulator {
             phy: self.phy,
             topology: self.topology,
@@ -283,6 +404,7 @@ impl SimulatorBuilder {
                 .as_ref()
                 .is_some_and(|c| c.sir_threshold <= 1.0),
             capture: self.capture,
+            traffic,
             engine_rng,
             events_processed: 0,
         };
@@ -339,6 +461,11 @@ pub struct Simulator {
     /// success overwrites the pending ACK of the first. Gates the
     /// success-path `AckTimeout` elision.
     ack_can_be_lost: bool,
+    /// Finite-load traffic layer: per-station arrival samplers and frame
+    /// queues. `None` when every station is saturated (the paper's model),
+    /// in which case the engine behaves bit-identically to the pre-traffic
+    /// implementation.
+    traffic: Option<TrafficLayer>,
     engine_rng: ChaCha8Rng,
     events_processed: u64,
 }
@@ -406,11 +533,47 @@ impl Simulator {
         self.stations.weight.clone()
     }
 
+    /// Whether this simulator carries a finite-load traffic layer (at least
+    /// one station has a non-saturated arrival process).
+    pub fn has_finite_load(&self) -> bool {
+        self.traffic.is_some()
+    }
+
+    /// Number of frames currently queued at `node`, including the
+    /// head-of-line frame in service. Always 0 for saturated stations (they
+    /// have no queue — the notional backlog is infinite).
+    pub fn queued_frames(&self, node: NodeId) -> usize {
+        match &self.traffic {
+            None => 0,
+            Some(layer) => layer.stations[node].queue_len(),
+        }
+    }
+
+    /// Total frames queued across all stations (0 in saturated runs).
+    pub fn total_queued_frames(&self) -> usize {
+        match &self.traffic {
+            None => 0,
+            Some(layer) => layer.stations.iter().map(StationTraffic::queue_len).sum(),
+        }
+    }
+
     /// Discard all measurements collected so far and start measuring from the
     /// current simulation time (used to skip a warm-up interval).
     pub fn reset_measurements(&mut self) {
         let n = self.stations.len();
         self.stats = SimStats::new(n);
+        // Re-seed the queue bookkeeping from the live occupancy so the
+        // conservation invariant (queued_at_start + arrivals == delivered +
+        // drops + queued_now) holds exactly over the measured interval.
+        if let Some(layer) = &self.traffic {
+            for (i, st) in layer.stations.iter().enumerate() {
+                if let StationTraffic::Finite(src) = st {
+                    let t = &mut self.stats.nodes[i].traffic;
+                    t.queued_at_start = src.queue.len() as u64;
+                    t.queue_high_water = src.queue.len() as u64;
+                }
+            }
+        }
         self.measure_start = self.now;
         self.bin_start = self.now;
         self.bin_bits = 0;
@@ -445,11 +608,22 @@ impl Simulator {
             .count() as u32
             + if self.ap_transmitting { 1 } else { 0 };
         self.stations.hot[node].sensed_busy = sensed;
+        // Start (or restart) the station's arrival process. Frames queued
+        // while the station was inactive are preserved; generation resumes
+        // from now.
+        if let Some(layer) = self.traffic.as_mut() {
+            if let StationTraffic::Finite(src) = &mut layer.stations[node] {
+                let delay = src.sampler.next_delay(&mut src.rng);
+                self.queue.schedule_arrival(node, now + delay);
+            }
+        }
         self.begin_contention(node);
     }
 
     /// Remove a station from the network. Any in-flight transmission it has is
-    /// abandoned (no success or failure is recorded for it).
+    /// abandoned (no success or failure is recorded for it), its pending
+    /// frame arrival is cancelled (an inactive station generates no traffic),
+    /// and any queued frames stay queued until it is reactivated.
     pub fn deactivate_station(&mut self, node: NodeId) {
         if !self.stations.is_active(node) {
             return;
@@ -460,6 +634,7 @@ impl Simulator {
         h.timer_gen += 1;
         h.ack_gen += 1;
         self.queue.cancel_timer(node);
+        self.queue.cancel_arrival(node);
         if let Ok(pos) = self.active.binary_search(&node) {
             self.active.remove(pos);
         }
@@ -499,7 +674,42 @@ impl Simulator {
             Event::AckStart { tx } => self.handle_ack_start(tx),
             Event::AckEnd { tx } => self.handle_ack_end(tx),
             Event::AckTimeout { station, gen } => self.handle_ack_timeout(station, gen),
+            Event::FrameArrival { station } => self.handle_frame_arrival(station),
             Event::StatsTick => self.handle_stats_tick(),
+        }
+    }
+
+    /// A station's arrival process generated a frame: enqueue it (or drop it
+    /// at a full queue), schedule the next arrival, and wake the station if
+    /// it was parked in `QueueEmpty`.
+    fn handle_frame_arrival(&mut self, node: NodeId) {
+        let now = self.now;
+        let mut enqueued = false;
+        {
+            let Some(layer) = self.traffic.as_mut() else {
+                return;
+            };
+            let StationTraffic::Finite(src) = &mut layer.stations[node] else {
+                return;
+            };
+            // Schedule the next arrival first: the arrival stream is a
+            // property of the source alone, independent of queue state.
+            let delay = src.sampler.next_delay(&mut src.rng);
+            self.queue.schedule_arrival(node, now + delay);
+            let ts = &mut self.stats.nodes[node].traffic;
+            ts.arrivals += 1;
+            if src.queue.len() >= src.cap {
+                ts.drops += 1; // tail drop
+            } else {
+                src.queue.push_back(now);
+                if src.queue.len() as u64 > ts.queue_high_water {
+                    ts.queue_high_water = src.queue.len() as u64;
+                }
+                enqueued = true;
+            }
+        }
+        if enqueued && self.stations.hot[node].phase == Phase::QueueEmpty {
+            self.begin_contention(node);
         }
     }
 
@@ -745,6 +955,22 @@ impl Simulator {
                     h.idle_since = now;
                 }
             }
+            // Finite load: the delivered frame leaves the queue here (the
+            // head stays queued across retries), closing its delay clock —
+            // queueing + access + transmission + ACK.
+            if let Some(layer) = self.traffic.as_mut() {
+                if let StationTraffic::Finite(src) = &mut layer.stations[dest] {
+                    let arrived = src
+                        .queue
+                        .pop_front()
+                        .expect("delivered frame must be queued");
+                    let delay = now.duration_since(arrived);
+                    self.stats.nodes[dest]
+                        .traffic
+                        .record_delivery(delay, src.last_delay);
+                    src.last_delay = Some(delay);
+                }
+            }
             self.begin_contention(dest);
         }
 
@@ -778,10 +1004,21 @@ impl Simulator {
             let elapsed = now.duration_since(self.bin_start);
             if !elapsed.is_zero() {
                 let bps = self.bin_bits as f64 / elapsed.as_secs_f64();
+                // Active *and backlogged* stations. Saturated runs take the
+                // historical fast path: every active station is permanently
+                // backlogged, so the count is just the active-list length.
+                let active_nodes = match &self.traffic {
+                    None => self.active.len(),
+                    Some(layer) => self
+                        .active
+                        .iter()
+                        .filter(|&&node| layer.stations[node].has_frame())
+                        .count(),
+                };
                 self.stats.throughput_series.push(ThroughputSample {
                     time: now,
                     bps,
-                    active_nodes: self.active_stations(),
+                    active_nodes,
                 });
                 if self.stats.throughput_series.len() >= self.series_cap {
                     decimate_series(&mut self.stats.throughput_series);
@@ -812,15 +1049,32 @@ impl Simulator {
     // Station helpers
     // ------------------------------------------------------------------
 
+    /// Whether `node` currently has a frame to send. Saturated stations (and
+    /// every station of a simulator without a traffic layer) always do.
+    fn station_has_frame(&self, node: NodeId) -> bool {
+        match &self.traffic {
+            None => true,
+            Some(layer) => layer.stations[node].has_frame(),
+        }
+    }
+
     /// Enter the contention phase: draw a fresh backoff and, if the medium is
-    /// idle, schedule the transmission.
+    /// idle, schedule the transmission. Under finite load a station with an
+    /// empty queue parks in `QueueEmpty` instead — no backoff is drawn and
+    /// no timer armed until the next frame arrival restarts contention.
     fn begin_contention(&mut self, node: NodeId) {
         let now = self.now;
         let difs = self.phy.difs;
-        let st = &mut self.stations;
-        if !st.is_active(node) {
+        if !self.stations.is_active(node) {
             return;
         }
+        if !self.station_has_frame(node) {
+            let h = &mut self.stations.hot[node];
+            h.phase = Phase::QueueEmpty;
+            h.clear_countdown();
+            return;
+        }
+        let st = &mut self.stations;
         let rng: &mut dyn RngCore = &mut st.rng[node];
         let drawn = st.policy[node].next_backoff(rng);
         let h = &mut st.hot[node];
@@ -1232,6 +1486,255 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn light_poisson_load_is_carried_with_small_delay() {
+        // 5 stations × 50 fps × 8000 bits = 2 Mbps offered — far below
+        // capacity, so virtually everything is delivered with sub-ms queues.
+        let topo = Topology::fully_connected(5);
+        let phy = PhyParams::table1();
+        let mut sim = SimulatorBuilder::new(phy, topo)
+            .seed(4)
+            .with_stations(|_, _| PPersistent::new(0.05))
+            .traffic(TrafficSpec::poisson(50.0))
+            .build();
+        assert!(sim.has_finite_load());
+        sim.run_for(SimDuration::from_secs(2));
+        let stats = sim.stats();
+        let arrivals = stats.total_frame_arrivals();
+        let delivered = stats.total_frames_delivered();
+        assert!(arrivals > 400, "arrivals {arrivals}");
+        assert_eq!(stats.total_frame_drops(), 0, "unbounded queues never drop");
+        // Nearly everything delivered; the rest still queued/in flight.
+        assert!(
+            delivered as f64 > 0.95 * arrivals as f64,
+            "{delivered}/{arrivals}"
+        );
+        assert_eq!(delivered, stats.total_successes());
+        // Offered ≈ carried at light load.
+        let offered = arrivals as f64 * 8000.0 / 2.0;
+        let carried = stats.system_throughput_bps();
+        assert!(
+            (carried - offered).abs() / offered < 0.06,
+            "{carried} vs {offered}"
+        );
+        // Delay exists and is far below saturation queueing delays.
+        let mean_delay = stats.mean_frame_delay();
+        assert!(mean_delay > SimDuration::ZERO);
+        assert!(mean_delay < SimDuration::from_millis(20), "{mean_delay}");
+        assert!(stats.frame_delay_histogram().count() == delivered);
+    }
+
+    #[test]
+    fn overload_fills_bounded_queues_and_drops() {
+        // 3 stations × 2000 fps × 8000 bits = 48 Mbps offered: far beyond
+        // capacity, so bounded queues must fill and tail-drop.
+        let topo = Topology::fully_connected(3);
+        let phy = PhyParams::table1();
+        let cap = 16;
+        let mut sim = SimulatorBuilder::new(phy, topo)
+            .seed(9)
+            .with_stations(|_, _| PPersistent::new(0.05))
+            .traffic(TrafficSpec::poisson(2000.0).with_queue_frames(cap))
+            .build();
+        sim.run_for(SimDuration::from_secs(1));
+        let stats = sim.stats();
+        assert!(
+            stats.total_frame_drops() > 100,
+            "{}",
+            stats.total_frame_drops()
+        );
+        assert_eq!(stats.max_queue_high_water(), cap as u64);
+        for i in 0..3 {
+            assert!(sim.queued_frames(i) <= cap);
+            let t = &stats.nodes[i].traffic;
+            assert!(t.drop_fraction() > 0.0 && t.drop_fraction() < 1.0);
+            // Saturated operation: delay is dominated by queueing.
+            assert!(t.mean_delay() > SimDuration::from_millis(1));
+            assert!(t.mean_jitter() > SimDuration::ZERO);
+        }
+        // The queue keeps the MAC saturated, so throughput stays healthy.
+        assert!(stats.system_throughput_mbps() > 10.0);
+    }
+
+    #[test]
+    fn frame_conservation_holds_per_station() {
+        let topo = Topology::fully_connected(4);
+        let phy = PhyParams::table1();
+        let mut sim = SimulatorBuilder::new(phy, topo)
+            .seed(21)
+            .with_stations(|_, _| PPersistent::new(0.03))
+            .traffic(TrafficSpec::poisson(400.0).with_queue_frames(8))
+            .build();
+        sim.run_for(SimDuration::from_secs(1));
+        let stats = sim.stats();
+        for i in 0..4 {
+            let t = &stats.nodes[i].traffic;
+            assert_eq!(
+                t.queued_at_start + t.arrivals,
+                t.delivered + t.drops + sim.queued_frames(i) as u64,
+                "station {i}"
+            );
+        }
+        // The invariant also survives a measurement reset mid-run.
+        sim.reset_measurements();
+        sim.run_for(SimDuration::from_millis(500));
+        let stats = sim.stats();
+        for i in 0..4 {
+            let t = &stats.nodes[i].traffic;
+            assert!(t.queued_at_start <= 8);
+            assert_eq!(
+                t.queued_at_start + t.arrivals,
+                t.delivered + t.drops + sim.queued_frames(i) as u64,
+                "station {i} after reset"
+            );
+        }
+    }
+
+    #[test]
+    fn queue_empty_stations_do_not_contend() {
+        // One lonely CBR station at 20 fps: with no competition every frame
+        // should take exactly one attempt, and between frames the station
+        // must sit in QueueEmpty drawing nothing.
+        let topo = Topology::fully_connected(1);
+        let phy = PhyParams::table1();
+        let mut sim = SimulatorBuilder::new(phy, topo)
+            .seed(2)
+            .with_stations(|_, _| FixedWindow::new(8))
+            .traffic(TrafficSpec {
+                arrival: ArrivalProcess::Cbr { rate_fps: 20.0 },
+                queue_frames: Some(4),
+            })
+            .build();
+        sim.run_for(SimDuration::from_secs(2));
+        let stats = sim.stats();
+        let t = &stats.nodes[0].traffic;
+        assert!((38..=41).contains(&t.arrivals), "arrivals {}", t.arrivals);
+        assert_eq!(stats.nodes[0].attempts, t.delivered);
+        assert_eq!(t.drops, 0);
+        // Idle between frames: mean delay is a single uncontended access.
+        assert!(
+            t.mean_delay() < SimDuration::from_millis(1),
+            "{}",
+            t.mean_delay()
+        );
+        // The series saw mostly empty queues.
+        assert!(stats.throughput_series.iter().all(|s| s.active_nodes <= 1));
+    }
+
+    #[test]
+    fn mixed_saturated_and_finite_stations_coexist() {
+        let topo = Topology::fully_connected(3);
+        let phy = PhyParams::table1();
+        let mut sim = SimulatorBuilder::new(phy, topo)
+            .seed(6)
+            .with_stations(|_, _| PPersistent::new(0.05))
+            .traffic(TrafficSpec::poisson(30.0))
+            .station_arrival(0, ArrivalProcess::Saturated)
+            .build();
+        sim.run_for(SimDuration::from_secs(2));
+        let stats = sim.stats();
+        // The saturated station has no traffic bookkeeping but dominates the
+        // channel; the finite stations still get their trickle through.
+        assert_eq!(stats.nodes[0].traffic.arrivals, 0);
+        assert_eq!(sim.queued_frames(0), 0);
+        assert!(stats.nodes[0].successes > 1000);
+        for i in 1..3 {
+            let t = &stats.nodes[i].traffic;
+            assert!(t.arrivals > 30, "station {i}: {}", t.arrivals);
+            assert!(t.delivered > 0, "station {i}");
+        }
+    }
+
+    #[test]
+    fn saturated_spec_builds_no_traffic_layer() {
+        let topo = Topology::fully_connected(2);
+        let phy = PhyParams::table1();
+        let sim = SimulatorBuilder::new(phy, topo)
+            .seed(1)
+            .with_stations(|_, _| PPersistent::new(0.05))
+            .traffic(TrafficSpec::saturated())
+            .build();
+        assert!(!sim.has_finite_load());
+        assert_eq!(sim.total_queued_frames(), 0);
+    }
+
+    #[test]
+    fn onoff_bursts_drive_queue_high_water_above_cbr() {
+        // Same long-run rate, bursty vs smooth: the MMPP source must show a
+        // larger queue high-water mark.
+        let run = |arrival: ArrivalProcess| {
+            let topo = Topology::fully_connected(2);
+            let phy = PhyParams::table1();
+            let mut sim = SimulatorBuilder::new(phy, topo)
+                .seed(14)
+                .with_stations(|_, _| PPersistent::new(0.02))
+                .traffic(TrafficSpec {
+                    arrival,
+                    queue_frames: None,
+                })
+                .build();
+            sim.run_for(SimDuration::from_secs(3));
+            let stats = sim.stats();
+            assert_eq!(stats.total_frame_drops(), 0);
+            stats.max_queue_high_water()
+        };
+        let cbr = run(ArrivalProcess::Cbr { rate_fps: 200.0 });
+        let bursty = run(ArrivalProcess::OnOff {
+            rate_fps: 800.0,
+            mean_on: SimDuration::from_millis(50),
+            mean_off: SimDuration::from_millis(150),
+        });
+        assert!(
+            bursty > cbr,
+            "bursty high-water {bursty} should exceed CBR {cbr}"
+        );
+    }
+
+    #[test]
+    fn finite_load_runs_are_deterministic() {
+        let run = || {
+            let topo = Topology::fully_connected(6);
+            let phy = PhyParams::table1();
+            let mut sim = SimulatorBuilder::new(phy, topo)
+                .seed(33)
+                .with_stations(|_, _| PPersistent::new(0.04))
+                .traffic(TrafficSpec::poisson(120.0).with_queue_frames(32))
+                .build();
+            sim.run_for(SimDuration::from_secs(1));
+            let s = sim.stats();
+            (
+                s.total_frame_arrivals(),
+                s.total_frames_delivered(),
+                s.total_frame_drops(),
+                s.mean_frame_delay(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn deactivation_pauses_arrivals_and_preserves_the_queue() {
+        let topo = Topology::fully_connected(2);
+        let phy = PhyParams::table1();
+        let mut sim = SimulatorBuilder::new(phy, topo)
+            .seed(8)
+            .with_stations(|_, _| PPersistent::new(0.05))
+            .traffic(TrafficSpec::poisson(5000.0).with_queue_frames(64))
+            .build();
+        sim.run_for(SimDuration::from_millis(100));
+        sim.deactivate_station(1);
+        let queued = sim.queued_frames(1);
+        let arrivals = sim.stats().nodes[1].traffic.arrivals;
+        sim.run_for(SimDuration::from_millis(200));
+        // No generation and no service while inactive.
+        assert_eq!(sim.queued_frames(1), queued);
+        assert_eq!(sim.stats().nodes[1].traffic.arrivals, arrivals);
+        sim.activate_station(1);
+        sim.run_for(SimDuration::from_millis(200));
+        assert!(sim.stats().nodes[1].traffic.arrivals > arrivals);
+        assert!(sim.stats().nodes[1].traffic.delivered > 0);
     }
 
     #[test]

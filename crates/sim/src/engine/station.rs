@@ -36,6 +36,12 @@ use rand_chacha::ChaCha8Rng;
 pub(crate) enum Phase {
     /// The station is not participating (dynamic-membership scenarios).
     Inactive,
+    /// The station is active but its frame queue is empty (finite-load
+    /// traffic only — saturated stations never enter this state). It keeps
+    /// sensing the medium (`sensed_busy` / `idle_since` bookkeeping
+    /// continues, and IdleSense-style observation policies keep observing)
+    /// but neither contends nor draws backoff until a frame arrives.
+    QueueEmpty,
     /// The station is counting down its backoff (possibly frozen by carrier sensing).
     Contending,
     /// The station is transmitting a data frame.

@@ -7,7 +7,11 @@
 //!
 //! The simulator models exactly the system of the paper's Section II:
 //!
-//! * `N` saturated stations transmit fixed-size frames to a single access point;
+//! * `N` saturated stations transmit fixed-size frames to a single access
+//!   point — or, beyond the paper, finitely loaded stations fed by pluggable
+//!   arrival processes ([`traffic::TrafficSpec`]: CBR, Poisson, bursty
+//!   on/off) into bounded per-station FIFO queues, with per-frame delay and
+//!   queue statistics;
 //! * carrier sensing is geometric — station *i* defers to station *j* only if
 //!   they are within sensing range of each other, so **hidden terminals** arise
 //!   naturally from the topology;
@@ -61,6 +65,7 @@ pub mod phy;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod traffic;
 
 // Compile-time audit of the claim above: parallel replication in `wlan-core`
 // moves whole simulators (builder closures run on worker threads) and their
@@ -79,6 +84,7 @@ pub use capture::CaptureModel;
 pub use control::{BusyOutcome, ChannelObservation, ControlPayload};
 pub use engine::{Simulator, SimulatorBuilder};
 pub use phy::PhyParams;
-pub use stats::{NodeStats, SimStats, ThroughputSample};
+pub use stats::{DelayHistogram, NodeStats, SimStats, ThroughputSample, TrafficStats};
 pub use time::{SimDuration, SimTime};
 pub use topology::{NodeId, Position, Topology};
+pub use traffic::{ArrivalProcess, ArrivalSampler, TrafficSpec};

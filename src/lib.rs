@@ -56,6 +56,28 @@
 //! Grid experiments (protocol × topology × N × seed) go through
 //! [`core::Campaign`], which executes on a thread pool and is bit-identical
 //! for every thread count.
+//!
+//! ## Finite load
+//!
+//! Beyond the paper's saturated model, the traffic layer opens the
+//! offered-load dimension: per-station arrival processes
+//! ([`ArrivalProcess`]: CBR, Poisson, bursty on/off) feed bounded FIFO
+//! queues, and results gain delay percentiles, jitter and drop metrics
+//! ([`TrafficSummary`]). `examples/finite_load.rs` (`cargo run --release
+//! --example finite_load`) walks a Poisson-loaded cell across the
+//! saturation knee and prints its delay percentiles; the `fig_finite_load`
+//! binary sweeps all six protocols over offered load.
+//!
+//! ```
+//! use wlan_sa::{Protocol, Scenario, SimDuration, TopologySpec, TrafficSpec};
+//!
+//! let r = Scenario::new(Protocol::Standard80211, TopologySpec::FullyConnected, 5)
+//!     .durations(SimDuration::from_millis(200), SimDuration::from_millis(500))
+//!     .traffic(TrafficSpec::poisson(100.0).with_queue_frames(64))
+//!     .run();
+//! let t = r.traffic.expect("finite-load runs report delay metrics");
+//! assert!(t.total_arrivals > 0 && t.mean_delay_ms > 0.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -67,5 +89,6 @@ pub use wlan_sim as sim;
 
 pub use wlan_core::{
     Campaign, CampaignOutcome, CampaignReport, Protocol, Scenario, ScenarioResult, TopologySpec,
+    TrafficSummary,
 };
-pub use wlan_sim::{PhyParams, SimDuration, SimTime, Topology};
+pub use wlan_sim::{ArrivalProcess, PhyParams, SimDuration, SimTime, Topology, TrafficSpec};

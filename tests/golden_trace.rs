@@ -16,7 +16,7 @@
 //! and commit the diff under `tests/golden/` together with an explanation of
 //! why the trace legitimately changed.
 
-use wlan_sa::{Protocol, Scenario, SimDuration, TopologySpec};
+use wlan_sa::{Protocol, Scenario, SimDuration, TopologySpec, TrafficSpec};
 
 /// The scenario grid the fixtures cover: every protocol on both topology
 /// classes. Short runs keep the suite fast; equivalence does not require the
@@ -54,6 +54,19 @@ fn cases() -> Vec<(&'static str, Scenario)> {
             ));
         }
     }
+    // The finite-load fixture: Poisson offered load at roughly half the
+    // 8-station capacity into small bounded queues. Pins the traffic
+    // subsystem — arrival tier, QueueEmpty lifecycle, delay accounting and
+    // the serialised `traffic` summary — the same way the saturated grid
+    // pins the engine hot path.
+    cases.push((
+        "standard80211_finite_poisson",
+        Scenario::new(Protocol::Standard80211, TopologySpec::FullyConnected, 8)
+            .seed(7)
+            .durations(SimDuration::from_millis(300), SimDuration::from_millis(700))
+            .update_period(SimDuration::from_millis(50))
+            .traffic(TrafficSpec::poisson(250.0).with_queue_frames(16)),
+    ));
     cases
 }
 

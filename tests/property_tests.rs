@@ -6,7 +6,9 @@ use wlan_sa::analytic::{self, BackoffChain, SlotModel};
 use wlan_sa::core::{Protocol, Scenario, TopologySpec};
 use wlan_sa::sa::{KieferWolfowitz, PowerLawGains};
 use wlan_sa::sim::backoff::{BackoffPolicy, ExponentialBackoff, PPersistent, RandomReset};
-use wlan_sa::sim::{PhyParams, SimDuration};
+use wlan_sa::sim::{
+    ArrivalProcess, PhyParams, SimDuration, SimulatorBuilder, Topology, TrafficSpec,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -199,5 +201,59 @@ proptest! {
         prop_assert!((total - r.throughput_mbps).abs() < 1e-6 * r.throughput_mbps.max(1.0));
         // 54 Mbps link: MAC goodput can never exceed the link rate.
         prop_assert!(r.throughput_mbps < 54.0);
+    }
+
+    /// Frame conservation in the traffic layer: for every station, under any
+    /// arrival process (CBR / Poisson / bursty on/off, mixed per station via
+    /// an override), any queue bound, and arbitrary arrival/drop/delivery
+    /// interleavings, `queued_at_start + arrivals == delivered + drops +
+    /// queued_at_end` holds exactly — and unbounded queues never drop.
+    #[test]
+    fn frame_conservation_under_arbitrary_arrivals(
+        n in 2usize..8,
+        kind in 0u8..3,
+        rate in 20.0f64..3000.0,
+        cap in 0usize..24, // 0 means unbounded
+        seed in 0u64..1000,
+    ) {
+        let arrival = match kind {
+            0 => ArrivalProcess::Cbr { rate_fps: rate },
+            1 => ArrivalProcess::Poisson { rate_fps: rate },
+            _ => ArrivalProcess::OnOff {
+                rate_fps: rate * 4.0,
+                mean_on: SimDuration::from_millis(20),
+                mean_off: SimDuration::from_millis(60),
+            },
+        };
+        let queue_frames = if cap == 0 { None } else { Some(cap) };
+        let mut sim = SimulatorBuilder::new(PhyParams::table1(), Topology::fully_connected(n))
+            .seed(seed)
+            .with_stations(|_, _| PPersistent::new(0.05))
+            .traffic(TrafficSpec { arrival, queue_frames })
+            // Pluggable per-station processes: station 0 always deviates.
+            .station_arrival(0, ArrivalProcess::Poisson { rate_fps: rate })
+            .build();
+        sim.run_for(SimDuration::from_millis(400));
+        // Exercise a mid-run measurement reset too: `queued_at_start` must
+        // re-anchor the invariant on the new interval.
+        sim.reset_measurements();
+        sim.run_for(SimDuration::from_millis(300));
+        let stats = sim.stats();
+        for i in 0..n {
+            let t = &stats.nodes[i].traffic;
+            prop_assert_eq!(
+                t.queued_at_start + t.arrivals,
+                t.delivered + t.drops + sim.queued_frames(i) as u64,
+                "station {}: start {} + arrivals {} vs delivered {} + drops {} + queued {}",
+                i, t.queued_at_start, t.arrivals, t.delivered, t.drops, sim.queued_frames(i)
+            );
+            // Delivered frames are exactly the MAC successes of the interval.
+            prop_assert_eq!(t.delivered, stats.nodes[i].successes);
+            if queue_frames.is_none() {
+                prop_assert_eq!(t.drops, 0);
+            } else {
+                prop_assert!(sim.queued_frames(i) <= cap);
+            }
+        }
     }
 }
