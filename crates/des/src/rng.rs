@@ -1,0 +1,98 @@
+//! Deterministic RNG stream derivation.
+//!
+//! A simulation seeded with one `u64` needs many independent random streams
+//! (one per station, one for the channel, one per traffic source, ...) whose
+//! *identity* must be stable: adding a consumer, or moving one between
+//! components, must not shift the draws seen by existing consumers, or every
+//! recorded trace would silently change.
+//!
+//! [`StreamMaster`] gives that contract a name. It wraps a master generator
+//! seeded from the run seed; each [`derive_stream`](StreamMaster::derive_stream)
+//! call draws one `u64` from the master and seeds a fresh, statistically
+//! independent [`ChaCha8Rng`] from it. Streams are therefore identified by
+//! *derivation order*, and a model keeps its traces stable by fixing that
+//! order once (e.g. stations `0..n`, then the channel, then traffic) and only
+//! ever appending. [`derive_master`](StreamMaster::derive_master) forks a
+//! whole sub-master by the same rule, so a subsystem with a variable number
+//! of internal streams (per-flow traffic, say) consumes exactly one draw
+//! from its parent no matter how many streams it fans out into.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A master generator that derives numbered, reproducible child streams.
+///
+/// ChaCha8 is used throughout: cryptographic-quality decorrelation between
+/// `seed_from_u64`-derived streams at a fraction of ChaCha20's cost, which
+/// matters in draw-heavy hot loops.
+#[derive(Debug, Clone)]
+pub struct StreamMaster {
+    rng: ChaCha8Rng,
+}
+
+impl StreamMaster {
+    /// Create a master from a run seed.
+    pub fn from_seed(seed: u64) -> Self {
+        StreamMaster {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive the next child stream. The `k`-th call after
+    /// [`from_seed`](Self::from_seed) always yields the same stream for the
+    /// same seed, independent of what the other children have drawn.
+    pub fn derive_stream(&mut self) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.rng.gen())
+    }
+
+    /// Derive a child master, consuming exactly one draw from this one.
+    pub fn derive_master(&mut self) -> StreamMaster {
+        StreamMaster {
+            rng: ChaCha8Rng::seed_from_u64(self.rng.gen()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible_and_order_identified() {
+        let mut a = StreamMaster::from_seed(7);
+        let mut b = StreamMaster::from_seed(7);
+        let mut s0a = a.derive_stream();
+        let mut s1a = a.derive_stream();
+        let mut s0b = b.derive_stream();
+        let mut s1b = b.derive_stream();
+        let draw = |r: &mut ChaCha8Rng| (0..4).map(|_| r.gen::<u64>()).collect::<Vec<_>>();
+        assert_eq!(draw(&mut s0a), draw(&mut s0b));
+        assert_eq!(draw(&mut s1a), draw(&mut s1b));
+        assert_ne!(draw(&mut s0a), draw(&mut s1a), "streams must differ");
+    }
+
+    #[test]
+    fn derive_master_consumes_one_draw() {
+        let mut a = StreamMaster::from_seed(42);
+        let mut b = StreamMaster::from_seed(42);
+        let _sub = a.derive_master();
+        let _stream = b.derive_stream();
+        // Both consumed exactly one master draw, so the next streams agree.
+        let mut na = a.derive_stream();
+        let mut nb = b.derive_stream();
+        assert_eq!(na.gen::<u64>(), nb.gen::<u64>());
+    }
+
+    #[test]
+    fn matches_raw_chacha_derivation() {
+        // The published stream-stability contract: stream k is
+        // `ChaCha8Rng::seed_from_u64(master.gen())` where `master` is
+        // `ChaCha8Rng::seed_from_u64(seed)`. Models that derived streams by
+        // hand before adopting StreamMaster must see identical draws.
+        let mut raw = ChaCha8Rng::seed_from_u64(9);
+        let mut master = StreamMaster::from_seed(9);
+        let mut expect = ChaCha8Rng::seed_from_u64(raw.gen());
+        let mut got = master.derive_stream();
+        assert_eq!(expect.gen::<u64>(), got.gen::<u64>());
+    }
+}

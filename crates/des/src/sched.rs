@@ -1,34 +1,34 @@
 //! The general-event scheduler tier: a calendar queue behind a small
 //! [`Scheduler`] abstraction.
 //!
-//! The event engine orders everything by the total order `(time, seq)` —
-//! timestamp first, FIFO sequence number as the tie-break. Any correct
-//! priority queue therefore pops the *identical* sequence, which is what lets
-//! the golden-trace suite pin the whole data structure swap to bit-exactness.
+//! The kernel orders everything by the total order `(time, seq)` — timestamp
+//! first, FIFO sequence number as the tie-break. Any correct priority queue
+//! therefore pops the *identical* sequence, which is what lets a golden-trace
+//! suite pin a whole data structure swap to bit-exactness.
 //!
-//! [`BinaryHeapScheduler`] is the reference implementation (the engine's
-//! original `std::collections::BinaryHeap` tier, O(log n) per operation).
+//! [`BinaryHeapScheduler`] is the reference implementation (a
+//! `std::collections::BinaryHeap` tier, O(log n) per operation) and the
+//! executable specification the production tier is property-tested against.
 //! [`CalendarQueue`] is the production implementation: R. Brown's calendar
 //! queue (CACM 1988), an array of time-bucketed, sorted "days" scanned by a
 //! rotating cursor. With the bucket count tracking the queue size and the
 //! bucket width tracking the mean event spacing, enqueue and dequeue are
-//! amortized O(1) — at N = 2000 stations a hidden-node cell keeps hundreds of
-//! concurrent `TxEnd`/`AckTimeout` events resident, where the heap's
-//! `log n` sift and its pointer-chasing layout start to show up in profiles.
+//! amortized O(1) — at thousands of components a simulation keeps hundreds of
+//! concurrent events resident, where the heap's `log n` sift and its
+//! pointer-chasing layout start to show up in profiles.
 //!
 //! The equivalence of the two implementations over arbitrary operation
-//! interleavings is property-tested at the bottom of this file; the engine's
-//! golden-trace suite then pins the integrated behaviour.
+//! interleavings is property-tested at the bottom of this file.
 
 use crate::time::SimTime;
 
-/// A priority-queue tier ordered by the engine's `(time, seq)` total order.
+/// A priority-queue tier ordered by the kernel's `(time, seq)` total order.
 ///
 /// `E` is the event payload. The scheduler never inspects it; ordering comes
-/// solely from the `(time, seq)` key, and `seq` values are unique (the engine
+/// solely from the `(time, seq)` key, and `seq` values are unique (the kernel
 /// hands out monotonically increasing sequence numbers), so the pop order of
 /// any two correct implementations is identical element for element.
-pub(crate) trait Scheduler<E> {
+pub trait Scheduler<E> {
     /// Insert an event at `(time, seq)`.
     fn schedule(&mut self, time: SimTime, seq: u64, event: E);
     /// The earliest `(time, seq)` key, if any. `&mut` because implementations
@@ -38,6 +38,10 @@ pub(crate) trait Scheduler<E> {
     fn pop(&mut self) -> Option<(SimTime, u64, E)>;
     /// Number of pending events.
     fn len(&self) -> usize;
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// One scheduled entry (shared by both implementations).
@@ -59,17 +63,16 @@ impl<E> Entry<E> {
 // Reference implementation: binary heap
 // ---------------------------------------------------------------------------
 
-/// The engine's original general-event tier: a `std::collections::BinaryHeap`
-/// with reversed ordering. Kept as the executable specification the calendar
-/// queue is property-tested against (and therefore only constructed in tests).
+/// The reference general-event tier: a `std::collections::BinaryHeap` with
+/// reversed ordering. Kept as the executable specification the calendar queue
+/// is property-tested against; also a fine production choice for small or
+/// bursty workloads where O(log n) is not the bottleneck.
 #[derive(Debug)]
-#[cfg_attr(not(test), allow(dead_code))]
-pub(crate) struct BinaryHeapScheduler<E> {
+pub struct BinaryHeapScheduler<E> {
     heap: std::collections::BinaryHeap<HeapEntry<E>>,
 }
 
 #[derive(Debug)]
-#[cfg_attr(not(test), allow(dead_code))]
 struct HeapEntry<E>(Entry<E>);
 
 impl<E> PartialEq for HeapEntry<E> {
@@ -95,6 +98,13 @@ impl<E> Default for BinaryHeapScheduler<E> {
         BinaryHeapScheduler {
             heap: std::collections::BinaryHeap::new(),
         }
+    }
+}
+
+impl<E> BinaryHeapScheduler<E> {
+    /// Create an empty heap scheduler.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -129,27 +139,27 @@ const SMALL_MAX: usize = 48;
 /// (hysteresis: well under `SMALL_MAX` so border workloads do not thrash).
 const SMALL_REENTER: usize = 16;
 /// Bucket-width bounds, as powers of two of nanoseconds: 2^10 ns ≈ 1 µs up to
-/// 2^24 ns ≈ 16.8 ms (beyond the longest inter-event gap the MAC produces
-/// outside the 1 s stats tick, which the year check handles anyway).
+/// 2^24 ns ≈ 16.8 ms (beyond the longest inter-event gap a MAC-scale model
+/// produces outside second-scale housekeeping ticks, which the year check
+/// handles anyway).
 const MIN_WIDTH_SHIFT: u32 = 10;
 const MAX_WIDTH_SHIFT: u32 = 24;
-/// Initial bucket width: 2^13 ns = 8.192 µs ≈ one 9 µs slot.
+/// Initial bucket width: 2^13 ns = 8.192 µs.
 const INIT_WIDTH_SHIFT: u32 = 13;
 
 /// Brown's calendar queue over the `(time, seq)` total order, with a
 /// sorted-vector tier for small occupancies.
 ///
-/// **Small tier** (≤ [`SMALL_MAX`] entries): one vector sorted descending by
-/// `(time, seq)` — a degenerate one-bucket calendar. A fully-connected cell
-/// keeps only a handful of general events in flight (the backoff timers live
-/// in the `TimerSet` tier), and at that size a binary-searched `memmove` of a
-/// few dozen bytes beats any bucketed scheme's cursor machinery.
+/// **Small tier** (≤ `SMALL_MAX` entries): one vector sorted descending by
+/// `(time, seq)` — a degenerate one-bucket calendar. A small simulation keeps
+/// only a handful of general events in flight, and at that size a
+/// binary-searched `memmove` of a few dozen bytes beats any bucketed scheme's
+/// cursor machinery.
 ///
 /// **Bucketed tier** (past the threshold, with hysteresis): the calendar
-/// proper, which is what hidden-node cells at N = 1000+ — hundreds of
-/// concurrent `TxEnd`/`AckTimeout` events — actually need:
+/// proper, for workloads that keep hundreds of concurrent events resident:
 ///
-/// * Buckets are "days": event with timestamp `t` lives in bucket
+/// * Buckets are "days": an event with timestamp `t` lives in bucket
 ///   `(t >> width_shift) & (num_buckets - 1)`. Widths and bucket counts are
 ///   powers of two so indexing is a shift and a mask.
 /// * Each bucket is kept sorted **descending** by `(time, seq)`, so the
@@ -168,7 +178,7 @@ const INIT_WIDTH_SHIFT: u32 = 13;
 /// The structure is exactly deterministic: no randomness, and every decision
 /// depends only on the operation sequence.
 #[derive(Debug)]
-pub(crate) struct CalendarQueue<E> {
+pub struct CalendarQueue<E> {
     /// The small tier (sorted descending); active while `bucketed` is false.
     small: Vec<Entry<E>>,
     /// Whether the bucketed calendar tier is active.
@@ -196,7 +206,8 @@ impl<E> Default for CalendarQueue<E> {
 }
 
 impl<E> CalendarQueue<E> {
-    pub(crate) fn new() -> Self {
+    /// Create an empty calendar queue.
+    pub fn new() -> Self {
         let mut q = CalendarQueue {
             small: Vec::new(),
             bucketed: false,
@@ -375,8 +386,8 @@ impl<E> CalendarQueue<E> {
     /// Re-estimate the width from the live span and redistribute if it
     /// changed. Called after a streak of long-jump fallbacks: the bucket
     /// count tracks occupancy, but only this adapts the *width* when the
-    /// queue is sparse (a few MAC events spread over hundreds of
-    /// microseconds would otherwise long-jump on every single pop).
+    /// queue is sparse (a few events spread over hundreds of microseconds
+    /// would otherwise long-jump on every single pop).
     fn retune_width(&mut self) {
         if let Some(shift) = self.estimated_width_shift() {
             if shift != self.width_shift {
@@ -416,10 +427,10 @@ impl<E> Scheduler<E> for CalendarQueue<E> {
         let idx = self.bucket_of(t_ns);
         Self::insert_sorted(&mut self.buckets[idx], Entry { time, seq, event });
         self.size += 1;
-        // The engine only schedules at or after `now`, so new events normally
-        // land at or after the cursor's day. Guard the general case anyway
-        // (the property tests exercise it): an event earlier than the current
-        // day pulls the cursor back so it is not skipped.
+        // A simulation only schedules at or after `now`, so new events
+        // normally land at or after the cursor's day. Guard the general case
+        // anyway (the property tests exercise it): an event earlier than the
+        // current day pulls the cursor back so it is not skipped.
         if t_ns < self.day_end.saturating_sub(self.width()) {
             self.seek_to(t_ns);
         }
@@ -475,6 +486,7 @@ mod tests {
     fn empty_queue_behaves() {
         let mut q: CalendarQueue<u32> = CalendarQueue::new();
         assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
         assert_eq!(q.peek_key(), None);
         assert!(q.pop().is_none());
     }
@@ -493,7 +505,7 @@ mod tests {
     #[test]
     fn survives_growth_shrink_cycles() {
         let mut q: CalendarQueue<usize> = CalendarQueue::new();
-        let mut heap: BinaryHeapScheduler<usize> = BinaryHeapScheduler::default();
+        let mut heap: BinaryHeapScheduler<usize> = BinaryHeapScheduler::new();
         let mut state = 0x1234_5678_9abc_def0u64;
         let mut seq = 0u64;
         let mut floor = 0u64;
@@ -522,8 +534,9 @@ mod tests {
 
     #[test]
     fn sparse_far_future_events_long_jump() {
-        // One event a full second away (the stats tick) among microsecond
-        // traffic: rotation finds nothing, the long-jump must find it.
+        // One event a full second away (a housekeeping tick) among
+        // microsecond traffic: rotation finds nothing, the long-jump must
+        // find it.
         let mut q: CalendarQueue<&'static str> = CalendarQueue::new();
         q.schedule(SimTime::from_secs(1), 0, "tick");
         q.schedule(SimTime::from_micros(5), 1, "tx");
@@ -543,9 +556,9 @@ mod tests {
             ops in proptest::collection::vec((0u64..3, 0u64..200_000), 1..400),
         ) {
             let mut cq: CalendarQueue<u64> = CalendarQueue::new();
-            let mut heap: BinaryHeapScheduler<u64> = BinaryHeapScheduler::default();
+            let mut heap: BinaryHeapScheduler<u64> = BinaryHeapScheduler::new();
             let mut seq = 0u64;
-            let mut floor = 0u64; // engine contract: schedule at or after `now`
+            let mut floor = 0u64; // kernel contract: schedule at or after `now`
             for (op, t) in ops {
                 if op == 0 && cq.len() > 0 {
                     prop_assert_eq!(cq.peek_key(), heap.peek_key());
@@ -573,7 +586,7 @@ mod tests {
             ops in proptest::collection::vec((0u64..4, 0u64..50_000_000), 1..300),
         ) {
             let mut cq: CalendarQueue<u64> = CalendarQueue::new();
-            let mut heap: BinaryHeapScheduler<u64> = BinaryHeapScheduler::default();
+            let mut heap: BinaryHeapScheduler<u64> = BinaryHeapScheduler::new();
             let mut seq = 0u64;
             for (op, t) in ops {
                 if op == 0 && cq.len() > 0 {

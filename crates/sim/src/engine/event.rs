@@ -1,39 +1,27 @@
-//! The discrete-event queue.
+//! The WLAN engine's event vocabulary.
 //!
-//! Events are ordered by timestamp with FIFO tie-breaking (a monotonically
-//! increasing sequence number), which makes every run exactly reproducible for a
-//! given seed. Transmission-scoped events carry the generational [`TxId`] of
-//! their slab entry, so the engine can reclaim entries eagerly without ever
-//! risking a stale event aliasing a recycled slot.
+//! The queue machinery itself — `(time, seq)` total order, calendar-queue
+//! general tier, indexed timer tiers with physical cancellation — lives in
+//! the generic `wlan-des` kernel ([`wlan_des::queue`]); this module only
+//! defines the event payloads the WLAN components exchange and the timer-
+//! tier constructors that synthesize them.
 //!
-//! The queue is **two-tier**. Backoff timers (`TxStart`) dominate the event
-//! volume — every busy→idle transition re-arms one per contending station, and
-//! carrier sensing freezes most of them again a few slots later. Keeping those
-//! in the shared heap meant every frozen timer lingered as a stale entry that
-//! still had to be pushed, sifted and popped. Instead, `TxStart` timers live in
-//! an *indexed timer set* ([`TimerSet`]) exploiting two facts: a station has at
-//! most one pending timer, and a freeze names exactly the station whose timer
-//! dies. Arm and cancel are O(1) (plus an O(stations) cached-minimum
-//! recomputation amortised over bursts), and a cancelled timer vanishes
-//! physically instead of rotting in the heap. Every other event kind goes to
-//! the general tier — a [`CalendarQueue`] (see `sched.rs`) with O(1)
-//! amortized enqueue/dequeue, replacing the original binary heap. All tiers
-//! draw sequence numbers from one shared counter, so the merged pop order is
-//! exactly the `(time, seq)` total order the old single-heap implementation
-//! produced.
+//! Transmission-scoped events carry the generational [`TxId`] of their slab
+//! entry, so the channel can reclaim entries eagerly without ever risking a
+//! stale event aliasing a recycled slot.
 //!
-//! The finite-load traffic layer adds a third tier with the same shape as
-//! the backoff timers: each station has **at most one pending
-//! `FrameArrival`** (the next frame its arrival process will generate), so
-//! arrivals reuse the [`TimerSet`] machinery — O(1) arm on pop, physical
-//! cancel on station deactivation. In saturated runs the arrival set stays
-//! empty and the merged pop order is untouched (the two-tier order is a
-//! special case of the three-tier order with an empty third tier).
+//! Two event kinds live in indexed timer tiers rather than the general
+//! calendar queue (see the kernel's queue docs for why): backoff timers
+//! (`TxStart` — at most one pending per station, cancelled by naming the
+//! station on every carrier-sense freeze) and frame arrivals
+//! (`FrameArrival` — at most one pending per station, cancelled on
+//! deactivation). In saturated runs the arrival tier stays empty and the pop
+//! order is untouched.
 
-use super::sched::{CalendarQueue, Scheduler};
-use super::slab::TxId;
-use crate::time::SimTime;
 use crate::topology::NodeId;
+
+/// Generational id of a slab-resident in-flight transmission.
+pub(crate) type TxId = wlan_des::SlotId;
 
 /// Kinds of events processed by the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,577 +46,14 @@ pub(crate) enum Event {
     StatsTick,
 }
 
-/// One armed backoff timer.
-#[derive(Debug, Clone, Copy)]
-struct Timer {
-    time: SimTime,
-    seq: u64,
-    station: NodeId,
-    /// The station's `timer_gen` at arm time, carried into the synthesized
-    /// `TxStart` event (a belt-and-braces validity check in the handler).
-    gen: u64,
+/// Timer-tier constructor for the backoff tier: a fired timer at `station`
+/// with arming generation `gen` becomes that station's `TxStart`.
+pub(crate) fn make_tx_start(station: usize, gen: u64) -> Event {
+    Event::TxStart { station, gen }
 }
 
-/// Sentinel for "station has no armed timer" in the position map.
-const NOT_ARMED: u32 = u32::MAX;
-
-/// The cached-minimum state of the timer set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-enum MinState {
-    /// No timers armed.
-    #[default]
-    Empty,
-    /// Minimum unknown (last known minimum was removed); recompute on demand.
-    Dirty,
-    /// Index of the minimum entry in `armed`.
-    At(usize),
-}
-
-/// An unordered set of at-most-one-timer-per-station with O(1) arm/cancel and
-/// a lazily recomputed cached minimum.
-///
-/// Freezing re-arms dominate the workload: a busy period cancels and a busy
-/// end re-arms every contending station in sensing range, while only one
-/// timer per contention round actually fires. The set therefore optimises for
-/// churn (push / swap-remove, no ordering maintained) and pays a linear scan
-/// only when the cached minimum is invalidated — at most once per extraction
-/// or min-cancellation, amortised over each burst of arms and cancels.
-#[derive(Debug, Default)]
-struct TimerSet {
-    armed: Vec<Timer>,
-    /// `pos[station]` is the station's index in `armed`, or `NOT_ARMED`.
-    pos: Vec<u32>,
-    min: MinState,
-}
-
-impl TimerSet {
-    fn with_stations(n: usize) -> Self {
-        TimerSet {
-            armed: Vec::with_capacity(n),
-            pos: vec![NOT_ARMED; n],
-            min: MinState::Empty,
-        }
-    }
-
-    /// Arm `station`'s timer. The station must not already be armed (the
-    /// engine cancels on freeze before re-arming on resume).
-    fn arm(&mut self, timer: Timer) {
-        debug_assert_eq!(self.pos[timer.station], NOT_ARMED, "double arm");
-        let i = self.armed.len();
-        self.pos[timer.station] = i as u32;
-        self.armed.push(timer);
-        self.min = match self.min {
-            MinState::Empty => MinState::At(i),
-            MinState::Dirty => MinState::Dirty,
-            MinState::At(m) => {
-                let cur = &self.armed[m];
-                if (timer.time, timer.seq) < (cur.time, cur.seq) {
-                    MinState::At(i)
-                } else {
-                    MinState::At(m)
-                }
-            }
-        };
-    }
-
-    /// Cancel `station`'s timer if armed (no-op otherwise).
-    fn cancel(&mut self, station: NodeId) {
-        let i = self.pos[station];
-        if i == NOT_ARMED {
-            return;
-        }
-        self.remove_at(i as usize);
-    }
-
-    /// Remove the entry at index `i` (swap-remove, patching the position map
-    /// and the cached minimum).
-    fn remove_at(&mut self, i: usize) {
-        let removed = self.armed.swap_remove(i);
-        self.pos[removed.station] = NOT_ARMED;
-        if let Some(moved) = self.armed.get(i) {
-            self.pos[moved.station] = i as u32;
-        }
-        let last = self.armed.len(); // index the moved entry came from
-        self.min = if self.armed.is_empty() {
-            MinState::Empty
-        } else {
-            match self.min {
-                MinState::Empty => unreachable!("removed from an empty set"),
-                MinState::Dirty => MinState::Dirty,
-                MinState::At(m) if m == i => MinState::Dirty,
-                MinState::At(m) if m == last => MinState::At(i),
-                MinState::At(m) => MinState::At(m),
-            }
-        };
-    }
-
-    /// Index of the earliest timer, recomputing the cached minimum if dirty.
-    fn min_index(&mut self) -> Option<usize> {
-        match self.min {
-            MinState::Empty => None,
-            MinState::At(m) => Some(m),
-            MinState::Dirty => {
-                let mut best = 0usize;
-                for (i, t) in self.armed.iter().enumerate().skip(1) {
-                    let b = &self.armed[best];
-                    if (t.time, t.seq) < (b.time, b.seq) {
-                        best = i;
-                    }
-                }
-                self.min = MinState::At(best);
-                Some(best)
-            }
-        }
-    }
-
-    /// The earliest timer, if any.
-    fn peek(&mut self) -> Option<Timer> {
-        self.min_index().map(|i| self.armed[i])
-    }
-
-    /// Remove and return the earliest timer.
-    fn extract_min(&mut self) -> Option<Timer> {
-        let i = self.min_index()?;
-        let timer = self.armed[i];
-        self.remove_at(i);
-        Some(timer)
-    }
-
-    fn len(&self) -> usize {
-        self.armed.len()
-    }
-}
-
-/// A deterministic time-ordered event queue: a [`CalendarQueue`] for general
-/// events plus [`TimerSet`] tiers for backoff timers and frame arrivals,
-/// merged at pop time by the shared `(time, seq)` total order.
-#[derive(Debug, Default)]
-pub(crate) struct EventQueue {
-    general: CalendarQueue<Event>,
-    timers: TimerSet,
-    /// Pending `FrameArrival`s, at most one per station. Empty in saturated
-    /// runs, so the two-tier pop order is preserved exactly.
-    arrivals: TimerSet,
-    next_seq: u64,
-}
-
-impl EventQueue {
-    #[cfg(test)]
-    pub(crate) fn new() -> Self {
-        Self::with_stations(64)
-    }
-
-    /// Create a queue able to hold one backoff timer and one pending frame
-    /// arrival for each of `n` stations.
-    pub(crate) fn with_stations(n: usize) -> Self {
-        EventQueue {
-            general: CalendarQueue::new(),
-            timers: TimerSet::with_stations(n),
-            arrivals: TimerSet::with_stations(n),
-            next_seq: 0,
-        }
-    }
-
-    /// Schedule `event` at absolute time `time`.
-    pub(crate) fn schedule(&mut self, time: SimTime, event: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.general.schedule(time, seq, event);
-    }
-
-    /// Arm `station`'s backoff timer to fire a `TxStart { station, gen }` at
-    /// `time`. The timer draws its sequence number from the same counter as
-    /// `schedule`, so it pops exactly where the equivalent `schedule` call
-    /// would have placed it.
-    pub(crate) fn schedule_timer(&mut self, station: NodeId, gen: u64, time: SimTime) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.timers.arm(Timer {
-            time,
-            seq,
-            station,
-            gen,
-        });
-    }
-
-    /// Cancel `station`'s armed backoff timer (no-op if not armed). Unlike the
-    /// old lazy `gen`-bump invalidation, the timer is physically removed and
-    /// never surfaces as a stale pop.
-    pub(crate) fn cancel_timer(&mut self, station: NodeId) {
-        self.timers.cancel(station);
-    }
-
-    /// Schedule `station`'s next `FrameArrival` at `time`. The station must
-    /// not already have one pending (the engine schedules the next arrival
-    /// exactly when the previous one pops, and on activation after a
-    /// cancelling deactivation).
-    pub(crate) fn schedule_arrival(&mut self, station: NodeId, time: SimTime) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.arrivals.arm(Timer {
-            time,
-            seq,
-            station,
-            gen: 0,
-        });
-    }
-
-    /// Cancel `station`'s pending frame arrival (no-op if none is pending).
-    pub(crate) fn cancel_arrival(&mut self, station: NodeId) {
-        self.arrivals.cancel(station);
-    }
-
-    /// Key of the earliest pending event across all tiers.
-    fn peek_key(&mut self) -> Option<(SimTime, u64, Tier)> {
-        let mut best: Option<(SimTime, u64, Tier)> =
-            self.general.peek_key().map(|(t, s)| (t, s, Tier::General));
-        for (set, tier) in [
-            (&mut self.timers, Tier::Timer),
-            (&mut self.arrivals, Tier::Arrival),
-        ] {
-            if let Some(t) = set.peek() {
-                if best.is_none_or(|(bt, bs, _)| (t.time, t.seq) < (bt, bs)) {
-                    best = Some((t.time, t.seq, tier));
-                }
-            }
-        }
-        best
-    }
-
-    /// Timestamp of the earliest pending event in any tier.
-    pub(crate) fn peek_time(&mut self) -> Option<SimTime> {
-        self.peek_key().map(|(t, _, _)| t)
-    }
-
-    /// Pop the earliest pending event from any tier.
-    pub(crate) fn pop(&mut self) -> Option<(SimTime, Event)> {
-        match self.peek_key()? {
-            (_, _, Tier::Timer) => {
-                let timer = self.timers.extract_min().expect("peeked timer vanished");
-                Some((
-                    timer.time,
-                    Event::TxStart {
-                        station: timer.station,
-                        gen: timer.gen,
-                    },
-                ))
-            }
-            (_, _, Tier::Arrival) => {
-                let timer = self
-                    .arrivals
-                    .extract_min()
-                    .expect("peeked arrival vanished");
-                Some((
-                    timer.time,
-                    Event::FrameArrival {
-                        station: timer.station,
-                    },
-                ))
-            }
-            (_, _, Tier::General) => self.general.pop().map(|(t, _, ev)| (t, ev)),
-        }
-    }
-
-    /// Number of pending events (all tiers).
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn len(&self) -> usize {
-        self.general.len() + self.timers.len() + self.arrivals.len()
-    }
-}
-
-/// Which tier holds the earliest pending event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Tier {
-    General,
-    Timer,
-    Arrival,
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tx_id(n: u32) -> TxId {
-        TxId::from_parts(n, 0)
-    }
-
-    #[test]
-    fn events_pop_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_micros(30), Event::StatsTick);
-        q.schedule(SimTime::from_micros(10), Event::TxEnd { tx: tx_id(1) });
-        q.schedule(SimTime::from_micros(20), Event::TxEnd { tx: tx_id(2) });
-        assert_eq!(q.len(), 3);
-        assert_eq!(q.pop().unwrap().0, SimTime::from_micros(10));
-        assert_eq!(q.pop().unwrap().0, SimTime::from_micros(20));
-        assert_eq!(q.pop().unwrap().0, SimTime::from_micros(30));
-        assert!(q.pop().is_none());
-    }
-
-    #[test]
-    fn ties_break_in_fifo_order() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_micros(5);
-        q.schedule(t, Event::TxStart { station: 0, gen: 0 });
-        q.schedule(t, Event::TxStart { station: 1, gen: 0 });
-        q.schedule(t, Event::TxStart { station: 2, gen: 0 });
-        for expected in 0..3 {
-            match q.pop().unwrap().1 {
-                Event::TxStart { station, .. } => assert_eq!(station, expected),
-                other => panic!("unexpected event {other:?}"),
-            }
-        }
-    }
-
-    #[test]
-    fn arrival_tier_merges_into_the_total_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_micros(20), Event::StatsTick);
-        q.schedule_timer(3, 7, SimTime::from_micros(10));
-        q.schedule_arrival(5, SimTime::from_micros(15));
-        q.schedule_arrival(6, SimTime::from_micros(15)); // FIFO tie with nothing
-        assert_eq!(q.len(), 4);
-        assert_eq!(
-            q.pop().unwrap(),
-            (
-                SimTime::from_micros(10),
-                Event::TxStart { station: 3, gen: 7 }
-            )
-        );
-        assert_eq!(
-            q.pop().unwrap(),
-            (SimTime::from_micros(15), Event::FrameArrival { station: 5 })
-        );
-        assert_eq!(
-            q.pop().unwrap(),
-            (SimTime::from_micros(15), Event::FrameArrival { station: 6 })
-        );
-        assert_eq!(
-            q.pop().unwrap(),
-            (SimTime::from_micros(20), Event::StatsTick)
-        );
-        assert!(q.pop().is_none());
-    }
-
-    #[test]
-    fn arrival_cancel_is_physical() {
-        let mut q = EventQueue::new();
-        q.schedule_arrival(2, SimTime::from_micros(5));
-        q.cancel_arrival(2);
-        q.cancel_arrival(2); // no-op when not armed
-        assert_eq!(q.len(), 0);
-        assert!(q.pop().is_none());
-        // Re-arming after a cancel works (deactivate/activate cycle).
-        q.schedule_arrival(2, SimTime::from_micros(9));
-        assert_eq!(
-            q.pop().unwrap(),
-            (SimTime::from_micros(9), Event::FrameArrival { station: 2 })
-        );
-    }
-
-    #[test]
-    fn peek_does_not_remove() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_micros(1), Event::StatsTick);
-        assert_eq!(q.peek_time(), Some(SimTime::from_micros(1)));
-        assert_eq!(q.len(), 1);
-    }
-
-    #[test]
-    fn interleaved_schedule_pop_matches_reference_order() {
-        // Drive the heap tier through a pseudo-random interleaving of pushes
-        // and pops and check every pop against a sorted reference of
-        // (time, insertion index) — the total order the engine's determinism
-        // rests on. Each event carries its insertion index so FIFO tie-breaks
-        // are verified exactly, not just times.
-        let mut q = EventQueue::new();
-        let mut reference: Vec<(u64, usize)> = Vec::new(); // (time_us, insertion index)
-        let mut inserted = 0usize;
-        let mut state = 0x853c_49e6_748f_ea9bu64;
-        let mut rng = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let check_pop = |q: &mut EventQueue, reference: &mut Vec<(u64, usize)>| {
-            let (t, ev) = q.pop().expect("reference says non-empty");
-            let min_pos = reference
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &entry)| entry)
-                .map(|(pos, _)| pos)
-                .expect("non-empty");
-            let (expect_t, expect_idx) = reference.swap_remove(min_pos);
-            assert_eq!(t, SimTime::from_micros(expect_t));
-            match ev {
-                Event::TxStart { station, .. } => assert_eq!(station, expect_idx),
-                other => panic!("unexpected event {other:?}"),
-            }
-        };
-        for _ in 0..5000 {
-            if reference.is_empty() || rng() % 3 != 0 {
-                let t = rng() % 500; // dense times force plenty of ties
-                q.schedule(
-                    SimTime::from_micros(t),
-                    Event::TxStart {
-                        station: inserted,
-                        gen: 0,
-                    },
-                );
-                reference.push((t, inserted));
-                inserted += 1;
-            } else {
-                check_pop(&mut q, &mut reference);
-            }
-        }
-        while !reference.is_empty() {
-            check_pop(&mut q, &mut reference);
-        }
-        assert!(q.pop().is_none());
-    }
-
-    mod properties {
-        //! Property tests of the full two-tier queue (calendar-queue general
-        //! tier + indexed timer set) against a naive sorted-vector model,
-        //! over arbitrary interleavings of general pushes, timer arms, timer
-        //! cancels (including cancel-and-rearm patterns) and pops.
-        use super::*;
-        use proptest::prelude::*;
-
-        /// The model: a flat list of `(time, seq, event)` plus at most one
-        /// armed timer per station, popped by scanning for the minimum key.
-        #[derive(Default)]
-        struct Model {
-            general: Vec<(SimTime, u64, Event)>,
-            timers: Vec<Option<(SimTime, u64, u64)>>, // (time, seq, gen)
-        }
-
-        impl Model {
-            fn with_stations(n: usize) -> Self {
-                Model {
-                    general: Vec::new(),
-                    timers: vec![None; n],
-                }
-            }
-
-            fn pop(&mut self) -> Option<(SimTime, Event)> {
-                let gmin = self
-                    .general
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, &(t, s, _))| (t, s))
-                    .map(|(i, &(t, s, _))| (t, s, i));
-                let tmin = self
-                    .timers
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(st, slot)| slot.map(|(t, s, g)| ((t, s), st, g)))
-                    .min();
-                match (gmin, tmin) {
-                    (None, None) => None,
-                    (Some((_, _, i)), None) => {
-                        let (t, _, ev) = self.general.swap_remove(i);
-                        Some((t, ev))
-                    }
-                    (None, Some(((t, _), st, g))) => {
-                        self.timers[st] = None;
-                        Some((
-                            t,
-                            Event::TxStart {
-                                station: st,
-                                gen: g,
-                            },
-                        ))
-                    }
-                    (Some((gt, gs, i)), Some(((tt, ts), st, g))) => {
-                        if (tt, ts) < (gt, gs) {
-                            self.timers[st] = None;
-                            Some((
-                                tt,
-                                Event::TxStart {
-                                    station: st,
-                                    gen: g,
-                                },
-                            ))
-                        } else {
-                            let (t, _, ev) = self.general.swap_remove(i);
-                            Some((t, ev))
-                        }
-                    }
-                }
-            }
-        }
-
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(48))]
-
-            /// The two-tier queue pops the identical `(time, event)` sequence
-            /// as the naive model for arbitrary interleavings of schedule /
-            /// arm / cancel / pop. Times are dense (0..80 slots of 9 µs plus
-            /// jitter) so ties and same-slot races are exercised constantly,
-            /// and stations rearm freely after cancels.
-            #[test]
-            fn two_tier_queue_matches_naive_model(
-                ops in proptest::collection::vec(
-                    (0u64..4, 0u64..8, 0u64..80, 0u64..9_000), 1..500),
-            ) {
-                const STATIONS: usize = 8;
-                let mut q = EventQueue::with_stations(STATIONS);
-                let mut model = Model::with_stations(STATIONS);
-                let mut floor = SimTime::ZERO; // schedules never precede pops
-                let mut gen = 0u64;
-                for (op, station, slots, jitter_ns) in ops {
-                    let station = station as usize;
-                    let time = floor
-                        + crate::time::SimDuration::from_micros(9) * slots
-                        + crate::time::SimDuration::from_nanos(jitter_ns);
-                    match op {
-                        // General-tier push (event payload is irrelevant to
-                        // ordering; StatsTick keeps the model comparable).
-                        0 => {
-                            let seq = q.next_seq;
-                            q.schedule(time, Event::StatsTick);
-                            model.general.push((time, seq, Event::StatsTick));
-                        }
-                        // Arm (cancel-and-rearm when already armed — the
-                        // engine's freeze/resume pattern).
-                        1 => {
-                            gen += 1;
-                            q.cancel_timer(station);
-                            model.timers[station] = None;
-                            let seq = q.next_seq;
-                            q.schedule_timer(station, gen, time);
-                            model.timers[station] = Some((time, seq, gen));
-                        }
-                        // Cancel (no-op when not armed).
-                        2 => {
-                            q.cancel_timer(station);
-                            model.timers[station] = None;
-                        }
-                        // Pop.
-                        _ => {
-                            let got = q.pop();
-                            let want = model.pop();
-                            prop_assert_eq!(got, want);
-                            if let Some((t, _)) = got {
-                                prop_assert!(q.peek_time().is_none_or(|p| p >= t));
-                                floor = t;
-                            }
-                        }
-                    }
-                }
-                // Drain: the remaining sequences must match exactly.
-                loop {
-                    let got = q.pop();
-                    let want = model.pop();
-                    prop_assert_eq!(got, want);
-                    if got.is_none() {
-                        break;
-                    }
-                }
-                prop_assert_eq!(q.len(), 0);
-            }
-        }
-    }
+/// Timer-tier constructor for the arrival tier (the generation is unused —
+/// arrivals are cancelled physically, never lazily).
+pub(crate) fn make_frame_arrival(station: usize, _gen: u64) -> Event {
+    Event::FrameArrival { station }
 }

@@ -1,19 +1,35 @@
 //! The discrete-event simulation engine.
 //!
-//! [`Simulator`] wires together the PHY timing, the topology's sensing relation,
-//! one [`Policy`](crate::backoff::Policy) per station, and a
-//! [`Controller`](crate::ap::Controller) at the access point, and advances a
-//! deterministic event queue. The default model is the saturated uplink of the
-//! paper's Section II: every station always has a frame queued for the AP, a
-//! frame is received iff no other transmission overlaps it in time and the AP
-//! itself is not transmitting, and the AP answers every received frame with an
-//! ACK after SIFS, piggy-backing the controller's current control variable. A
-//! [`TrafficSpec`](crate::traffic::TrafficSpec) relaxes saturation: stations
-//! then draw frames from per-station arrival processes into bounded FIFO
-//! queues, and a station with an empty queue parks in the `QueueEmpty`
-//! lifecycle state (sensing, but neither contending nor drawing backoff). The
-//! saturated configuration builds no traffic state at all and is RNG-stream
-//! and event-order identical to the pre-traffic engine.
+//! [`Simulator`] is a facade over the generic `wlan-des` kernel
+//! ([`wlan_des::Simulation`]): the WLAN mechanics live in four plug-in
+//! components registered on the kernel at build time, each owning one
+//! mechanism's state and the handlers for the events addressed to it:
+//!
+//! * [`station::StationMac`] — per-station DCF state (hot/cold SoA layout),
+//!   the sorted active-station list, and the backoff timer tier; handles
+//!   `TxStart` and `AckTimeout`.
+//! * [`channel::Channel`] — the in-flight transmission slab, interference
+//!   bookkeeping, and the engine's private frame-error RNG stream; handles
+//!   `TxEnd`, `AckStart`, `AckEnd`.
+//! * [`apctl::ApControl`] — the AP-side controller, the pending-ACK latch,
+//!   and the AP's busy-period/idle-slot observables; handles `StatsTick`.
+//! * [`arrivals::TrafficSources`] — finite-load arrival samplers and frame
+//!   queues, plus the arrival timer tier; handles `FrameArrival`. Saturated
+//!   builds register it empty and it never executes.
+//!
+//! Cross-component calls go through the kernel's split-borrowed
+//! [`Peers`](wlan_des::Peers) view — synchronous direct method calls, no
+//! message passing — so the intra-event control flow (and with it the event
+//! order, the RNG draw order, and every golden trace) is statement-for-
+//! statement identical to the monolithic engine this module used to be.
+//!
+//! The simulated model is unchanged: the saturated uplink of the paper's
+//! Section II by default (every station always has a frame for the AP, a
+//! frame is received iff no other transmission overlaps it and the AP is not
+//! transmitting, every received frame is ACKed after SIFS with the
+//! controller's control variable piggy-backed), optionally relaxed by a
+//! [`TrafficSpec`](crate::traffic::TrafficSpec) to per-station arrival
+//! processes feeding bounded FIFO queues.
 //!
 //! ## Hot path
 //!
@@ -27,127 +43,85 @@
 //! * **Static dispatch** — stations own a [`Policy`] enum inline and the AP a
 //!   [`Controller`] enum, so the common policies dispatch without vtables.
 //! * **Transmission slab** — in-flight transmissions live in a generational
-//!   free-list slab ([`slab::TxSlab`]) and are reclaimed as soon as their
+//!   free-list slab ([`wlan_des::Slab`]) and are reclaimed as soon as their
 //!   lifecycle ends, so memory is O(concurrent transmissions), not O(run
 //!   length).
 //! * **Calendar-queue scheduler** — general events live in a bucketed
-//!   calendar queue with O(1) amortized operations behind the `Scheduler`
-//!   abstraction ([`sched`]), backoff timers in an indexed timer set; both
-//!   tiers share one `(time, seq)` counter so pops follow the exact
-//!   historical single-heap order.
+//!   calendar queue with O(1) amortized operations, backoff and arrival
+//!   timers in indexed timer tiers; all tiers share one `(time, seq)`
+//!   counter so pops follow the exact historical single-heap order
+//!   ([`wlan_des::EventQueue`]).
 //! * **Hot/cold station state** — the per-station fields touched on every
 //!   medium transition are packed into one 56-byte record per station
 //!   ([`station::Stations`]), separate from the fat policy/RNG arrays, so
 //!   the sensing loops stream one sub-cache-line record per neighbour.
 
+mod apctl;
+mod arrivals;
+mod channel;
 mod event;
-mod sched;
-mod slab;
 mod station;
+#[cfg(test)]
+mod tests;
 
 use crate::ap::{ApAlgorithm, Controller, NullController};
 use crate::backoff::{BackoffPolicy, Policy};
 use crate::capture::CaptureModel;
-use crate::control::ControlPayload;
 use crate::phy::PhyParams;
 use crate::stats::{SimStats, ThroughputSample};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology};
 use crate::traffic::{ArrivalProcess, ArrivalSampler, TrafficSpec};
-use event::{Event, EventQueue};
-use rand::{Rng, RngCore, SeedableRng};
+use apctl::ApControl;
+use arrivals::{FiniteSource, StationTraffic, TrafficSources};
+use channel::Channel;
+use event::Event;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use slab::{TxId, TxSlab};
-use station::{Phase, Stations};
+use station::{Phase, StationMac, Stations};
 use std::collections::VecDeque;
+use wlan_des::{ComponentId, Handle, Simulation, TierId};
 
-/// An in-flight data transmission (slab-resident from `TxStart` until the end
-/// of its lifecycle: `TxEnd` when no ACK follows, `AckEnd` otherwise).
-#[derive(Debug, Clone)]
-struct Transmission {
-    source: NodeId,
-    /// When the transmission started (feeds per-station airtime accounting).
-    start: SimTime,
-    payload_bits: u64,
-    /// Received power at the AP (1.0 when no capture model is configured).
-    rx_power: f64,
-    /// Total received power of every other transmission that overlapped this one.
-    interference: f64,
-    /// Hard loss: the AP was transmitting (an ACK) during part of this frame, so it
-    /// cannot be decoded regardless of signal strength.
-    collided: bool,
-}
+/// The context type handed to the WLAN components (kernel context
+/// specialised to the engine's event vocabulary).
+pub(crate) type Ctx<'a> = wlan_des::SimulationContext<'a, Event>;
 
-impl Transmission {
-    fn decodable(&self, capture: Option<&CaptureModel>) -> bool {
-        if self.collided {
-            return false;
-        }
-        match capture {
-            Some(c) => c.decodable(self.rx_power, self.interference),
-            None => self.interference <= 0.0,
-        }
-    }
-}
+/// The peer-registry view handed to the WLAN components.
+pub(crate) type EnginePeers<'a> = wlan_des::Peers<'a, World, Event>;
 
-/// A pending ACK the AP is about to transmit / is transmitting.
-#[derive(Debug, Clone)]
-struct PendingAck {
-    dest: NodeId,
-    payload: ControlPayload,
-}
+// Component registry layout. Registration order in `build()` must match
+// these constants — `Handle::from_raw` wiring and event addressing rely on
+// them.
+pub(crate) const MAC_ID: ComponentId = 0;
+pub(crate) const CHANNEL_ID: ComponentId = 1;
+pub(crate) const AP_ID: ComponentId = 2;
+pub(crate) const TRAFFIC_ID: ComponentId = 3;
 
-/// Runtime traffic state of one finite-load station: its arrival sampler,
-/// the dedicated traffic RNG stream, and the bounded FIFO frame queue.
-#[derive(Debug)]
-struct FiniteSource {
-    sampler: ArrivalSampler,
-    /// Traffic randomness only — never shared with the station's contention
-    /// stream (the RNG-stream-stability rule).
-    rng: ChaCha8Rng,
-    /// Arrival timestamps of queued frames; the head is the frame in
-    /// service, which stays queued until its ACK is delivered.
-    queue: VecDeque<SimTime>,
-    /// Queue capacity in frames (`usize::MAX` when unbounded).
-    cap: usize,
-    /// Delay of this station's previous delivery (jitter accumulator input).
-    last_delay: Option<SimDuration>,
-}
-
-/// Per-station traffic state: the saturated degenerate case carries nothing.
-#[derive(Debug)]
-enum StationTraffic {
-    /// Always backlogged — the paper's model, no queue and no arrivals.
-    Saturated,
-    /// Finite-load source feeding a bounded FIFO queue (boxed: the sampler +
-    /// RNG + queue block is ~half a KB, and mixed cells may be mostly
-    /// saturated).
-    Finite(Box<FiniteSource>),
-}
-
-impl StationTraffic {
-    /// Whether the station currently has a frame to send.
-    fn has_frame(&self) -> bool {
-        match self {
-            StationTraffic::Saturated => true,
-            StationTraffic::Finite(src) => !src.queue.is_empty(),
-        }
-    }
-
-    /// Current queue length (0 for saturated stations).
-    fn queue_len(&self) -> usize {
-        match self {
-            StationTraffic::Saturated => 0,
-            StationTraffic::Finite(src) => src.queue.len(),
-        }
-    }
-}
-
-/// The finite-load traffic layer. `None` on the simulator when every station
-/// is saturated, so the saturated hot path pays nothing.
-#[derive(Debug)]
-struct TrafficLayer {
-    stations: Vec<StationTraffic>,
+/// Shared simulation state every component reads: the immutable scenario
+/// (PHY timing, topology, capture model, error rate) and the cross-cutting
+/// measurement state (statistics, throughput-series binning).
+pub(crate) struct World {
+    pub(crate) phy: PhyParams,
+    pub(crate) topology: Topology,
+    pub(crate) capture: Option<CaptureModel>,
+    pub(crate) frame_error_rate: f64,
+    /// Whether a successfully received frame's ACK can still fail to reach
+    /// its sender. True only for capture models with `sir_threshold <= 1`,
+    /// where two mutually overlapping frames can both decode and the second
+    /// success overwrites the pending ACK of the first. Gates the
+    /// success-path `AckTimeout` elision.
+    pub(crate) ack_can_be_lost: bool,
+    pub(crate) stats: SimStats,
+    pub(crate) measure_start: SimTime,
+    pub(crate) throughput_bin: SimDuration,
+    pub(crate) bin_start: SimTime,
+    pub(crate) bin_bits: u64,
+    /// Throughput-series bound: at `series_cap` samples the series is merged
+    /// pairwise and `series_stride` doubles (samples then aggregate that many
+    /// ticks), keeping the series O(cap) over arbitrarily long runs.
+    pub(crate) series_cap: usize,
+    pub(crate) series_stride: u32,
+    pub(crate) stride_ticks: u32,
 }
 
 /// Builder for [`Simulator`].
@@ -314,7 +288,7 @@ impl SimulatorBuilder {
     /// PHY parameters are inconsistent.
     pub fn build(self) -> Simulator {
         self.phy.validate().expect("invalid PHY parameters");
-        // The TxEnd event elision in `station_busy_end` relies on the ACK
+        // The TxEnd event elision in `Stations::busy_end` relies on the ACK
         // freeze at `now + SIFS` always preceding a resumed countdown's
         // earliest expiry at `now + DIFS + slot`. `validate()` guarantees
         // DIFS >= SIFS today; assert the linkage here so a future loosening
@@ -348,13 +322,13 @@ impl SimulatorBuilder {
         // source: a saturated build draws exactly the historical sequence,
         // so its RNG streams — and with them the golden traces — are
         // bit-identical to the pre-traffic engine.
-        let traffic = if arrivals.iter().all(ArrivalProcess::is_saturated) {
-            None
-        } else {
-            let cap = self.traffic.queue_frames.unwrap_or(usize::MAX);
-            let mut traffic_master = ChaCha8Rng::seed_from_u64(master.gen());
-            Some(TrafficLayer {
-                stations: arrivals
+        let traffic_stations: Vec<StationTraffic> =
+            if arrivals.iter().all(ArrivalProcess::is_saturated) {
+                Vec::new()
+            } else {
+                let cap = self.traffic.queue_frames.unwrap_or(usize::MAX);
+                let mut traffic_master = ChaCha8Rng::seed_from_u64(master.gen());
+                arrivals
                     .iter()
                     .map(|a| match ArrivalSampler::new(*a) {
                         None => StationTraffic::Saturated,
@@ -366,34 +340,12 @@ impl SimulatorBuilder {
                             last_delay: None,
                         })),
                     })
-                    .collect(),
-            })
-        };
-        let mut sim = Simulator {
+                    .collect()
+            };
+
+        let world = World {
             phy: self.phy,
             topology: self.topology,
-            stations,
-            active: Vec::with_capacity(n),
-            ap: self.ap,
-            queue: EventQueue::with_stations(n),
-            now: SimTime::ZERO,
-            txs: TxSlab::new(),
-            active_tx: Vec::new(),
-            ap_transmitting: false,
-            pending_ack: None,
-            stats: SimStats::new(n),
-            ap_busy_count: 0,
-            ap_idle_since: SimTime::ZERO,
-            ap_busy_start: SimTime::ZERO,
-            ap_busy_has_data: false,
-            ap_busy_has_success: false,
-            measure_start: SimTime::ZERO,
-            throughput_bin: self.throughput_bin,
-            bin_start: SimTime::ZERO,
-            bin_bits: 0,
-            series_cap: self.throughput_series_cap,
-            series_stride: 1,
-            stride_ticks: 0,
             frame_error_rate: self.frame_error_rate,
             // `<=` is load-bearing: `decodable` compares with `>=`, so at a
             // threshold of exactly 1.0 two equal-power overlapping frames
@@ -404,98 +356,116 @@ impl SimulatorBuilder {
                 .as_ref()
                 .is_some_and(|c| c.sir_threshold <= 1.0),
             capture: self.capture,
+            stats: SimStats::new(n),
+            measure_start: SimTime::ZERO,
+            throughput_bin: self.throughput_bin,
+            bin_start: SimTime::ZERO,
+            bin_bits: 0,
+            series_cap: self.throughput_series_cap,
+            series_stride: 1,
+            stride_ticks: 0,
+        };
+
+        // Assemble the kernel: register the timer tiers first (their index
+        // order — backoff before arrivals — is the historical tie-break
+        // preference order of the multi-tier queue), then the components in
+        // the fixed *_ID registry order. Components are wired to each other
+        // with `Handle::from_raw` because the registry is circular.
+        let mut sim: Simulation<World, Event> = Simulation::new(world);
+        let backoff_tier = sim.add_timer_tier(MAC_ID, n, event::make_tx_start);
+        let arrival_tier = sim.add_timer_tier(TRAFFIC_ID, n, event::make_frame_arrival);
+        let mac = sim.add_component(StationMac {
+            stations,
+            active: Vec::with_capacity(n),
+            tier: backoff_tier,
+            channel: Handle::from_raw(CHANNEL_ID),
+            ap: Handle::from_raw(AP_ID),
+            traffic: Handle::from_raw(TRAFFIC_ID),
+        });
+        debug_assert_eq!(mac.id(), MAC_ID);
+        let channel = sim.add_component(Channel {
+            txs: wlan_des::Slab::new(),
+            active_tx: Vec::new(),
+            ap_transmitting: false,
+            mac,
+            ap: Handle::from_raw(AP_ID),
+            traffic: Handle::from_raw(TRAFFIC_ID),
+        });
+        debug_assert_eq!(channel.id(), CHANNEL_ID);
+        let ap = sim.add_component(ApControl::new(self.ap, mac, Handle::from_raw(TRAFFIC_ID)));
+        debug_assert_eq!(ap.id(), AP_ID);
+        let traffic = sim.add_component(TrafficSources {
+            stations: traffic_stations,
+            tier: arrival_tier,
+            mac,
+        });
+        debug_assert_eq!(traffic.id(), TRAFFIC_ID);
+        // The frame-error stream (historically `engine_rng`) belongs to the
+        // channel component, the only drawer.
+        sim.set_component_rng(CHANNEL_ID, engine_rng);
+
+        let mut simulator = Simulator {
+            sim,
+            mac,
+            channel,
+            ap,
             traffic,
-            engine_rng,
-            events_processed: 0,
+            backoff_tier,
+            arrival_tier,
         };
         let active = self.initially_active.unwrap_or(n);
         for i in 0..active {
-            sim.activate_station(i);
+            simulator.activate_station(i);
         }
-        sim.queue
-            .schedule(SimTime::ZERO + sim.throughput_bin, Event::StatsTick);
-        sim
+        simulator.sim.access(|world, _, ctx| {
+            ctx.schedule(
+                SimTime::ZERO + world.throughput_bin,
+                AP_ID,
+                Event::StatsTick,
+            );
+        });
+        simulator
     }
 }
 
-/// The discrete-event IEEE 802.11 DCF simulator.
+/// The discrete-event IEEE 802.11 DCF simulator: a facade over the
+/// `wlan-des` kernel with the WLAN mechanics registered as components.
 pub struct Simulator {
-    phy: PhyParams,
-    topology: Topology,
-    stations: Stations,
-    /// Ids of active stations, **sorted ascending**. ACK events notify exactly
-    /// this set (every station senses the AP); keeping it sorted preserves the
-    /// engine's ascending-id notification order.
-    active: Vec<NodeId>,
-    ap: Controller,
-    queue: EventQueue,
-    now: SimTime,
-    /// In-flight transmissions; entries are reclaimed at the end of each
-    /// transmission's lifecycle, so the slab stays O(concurrent transmissions).
-    txs: TxSlab,
-    active_tx: Vec<TxId>,
-    ap_transmitting: bool,
-    pending_ack: Option<PendingAck>,
-    stats: SimStats,
-    // Channel bookkeeping from the AP's perspective (the AP hears every station).
-    ap_busy_count: u32,
-    ap_idle_since: SimTime,
-    ap_busy_start: SimTime,
-    ap_busy_has_data: bool,
-    ap_busy_has_success: bool,
-    measure_start: SimTime,
-    throughput_bin: SimDuration,
-    bin_start: SimTime,
-    bin_bits: u64,
-    /// Throughput-series bound: at `series_cap` samples the series is merged
-    /// pairwise and `series_stride` doubles (samples then aggregate that many
-    /// ticks), keeping the series O(cap) over arbitrarily long runs.
-    series_cap: usize,
-    series_stride: u32,
-    stride_ticks: u32,
-    frame_error_rate: f64,
-    capture: Option<CaptureModel>,
-    /// Whether a successfully received frame's ACK can still fail to reach
-    /// its sender. True only for capture models with `sir_threshold < 1`,
-    /// where two mutually overlapping frames can both decode and the second
-    /// success overwrites the pending ACK of the first. Gates the
-    /// success-path `AckTimeout` elision.
-    ack_can_be_lost: bool,
-    /// Finite-load traffic layer: per-station arrival samplers and frame
-    /// queues. `None` when every station is saturated (the paper's model),
-    /// in which case the engine behaves bit-identically to the pre-traffic
-    /// implementation.
-    traffic: Option<TrafficLayer>,
-    engine_rng: ChaCha8Rng,
-    events_processed: u64,
+    sim: Simulation<World, Event>,
+    mac: Handle<StationMac>,
+    channel: Handle<Channel>,
+    ap: Handle<ApControl>,
+    traffic: Handle<TrafficSources>,
+    backoff_tier: TierId,
+    arrival_tier: TierId,
 }
 
 impl Simulator {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.sim.now()
     }
 
     /// The PHY parameters in use.
     pub fn phy(&self) -> &PhyParams {
-        &self.phy
+        &self.sim.world().phy
     }
 
     /// The topology in use.
     pub fn topology(&self) -> &Topology {
-        &self.topology
+        &self.sim.world().topology
     }
 
     /// Number of stations currently active.
     pub fn active_stations(&self) -> usize {
-        self.active.len()
+        self.sim.component(self.mac).active.len()
     }
 
     /// Total number of events the engine has processed so far (all event
     /// kinds, including stale timers). This is the denominator-free measure of
     /// engine work the `bench_engine` harness reports as events/sec.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.sim.events_processed()
     }
 
     /// Largest number of transmissions ever simultaneously resident in the
@@ -503,121 +473,143 @@ impl Simulator {
     /// at most one outstanding transmission), regardless of run length — the
     /// memory-boundedness regression tests assert exactly that.
     pub fn tx_slab_high_water(&self) -> usize {
-        self.txs.high_water()
+        self.sim.component(self.channel).txs.high_water()
     }
 
     /// Number of transmission-slab slots currently allocated (live + free).
     pub fn tx_slab_capacity(&self) -> usize {
-        self.txs.capacity()
+        self.sim.component(self.channel).txs.capacity()
     }
 
     /// Immutable access to the collected statistics.
     pub fn stats(&self) -> SimStats {
-        let mut stats = self.stats.clone();
-        stats.measured_time = self.now.duration_since(self.measure_start);
+        let world = self.sim.world();
+        let mut stats = world.stats.clone();
+        stats.measured_time = self.sim.now().duration_since(world.measure_start);
         stats
     }
 
     /// The AP-side controller (for reading its trace after a run).
     pub fn ap_algorithm(&self) -> &dyn ApAlgorithm {
-        &self.ap
+        &self.sim.component(self.ap).controller
     }
 
     /// The attempt probability currently reported by a station's policy, if any.
     pub fn station_attempt_probability(&self, node: NodeId) -> Option<f64> {
-        self.stations.policy[node].attempt_probability()
+        self.sim.component(self.mac).stations.policy[node].attempt_probability()
     }
 
     /// Per-station weights.
     pub fn weights(&self) -> Vec<f64> {
-        self.stations.weight.clone()
+        self.sim.component(self.mac).stations.weight.clone()
     }
 
     /// Whether this simulator carries a finite-load traffic layer (at least
     /// one station has a non-saturated arrival process).
     pub fn has_finite_load(&self) -> bool {
-        self.traffic.is_some()
+        !self.sim.component(self.traffic).stations.is_empty()
     }
 
     /// Number of frames currently queued at `node`, including the
     /// head-of-line frame in service. Always 0 for saturated stations (they
     /// have no queue — the notional backlog is infinite).
     pub fn queued_frames(&self, node: NodeId) -> usize {
-        match &self.traffic {
-            None => 0,
-            Some(layer) => layer.stations[node].queue_len(),
+        let traffic = self.sim.component(self.traffic);
+        if traffic.stations.is_empty() {
+            0
+        } else {
+            traffic.stations[node].queue_len()
         }
     }
 
     /// Total frames queued across all stations (0 in saturated runs).
     pub fn total_queued_frames(&self) -> usize {
-        match &self.traffic {
-            None => 0,
-            Some(layer) => layer.stations.iter().map(StationTraffic::queue_len).sum(),
-        }
+        self.sim
+            .component(self.traffic)
+            .stations
+            .iter()
+            .map(StationTraffic::queue_len)
+            .sum()
     }
 
     /// Discard all measurements collected so far and start measuring from the
     /// current simulation time (used to skip a warm-up interval).
     pub fn reset_measurements(&mut self) {
-        let n = self.stations.len();
-        self.stats = SimStats::new(n);
+        let n = self.sim.component(self.mac).stations.len();
+        let now = self.sim.now();
         // Re-seed the queue bookkeeping from the live occupancy so the
         // conservation invariant (queued_at_start + arrivals == delivered +
         // drops + queued_now) holds exactly over the measured interval.
-        if let Some(layer) = &self.traffic {
-            for (i, st) in layer.stations.iter().enumerate() {
-                if let StationTraffic::Finite(src) = st {
-                    let t = &mut self.stats.nodes[i].traffic;
-                    t.queued_at_start = src.queue.len() as u64;
-                    t.queue_high_water = src.queue.len() as u64;
-                }
-            }
+        let queue_lens: Vec<(usize, u64)> = self
+            .sim
+            .component(self.traffic)
+            .stations
+            .iter()
+            .enumerate()
+            .filter_map(|(i, st)| match st {
+                StationTraffic::Finite(src) => Some((i, src.queue.len() as u64)),
+                StationTraffic::Saturated => None,
+            })
+            .collect();
+        let world = self.sim.world_mut();
+        world.stats = SimStats::new(n);
+        for (i, len) in queue_lens {
+            let t = &mut world.stats.nodes[i].traffic;
+            t.queued_at_start = len;
+            t.queue_high_water = len;
         }
-        self.measure_start = self.now;
-        self.bin_start = self.now;
-        self.bin_bits = 0;
-        self.series_stride = 1;
-        self.stride_ticks = 0;
+        world.measure_start = now;
+        world.bin_start = now;
+        world.bin_bits = 0;
+        world.series_stride = 1;
+        world.stride_ticks = 0;
     }
 
     /// Bring an inactive station into the network (it starts contending immediately).
     pub fn activate_station(&mut self, node: NodeId) {
-        if self.stations.is_active(node) {
-            return;
-        }
-        let now = self.now;
-        {
-            let h = &mut self.stations.hot[node];
-            h.phase = Phase::Contending;
-            h.sensed_busy = 0;
-            h.idle_since = now;
-            h.clear_countdown();
-        }
-        if let Err(pos) = self.active.binary_search(&node) {
-            self.active.insert(pos, node);
-        }
-        // Recompute what the station currently senses.
-        let sensed = self
-            .active_tx
-            .iter()
-            .filter(|&&id| {
-                let src = self.txs.get(id).source;
-                src != node && self.topology.senses(node, src)
-            })
-            .count() as u32
-            + if self.ap_transmitting { 1 } else { 0 };
-        self.stations.hot[node].sensed_busy = sensed;
-        // Start (or restart) the station's arrival process. Frames queued
-        // while the station was inactive are preserved; generation resumes
-        // from now.
-        if let Some(layer) = self.traffic.as_mut() {
-            if let StationTraffic::Finite(src) = &mut layer.stations[node] {
-                let delay = src.sampler.next_delay(&mut src.rng);
-                self.queue.schedule_arrival(node, now + delay);
+        let (mac_h, channel_h, traffic_h) = (self.mac, self.channel, self.traffic);
+        self.sim.access(|world, peers, ctx| {
+            let now = ctx.now();
+            {
+                let mac = peers.get_mut(mac_h);
+                if mac.stations.is_active(node) {
+                    return;
+                }
+                let h = &mut mac.stations.hot[node];
+                h.phase = Phase::Contending;
+                h.sensed_busy = 0;
+                h.idle_since = now;
+                h.clear_countdown();
+                if let Err(pos) = mac.active.binary_search(&node) {
+                    mac.active.insert(pos, node);
+                }
             }
-        }
-        self.begin_contention(node);
+            // Recompute what the station currently senses.
+            let sensed = {
+                let channel = peers.get(channel_h);
+                channel
+                    .active_tx
+                    .iter()
+                    .filter(|&&id| {
+                        let src = channel.txs.get(id).source;
+                        src != node && world.topology.senses(node, src)
+                    })
+                    .count() as u32
+                    + if channel.ap_transmitting { 1 } else { 0 }
+            };
+            peers.get_mut(mac_h).stations.hot[node].sensed_busy = sensed;
+            // Start (or restart) the station's arrival process. Frames queued
+            // while the station was inactive are preserved; generation resumes
+            // from now.
+            let has_frame = {
+                let traffic = peers.get_mut(traffic_h);
+                traffic.start_arrivals(ctx, now, node);
+                traffic.has_frame(node)
+            };
+            peers
+                .get_mut(mac_h)
+                .begin_contention(&world.phy, ctx, node, has_frame);
+        });
     }
 
     /// Remove a station from the network. Any in-flight transmission it has is
@@ -625,516 +617,34 @@ impl Simulator {
     /// frame arrival is cancelled (an inactive station generates no traffic),
     /// and any queued frames stay queued until it is reactivated.
     pub fn deactivate_station(&mut self, node: NodeId) {
-        if !self.stations.is_active(node) {
-            return;
-        }
-        let h = &mut self.stations.hot[node];
-        h.phase = Phase::Inactive;
-        h.clear_countdown();
-        h.timer_gen += 1;
-        h.ack_gen += 1;
-        self.queue.cancel_timer(node);
-        self.queue.cancel_arrival(node);
-        if let Ok(pos) = self.active.binary_search(&node) {
-            self.active.remove(pos);
-        }
+        let mac_h = self.mac;
+        let (backoff_tier, arrival_tier) = (self.backoff_tier, self.arrival_tier);
+        self.sim.access(|_, peers, ctx| {
+            let mac = peers.get_mut(mac_h);
+            if !mac.stations.is_active(node) {
+                return;
+            }
+            let h = &mut mac.stations.hot[node];
+            h.phase = Phase::Inactive;
+            h.clear_countdown();
+            h.timer_gen += 1;
+            h.ack_gen += 1;
+            ctx.cancel_timer(backoff_tier, node);
+            ctx.cancel_timer(arrival_tier, node);
+            if let Ok(pos) = mac.active.binary_search(&node) {
+                mac.active.remove(pos);
+            }
+        });
     }
 
     /// Run the simulation until the given absolute time.
     pub fn run_until(&mut self, t_end: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > t_end {
-                break;
-            }
-            let (time, ev) = self.queue.pop().expect("peeked event vanished");
-            debug_assert!(time >= self.now, "time must be monotone");
-            self.now = time;
-            self.handle(ev);
-        }
-        if t_end > self.now {
-            self.now = t_end;
-        }
+        self.sim.run_until(t_end);
     }
 
     /// Run the simulation for the given additional duration.
     pub fn run_for(&mut self, d: SimDuration) {
-        let t_end = self.now + d;
-        self.run_until(t_end);
-    }
-
-    // ------------------------------------------------------------------
-    // Event handling
-    // ------------------------------------------------------------------
-
-    fn handle(&mut self, ev: Event) {
-        self.events_processed += 1;
-        match ev {
-            Event::TxStart { station, gen } => self.handle_tx_start(station, gen),
-            Event::TxEnd { tx } => self.handle_tx_end(tx),
-            Event::AckStart { tx } => self.handle_ack_start(tx),
-            Event::AckEnd { tx } => self.handle_ack_end(tx),
-            Event::AckTimeout { station, gen } => self.handle_ack_timeout(station, gen),
-            Event::FrameArrival { station } => self.handle_frame_arrival(station),
-            Event::StatsTick => self.handle_stats_tick(),
-        }
-    }
-
-    /// A station's arrival process generated a frame: enqueue it (or drop it
-    /// at a full queue), schedule the next arrival, and wake the station if
-    /// it was parked in `QueueEmpty`.
-    fn handle_frame_arrival(&mut self, node: NodeId) {
-        let now = self.now;
-        let mut enqueued = false;
-        {
-            let Some(layer) = self.traffic.as_mut() else {
-                return;
-            };
-            let StationTraffic::Finite(src) = &mut layer.stations[node] else {
-                return;
-            };
-            // Schedule the next arrival first: the arrival stream is a
-            // property of the source alone, independent of queue state.
-            let delay = src.sampler.next_delay(&mut src.rng);
-            self.queue.schedule_arrival(node, now + delay);
-            let ts = &mut self.stats.nodes[node].traffic;
-            ts.arrivals += 1;
-            if src.queue.len() >= src.cap {
-                ts.drops += 1; // tail drop
-            } else {
-                src.queue.push_back(now);
-                if src.queue.len() as u64 > ts.queue_high_water {
-                    ts.queue_high_water = src.queue.len() as u64;
-                }
-                enqueued = true;
-            }
-        }
-        if enqueued && self.stations.hot[node].phase == Phase::QueueEmpty {
-            self.begin_contention(node);
-        }
-    }
-
-    fn handle_tx_start(&mut self, node: NodeId, gen: u64) {
-        {
-            let h = &self.stations.hot[node];
-            // A timer is valid iff it is the most recently scheduled one and the
-            // station is still counting down. Note that `sensed_busy` may be non-zero
-            // here: if another station started transmitting at exactly this instant,
-            // this station's counter still legitimately reached zero in the same slot
-            // and both transmit (that is precisely how same-slot collisions happen).
-            // Timers that were frozen strictly before their expiry are invalidated by
-            // bumping `timer_gen` in `busy_start`.
-            if h.phase != Phase::Contending || h.timer_gen != gen || h.countdown().is_none() {
-                return; // stale timer
-            }
-        }
-        let now = self.now;
-        let airtime = self.phy.data_airtime();
-        let end = now + airtime;
-        let payload_bits = self.phy.payload_bits;
-
-        // Reception bookkeeping: each pair of overlapping frames interferes with the
-        // other; a frame overlapping an AP transmission is lost outright. Whether an
-        // interfered frame is still decodable is decided at TxEnd by the capture
-        // model (without one, any interference is fatal — the paper's model).
-        let rx_power = match &self.capture {
-            Some(c) => c.received_power(self.topology.distance_to_ap(node)),
-            None => 1.0,
-        };
-        let collided = self.ap_transmitting;
-        let mut interference = 0.0;
-        for &id in &self.active_tx {
-            let other = self.txs.get_mut(id);
-            interference += other.rx_power;
-            other.interference += rx_power;
-        }
-
-        let tx = self.txs.insert(Transmission {
-            source: node,
-            start: now,
-            payload_bits,
-            rx_power,
-            interference,
-            collided,
-        });
-        self.active_tx.push(tx);
-        self.stats.nodes[node].attempts += 1;
-
-        {
-            let h = &mut self.stations.hot[node];
-            h.phase = Phase::Transmitting;
-            h.clear_countdown();
-            h.timer_gen += 1;
-        }
-
-        self.queue.schedule(end, Event::TxEnd { tx });
-
-        // Stations within sensing range of the transmitter see the medium go busy
-        // (ascending id order — the RNG-stream-stability rule).
-        {
-            let (phy, topology, stations, queue) = (
-                &self.phy,
-                &self.topology,
-                &mut self.stations,
-                &mut self.queue,
-            );
-            for &other in topology.neighbors(node) {
-                let h = &mut stations.hot[other];
-                if h.is_active() {
-                    h.busy_start(phy, queue, now, other, true);
-                }
-            }
-        }
-        self.ap_channel_busy_start(true);
-    }
-
-    fn handle_tx_end(&mut self, tx: TxId) {
-        let now = self.now;
-        self.active_tx.retain(|&id| id != tx);
-        let (source, decodable, payload_bits, started) = {
-            let t = self.txs.get(tx);
-            (
-                t.source,
-                t.decodable(self.capture.as_ref()),
-                t.payload_bits,
-                t.start,
-            )
-        };
-        self.stats.nodes[source].airtime += now.duration_since(started);
-
-        // Decide reception before notifying sensors so the sensing loop knows
-        // whether an AckStart will follow at now + SIFS. (The frame-error draw
-        // comes from the engine's own RNG stream, which no station shares, so
-        // drawing it before the stations' redraws does not perturb any station
-        // stream.)
-        let mut reception_failed = !decodable;
-        if !reception_failed && self.frame_error_rate > 0.0 {
-            reception_failed = self.engine_rng.gen::<f64>() < self.frame_error_rate;
-        }
-        let ack_follows = !reception_failed;
-
-        // Sensing stations see the medium go (possibly) idle again. When an ACK
-        // follows, the AP is guaranteed to re-freeze every one of them at
-        // now + SIFS — strictly before any countdown expiring at or after
-        // now + DIFS — so their TxStart events would be invalidated unread;
-        // `station_busy_end` elides those pushes entirely (see its doc comment).
-        {
-            let (phy, topology, stations, queue) = (
-                &self.phy,
-                &self.topology,
-                &mut self.stations,
-                &mut self.queue,
-            );
-            for &other in topology.neighbors(source) {
-                stations.busy_end(phy, queue, now, other, ack_follows);
-            }
-        }
-
-        // The transmitter itself starts listening for the ACK.
-        if self.stations.is_active(source) {
-            let timeout = self.phy.ack_timeout();
-            let h = &mut self.stations.hot[source];
-            h.phase = Phase::AwaitingAck;
-            if h.sensed_busy == 0 {
-                h.idle_since = now;
-            }
-            h.ack_gen += 1;
-            let gen = h.ack_gen;
-            // On the success path the timeout (usually) could never take
-            // effect: the AckEnd (at now + SIFS + ACK airtime) either
-            // delivers the ACK and bumps `ack_gen`, or the station left
-            // `AwaitingAck` through deactivation — both of which already make
-            // the timeout a stale no-op before its fire time. Only schedule
-            // it when it can fire. The exception is a capture model with a
-            // sub-unity SIR threshold (`ack_can_be_lost`): there two
-            // overlapping frames can *both* decode, the second success
-            // overwrites `pending_ack`, and the first sender's ACK is never
-            // delivered — its timeout must stay scheduled or the station
-            // would be stranded in `AwaitingAck` forever.
-            if reception_failed || self.ack_can_be_lost {
-                self.queue.schedule(
-                    now + timeout,
-                    Event::AckTimeout {
-                        station: source,
-                        gen,
-                    },
-                );
-            }
-        }
-
-        if !reception_failed {
-            // The AP decoded the frame; ACK after SIFS. The slab entry stays
-            // alive until AckEnd closes the lifecycle.
-            self.ap_busy_has_success = true;
-            self.ap.on_success(now, source, payload_bits);
-            self.pending_ack = Some(PendingAck {
-                dest: source,
-                payload: ControlPayload::None,
-            });
-            self.queue
-                .schedule(now + self.phy.sifs, Event::AckStart { tx });
-        } else {
-            // No ACK will reference this transmission again: reclaim it now.
-            self.txs.remove(tx);
-        }
-
-        self.ap_channel_busy_end();
-    }
-
-    fn handle_ack_start(&mut self, tx: TxId) {
-        let now = self.now;
-        // The AP cannot receive while transmitting: any frame in flight is lost.
-        for &id in &self.active_tx {
-            self.txs.get_mut(id).collided = true;
-        }
-        self.ap_transmitting = true;
-        let payload = self.ap.control_payload(now);
-        if let Some(ack) = self.pending_ack.as_mut() {
-            ack.payload = payload;
-        }
-        let end = now + self.phy.ack_airtime();
-        self.queue.schedule(end, Event::AckEnd { tx });
-
-        // Every active station senses the AP.
-        let tx_source = self.txs.get(tx).source;
-        {
-            let (phy, active, stations, queue) =
-                (&self.phy, &self.active, &mut self.stations, &mut self.queue);
-            for &node in active {
-                if node != tx_source {
-                    // Stations on the active list are active by construction.
-                    stations.hot[node].busy_start(phy, queue, now, node, false);
-                }
-            }
-        }
-        self.ap_channel_busy_start(false);
-    }
-
-    fn handle_ack_end(&mut self, tx: TxId) {
-        let now = self.now;
-        self.ap_transmitting = false;
-        // The ACK closes this transmission's lifecycle: reclaim the slab entry.
-        let ended = self.txs.remove(tx);
-        let ack = self.pending_ack.take();
-        let (dest, payload) = match ack {
-            Some(a) => (a.dest, a.payload),
-            None => (ended.source, ControlPayload::None),
-        };
-
-        {
-            let (phy, active, stations, queue) =
-                (&self.phy, &self.active, &mut self.stations, &mut self.queue);
-            for &node in active {
-                if node != ended.source {
-                    stations.busy_end(phy, queue, now, node, false);
-                }
-            }
-        }
-
-        // Every station overhears the control payload carried by the ACK
-        // (`active` is exactly the active set, in ascending id order).
-        if !payload.is_none() {
-            let (stations, active) = (&mut self.stations, &self.active);
-            for &node in active {
-                stations.policy[node].on_control(&payload);
-            }
-        }
-
-        // Deliver the ACK to its addressee.
-        if self.stations.hot[dest].phase == Phase::AwaitingAck {
-            let payload_bits = ended.payload_bits;
-            self.stats.nodes[dest].successes += 1;
-            self.stats.nodes[dest].payload_bits_delivered += payload_bits;
-            self.bin_bits += payload_bits;
-            {
-                let st = &mut self.stations;
-                st.hot[dest].ack_gen += 1; // cancel the pending timeout
-                let rng: &mut dyn RngCore = &mut st.rng[dest];
-                st.policy[dest].on_success(rng);
-                let h = &mut st.hot[dest];
-                if h.sensed_busy == 0 {
-                    h.idle_since = now;
-                }
-            }
-            // Finite load: the delivered frame leaves the queue here (the
-            // head stays queued across retries), closing its delay clock —
-            // queueing + access + transmission + ACK.
-            if let Some(layer) = self.traffic.as_mut() {
-                if let StationTraffic::Finite(src) = &mut layer.stations[dest] {
-                    let arrived = src
-                        .queue
-                        .pop_front()
-                        .expect("delivered frame must be queued");
-                    let delay = now.duration_since(arrived);
-                    self.stats.nodes[dest]
-                        .traffic
-                        .record_delivery(delay, src.last_delay);
-                    src.last_delay = Some(delay);
-                }
-            }
-            self.begin_contention(dest);
-        }
-
-        self.ap_channel_busy_end();
-    }
-
-    fn handle_ack_timeout(&mut self, node: NodeId, gen: u64) {
-        {
-            let h = &self.stations.hot[node];
-            if h.phase != Phase::AwaitingAck || h.ack_gen != gen {
-                return; // stale timeout (the ACK arrived)
-            }
-        }
-        self.stats.nodes[node].failures += 1;
-        {
-            let st = &mut self.stations;
-            let rng: &mut dyn RngCore = &mut st.rng[node];
-            st.policy[node].on_failure(rng);
-        }
-        self.begin_contention(node);
-    }
-
-    fn handle_stats_tick(&mut self) {
-        let now = self.now;
-        // One sample per `series_stride` ticks; the tick cadence itself (and
-        // with it the beacon schedule and every event timestamp) never
-        // changes, so the series cap is invisible to the event stream.
-        self.stride_ticks += 1;
-        if self.stride_ticks >= self.series_stride {
-            self.stride_ticks = 0;
-            let elapsed = now.duration_since(self.bin_start);
-            if !elapsed.is_zero() {
-                let bps = self.bin_bits as f64 / elapsed.as_secs_f64();
-                // Active *and backlogged* stations. Saturated runs take the
-                // historical fast path: every active station is permanently
-                // backlogged, so the count is just the active-list length.
-                let active_nodes = match &self.traffic {
-                    None => self.active.len(),
-                    Some(layer) => self
-                        .active
-                        .iter()
-                        .filter(|&&node| layer.stations[node].has_frame())
-                        .count(),
-                };
-                self.stats.throughput_series.push(ThroughputSample {
-                    time: now,
-                    bps,
-                    active_nodes,
-                });
-                if self.stats.throughput_series.len() >= self.series_cap {
-                    decimate_series(&mut self.stats.throughput_series);
-                    self.series_stride *= 2;
-                }
-            }
-            self.bin_start = now;
-            self.bin_bits = 0;
-        }
-
-        // Beacon: give the controller a chance to act even in an ACK-less lull and
-        // broadcast its current control variable to every station (the paper's
-        // beacon-frame variant; beacon airtime is neglected).
-        self.ap.on_beacon(now);
-        let payload = self.ap.control_payload(now);
-        if !payload.is_none() {
-            let (stations, active) = (&mut self.stations, &self.active);
-            for &node in active {
-                stations.policy[node].on_control(&payload);
-            }
-        }
-
-        self.queue
-            .schedule(now + self.throughput_bin, Event::StatsTick);
-    }
-
-    // ------------------------------------------------------------------
-    // Station helpers
-    // ------------------------------------------------------------------
-
-    /// Whether `node` currently has a frame to send. Saturated stations (and
-    /// every station of a simulator without a traffic layer) always do.
-    fn station_has_frame(&self, node: NodeId) -> bool {
-        match &self.traffic {
-            None => true,
-            Some(layer) => layer.stations[node].has_frame(),
-        }
-    }
-
-    /// Enter the contention phase: draw a fresh backoff and, if the medium is
-    /// idle, schedule the transmission. Under finite load a station with an
-    /// empty queue parks in `QueueEmpty` instead — no backoff is drawn and
-    /// no timer armed until the next frame arrival restarts contention.
-    fn begin_contention(&mut self, node: NodeId) {
-        let now = self.now;
-        let difs = self.phy.difs;
-        if !self.stations.is_active(node) {
-            return;
-        }
-        if !self.station_has_frame(node) {
-            let h = &mut self.stations.hot[node];
-            h.phase = Phase::QueueEmpty;
-            h.clear_countdown();
-            return;
-        }
-        let st = &mut self.stations;
-        let rng: &mut dyn RngCore = &mut st.rng[node];
-        let drawn = st.policy[node].next_backoff(rng);
-        let h = &mut st.hot[node];
-        h.phase = Phase::Contending;
-        h.remaining_slots = drawn;
-        h.clear_countdown();
-        if h.sensed_busy == 0 {
-            let start = if h.idle_since + difs > now {
-                h.idle_since + difs
-            } else {
-                now
-            };
-            h.set_countdown(start);
-            h.timer_gen += 1;
-            let gen = h.timer_gen;
-            let fire = start + self.phy.slot * h.remaining_slots;
-            self.queue.schedule_timer(node, gen, fire);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // AP-perspective channel bookkeeping (for Table III statistics)
-    // ------------------------------------------------------------------
-
-    fn ap_channel_busy_start(&mut self, is_data: bool) {
-        let now = self.now;
-        self.ap_busy_count += 1;
-        if self.ap_busy_count > 1 {
-            self.ap_busy_has_data |= is_data;
-            return;
-        }
-        self.ap_busy_start = now;
-        self.ap_busy_has_data = is_data;
-        self.ap_busy_has_success = false;
-        let idle_start = self.ap_idle_since + self.phy.difs;
-        if now > idle_start {
-            self.stats.idle_slots += now.duration_since(idle_start).div_duration(self.phy.slot);
-        }
-    }
-
-    fn ap_channel_busy_end(&mut self) {
-        let now = self.now;
-        debug_assert!(self.ap_busy_count > 0);
-        self.ap_busy_count -= 1;
-        if self.ap_busy_count > 0 {
-            return;
-        }
-        self.ap_idle_since = now;
-        self.stats.busy_time += now.duration_since(self.ap_busy_start);
-        if self.ap_busy_has_data {
-            self.stats.busy_periods += 1;
-            if self.ap_busy_has_success {
-                self.stats.successful_busy_periods += 1;
-            } else {
-                self.stats.collided_busy_periods += 1;
-                self.ap.on_collision(now);
-            }
-        }
-        self.ap_busy_has_data = false;
-        self.ap_busy_has_success = false;
+        self.sim.run_for(d);
     }
 }
 
@@ -1142,7 +652,7 @@ impl Simulator {
 /// sample keeps the later timestamp and station count and averages the rates
 /// (samples cover equal-length intervals, so the plain mean is the
 /// time-weighted mean). A trailing unpaired sample is kept as-is.
-fn decimate_series(series: &mut Vec<ThroughputSample>) {
+pub(crate) fn decimate_series(series: &mut Vec<ThroughputSample>) {
     let mut merged = Vec::with_capacity(series.len() / 2 + 1);
     let mut chunks = series.chunks_exact(2);
     for pair in &mut chunks {
@@ -1154,614 +664,4 @@ fn decimate_series(series: &mut Vec<ThroughputSample>) {
     }
     merged.extend_from_slice(chunks.remainder());
     *series = merged;
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::backoff::{ExponentialBackoff, FixedWindow, PPersistent};
-
-    fn quick_sim(n: usize, topo: Topology, p: f64, seed: u64) -> Simulator {
-        let phy = PhyParams::table1();
-        let _ = n;
-        SimulatorBuilder::new(phy, topo)
-            .seed(seed)
-            .with_stations(move |_, _| PPersistent::new(p))
-            .build()
-    }
-
-    #[test]
-    fn single_station_gets_near_saturation_throughput() {
-        let topo = Topology::fully_connected(1);
-        let phy = PhyParams::table1();
-        let mut sim = SimulatorBuilder::new(phy.clone(), topo)
-            .seed(1)
-            .with_stations(|_, _| FixedWindow::new(1))
-            .build();
-        sim.run_for(SimDuration::from_secs(1));
-        let stats = sim.stats();
-        let mbps = stats.system_throughput_mbps();
-        // One station with CW=1 transmits back-to-back: throughput should be close to
-        // (but below) the zero-backoff bound.
-        let bound = phy.saturation_bound_bps() / 1e6;
-        assert!(mbps > 0.8 * bound, "mbps={mbps} bound={bound}");
-        assert!(mbps <= bound * 1.01, "mbps={mbps} bound={bound}");
-        assert_eq!(stats.total_failures(), 0);
-    }
-
-    #[test]
-    fn two_fully_connected_stations_share_and_rarely_collide() {
-        let topo = Topology::fully_connected(2);
-        let mut sim = quick_sim(2, topo, 0.05, 3);
-        sim.run_for(SimDuration::from_secs(2));
-        let stats = sim.stats();
-        assert!(stats.total_successes() > 1000);
-        // With carrier sensing and p=0.05 collisions exist but are a small minority.
-        let ratio = stats.total_failures() as f64 / stats.total_attempts() as f64;
-        assert!(ratio < 0.2, "collision ratio {ratio}");
-        // Both stations get roughly equal shares.
-        let t0 = stats.node_throughput_mbps(0);
-        let t1 = stats.node_throughput_mbps(1);
-        assert!((t0 - t1).abs() / (t0 + t1) < 0.15, "t0={t0} t1={t1}");
-    }
-
-    #[test]
-    fn hidden_pair_collides_heavily() {
-        // Two stations that cannot sense each other but both reach the AP.
-        let mut topo = Topology::fully_connected(2);
-        topo.set_senses(0, 1, false);
-        // p chosen large enough that transmissions frequently overlap.
-        let mut sim = quick_sim(2, topo, 0.05, 5);
-        sim.run_for(SimDuration::from_secs(2));
-        let hidden_stats = sim.stats();
-
-        let topo_fc = Topology::fully_connected(2);
-        let mut sim_fc = quick_sim(2, topo_fc, 0.05, 5);
-        sim_fc.run_for(SimDuration::from_secs(2));
-        let fc_stats = sim_fc.stats();
-
-        assert!(
-            hidden_stats.collision_fraction() > 2.0 * fc_stats.collision_fraction(),
-            "hidden {} vs fc {}",
-            hidden_stats.collision_fraction(),
-            fc_stats.collision_fraction()
-        );
-        assert!(
-            hidden_stats.system_throughput_mbps() < fc_stats.system_throughput_mbps(),
-            "hidden nodes should reduce throughput"
-        );
-    }
-
-    #[test]
-    fn dcf_with_many_stations_runs_and_everyone_transmits() {
-        let topo = Topology::fully_connected(20);
-        let phy = PhyParams::table1();
-        let mut sim = SimulatorBuilder::new(phy, topo)
-            .seed(11)
-            .with_stations(|_, phy| ExponentialBackoff::new(phy))
-            .build();
-        sim.run_for(SimDuration::from_secs(2));
-        let stats = sim.stats();
-        assert!(stats.system_throughput_mbps() > 5.0);
-        for i in 0..20 {
-            assert!(stats.nodes[i].attempts > 0, "station {i} never attempted");
-            assert!(stats.nodes[i].successes > 0, "station {i} never succeeded");
-        }
-        // Conservation: every attempt is eventually a success, a failure, or still pending.
-        let pending = 20u64;
-        assert!(
-            stats.total_attempts() <= stats.total_successes() + stats.total_failures() + pending
-        );
-    }
-
-    #[test]
-    fn determinism_same_seed_same_result() {
-        let run = |seed| {
-            let topo = Topology::fully_connected(8);
-            let mut sim = quick_sim(8, topo, 0.03, seed);
-            sim.run_for(SimDuration::from_secs(1));
-            let s = sim.stats();
-            (
-                s.total_successes(),
-                s.total_failures(),
-                s.total_payload_bits(),
-            )
-        };
-        assert_eq!(run(42), run(42));
-        assert_ne!(run(42), run(43));
-    }
-
-    #[test]
-    fn reset_measurements_discards_warmup() {
-        let topo = Topology::fully_connected(5);
-        let mut sim = quick_sim(5, topo, 0.05, 9);
-        sim.run_for(SimDuration::from_millis(500));
-        let warm = sim.stats().total_successes();
-        assert!(warm > 0);
-        sim.reset_measurements();
-        assert_eq!(sim.stats().total_successes(), 0);
-        sim.run_for(SimDuration::from_millis(500));
-        let after = sim.stats();
-        assert!(after.total_successes() > 0);
-        assert!(after.measured_time <= SimDuration::from_millis(501));
-    }
-
-    #[test]
-    fn activate_and_deactivate_stations() {
-        let topo = Topology::fully_connected(10);
-        let phy = PhyParams::table1();
-        let mut sim = SimulatorBuilder::new(phy, topo)
-            .seed(2)
-            .with_stations(|_, _| PPersistent::new(0.05))
-            .initially_active(2)
-            .build();
-        assert_eq!(sim.active_stations(), 2);
-        sim.run_for(SimDuration::from_millis(300));
-        let before = sim.stats();
-        assert_eq!(before.nodes[5].attempts, 0);
-
-        for i in 2..10 {
-            sim.activate_station(i);
-        }
-        assert_eq!(sim.active_stations(), 10);
-        sim.run_for(SimDuration::from_millis(300));
-        assert!(sim.stats().nodes[5].attempts > 0);
-
-        for i in 0..9 {
-            sim.deactivate_station(i);
-        }
-        assert_eq!(sim.active_stations(), 1);
-        let base = sim.stats().nodes[0].attempts;
-        sim.run_for(SimDuration::from_millis(300));
-        assert_eq!(
-            sim.stats().nodes[0].attempts,
-            base,
-            "deactivated station kept transmitting"
-        );
-    }
-
-    #[test]
-    fn throughput_series_is_recorded() {
-        let topo = Topology::fully_connected(4);
-        let phy = PhyParams::table1();
-        let mut sim = SimulatorBuilder::new(phy, topo)
-            .seed(6)
-            .with_stations(|_, _| PPersistent::new(0.05))
-            .throughput_bin(SimDuration::from_millis(100))
-            .build();
-        sim.run_for(SimDuration::from_secs(1));
-        let series = sim.stats().throughput_series;
-        assert!(
-            series.len() >= 9,
-            "expected ~10 samples, got {}",
-            series.len()
-        );
-        assert!(series.iter().all(|s| s.active_nodes == 4));
-        assert!(series.iter().any(|s| s.bps > 1e6));
-    }
-
-    #[test]
-    fn busy_periods_and_idle_slots_are_tracked() {
-        let topo = Topology::fully_connected(6);
-        let mut sim = quick_sim(6, topo, 0.02, 13);
-        sim.run_for(SimDuration::from_secs(1));
-        let stats = sim.stats();
-        assert!(stats.busy_periods > 0);
-        assert_eq!(
-            stats.busy_periods,
-            stats.successful_busy_periods + stats.collided_busy_periods
-        );
-        assert!(stats.idle_slots > 0);
-        assert!(stats.avg_idle_slots_per_transmission() > 0.0);
-        assert!(stats.channel_utilisation() > 0.0 && stats.channel_utilisation() <= 1.0);
-    }
-
-    #[test]
-    fn frame_error_injection_causes_failures_without_collisions() {
-        let topo = Topology::fully_connected(1);
-        let phy = PhyParams::table1();
-        let mut sim = SimulatorBuilder::new(phy, topo)
-            .seed(3)
-            .with_stations(|_, _| FixedWindow::new(8))
-            .frame_error_rate(0.3)
-            .build();
-        sim.run_for(SimDuration::from_secs(1));
-        let stats = sim.stats();
-        assert!(
-            stats.total_failures() > 0,
-            "frame errors should cause ACK timeouts"
-        );
-        let ratio = stats.total_failures() as f64 / stats.total_attempts() as f64;
-        assert!(
-            (ratio - 0.3).abs() < 0.05,
-            "loss ratio {ratio} should be near 0.3"
-        );
-    }
-
-    #[test]
-    fn weights_are_reported() {
-        let topo = Topology::fully_connected(3);
-        let phy = PhyParams::table1();
-        let sim = SimulatorBuilder::new(phy, topo)
-            .with_stations(|_, _| PPersistent::new(0.1))
-            .weights(vec![1.0, 2.0, 3.0])
-            .build();
-        assert_eq!(sim.weights(), vec![1.0, 2.0, 3.0]);
-    }
-
-    #[test]
-    fn events_are_counted() {
-        let topo = Topology::fully_connected(3);
-        let mut sim = quick_sim(3, topo, 0.05, 17);
-        assert_eq!(sim.events_processed(), 0);
-        sim.run_for(SimDuration::from_secs(1));
-        let events = sim.events_processed();
-        // At minimum: 4 events per successful frame plus the stats ticks.
-        assert!(
-            events > 4 * sim.stats().total_successes(),
-            "events={events}"
-        );
-    }
-
-    #[test]
-    fn slab_high_water_is_bounded_by_station_count() {
-        // The unbounded-memory regression test: over a long run the slab must
-        // retain at most one entry per station (plus nothing for the AP), no
-        // matter how many transmissions come and go.
-        for (n, p, seed) in [(1usize, 0.5, 1u64), (5, 0.1, 2), (12, 0.05, 3)] {
-            let topo = Topology::fully_connected(n);
-            let mut sim = quick_sim(n, topo, p, seed);
-            sim.run_for(SimDuration::from_secs(5));
-            let stats = sim.stats();
-            assert!(
-                stats.total_attempts() > 1000,
-                "n={n}: want a long run, got {} attempts",
-                stats.total_attempts()
-            );
-            assert!(
-                sim.tx_slab_high_water() <= n + 1,
-                "n={n}: slab high-water {} exceeds N+1",
-                sim.tx_slab_high_water()
-            );
-            assert!(sim.tx_slab_capacity() <= n + 1);
-        }
-    }
-
-    #[test]
-    fn hidden_stations_keep_slab_bounded_too() {
-        // Hidden pairs overlap freely, so concurrency genuinely approaches N.
-        let mut topo = Topology::fully_connected(4);
-        topo.set_senses(0, 1, false);
-        topo.set_senses(0, 2, false);
-        topo.set_senses(1, 3, false);
-        let mut sim = quick_sim(4, topo, 0.2, 21);
-        sim.run_for(SimDuration::from_secs(5));
-        assert!(sim.stats().total_attempts() > 1000);
-        assert!(sim.tx_slab_high_water() <= 5);
-        assert!(sim.tx_slab_high_water() >= 2, "hidden pairs should overlap");
-    }
-
-    #[test]
-    fn sub_unity_sir_threshold_does_not_strand_stations() {
-        // With sir_threshold <= 1 two mutually overlapping frames can BOTH be
-        // decodable (`decodable` compares with `>=`, so equal-power frames
-        // both pass at exactly 1.0), so a second success overwrites
-        // `pending_ack` and the first sender's ACK is never delivered. Its
-        // AckTimeout must then fire (the success-path timeout elision has to
-        // be disabled), or the station would sit in AwaitingAck forever.
-        // Regression test for the `ack_can_be_lost` gate: both hidden
-        // stations must keep making progress for the whole run — including
-        // at the boundary threshold of exactly 1.0, where the gate was once
-        // `< 1.0` and station 0 made a single attempt in two simulated
-        // seconds.
-        for sir_threshold in [0.5, 1.0] {
-            let mut topo = Topology::fully_connected(2);
-            topo.set_senses(0, 1, false);
-            let phy = PhyParams::table1();
-            let capture = CaptureModel {
-                sir_threshold,
-                ..CaptureModel::default_indoor()
-            };
-            let mut sim = SimulatorBuilder::new(phy, topo)
-                .seed(19)
-                .with_stations(|_, _| PPersistent::new(0.2))
-                .capture_model(Some(capture))
-                .build();
-            sim.run_for(SimDuration::from_secs(1));
-            let before = sim.stats();
-            assert!(
-                before.nodes[0].attempts > 100 && before.nodes[1].attempts > 100,
-                "sir {sir_threshold}: {} / {} attempts in warm-up",
-                before.nodes[0].attempts,
-                before.nodes[1].attempts
-            );
-            sim.run_for(SimDuration::from_secs(1));
-            let after = sim.stats();
-            for i in 0..2 {
-                assert!(
-                    after.nodes[i].attempts > before.nodes[i].attempts + 100,
-                    "sir {sir_threshold}: station {i} stalled: {} -> {} attempts",
-                    before.nodes[i].attempts,
-                    after.nodes[i].attempts
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn light_poisson_load_is_carried_with_small_delay() {
-        // 5 stations × 50 fps × 8000 bits = 2 Mbps offered — far below
-        // capacity, so virtually everything is delivered with sub-ms queues.
-        let topo = Topology::fully_connected(5);
-        let phy = PhyParams::table1();
-        let mut sim = SimulatorBuilder::new(phy, topo)
-            .seed(4)
-            .with_stations(|_, _| PPersistent::new(0.05))
-            .traffic(TrafficSpec::poisson(50.0))
-            .build();
-        assert!(sim.has_finite_load());
-        sim.run_for(SimDuration::from_secs(2));
-        let stats = sim.stats();
-        let arrivals = stats.total_frame_arrivals();
-        let delivered = stats.total_frames_delivered();
-        assert!(arrivals > 400, "arrivals {arrivals}");
-        assert_eq!(stats.total_frame_drops(), 0, "unbounded queues never drop");
-        // Nearly everything delivered; the rest still queued/in flight.
-        assert!(
-            delivered as f64 > 0.95 * arrivals as f64,
-            "{delivered}/{arrivals}"
-        );
-        assert_eq!(delivered, stats.total_successes());
-        // Offered ≈ carried at light load.
-        let offered = arrivals as f64 * 8000.0 / 2.0;
-        let carried = stats.system_throughput_bps();
-        assert!(
-            (carried - offered).abs() / offered < 0.06,
-            "{carried} vs {offered}"
-        );
-        // Delay exists and is far below saturation queueing delays.
-        let mean_delay = stats.mean_frame_delay();
-        assert!(mean_delay > SimDuration::ZERO);
-        assert!(mean_delay < SimDuration::from_millis(20), "{mean_delay}");
-        assert!(stats.frame_delay_histogram().count() == delivered);
-    }
-
-    #[test]
-    fn overload_fills_bounded_queues_and_drops() {
-        // 3 stations × 2000 fps × 8000 bits = 48 Mbps offered: far beyond
-        // capacity, so bounded queues must fill and tail-drop.
-        let topo = Topology::fully_connected(3);
-        let phy = PhyParams::table1();
-        let cap = 16;
-        let mut sim = SimulatorBuilder::new(phy, topo)
-            .seed(9)
-            .with_stations(|_, _| PPersistent::new(0.05))
-            .traffic(TrafficSpec::poisson(2000.0).with_queue_frames(cap))
-            .build();
-        sim.run_for(SimDuration::from_secs(1));
-        let stats = sim.stats();
-        assert!(
-            stats.total_frame_drops() > 100,
-            "{}",
-            stats.total_frame_drops()
-        );
-        assert_eq!(stats.max_queue_high_water(), cap as u64);
-        for i in 0..3 {
-            assert!(sim.queued_frames(i) <= cap);
-            let t = &stats.nodes[i].traffic;
-            assert!(t.drop_fraction() > 0.0 && t.drop_fraction() < 1.0);
-            // Saturated operation: delay is dominated by queueing.
-            assert!(t.mean_delay() > SimDuration::from_millis(1));
-            assert!(t.mean_jitter() > SimDuration::ZERO);
-        }
-        // The queue keeps the MAC saturated, so throughput stays healthy.
-        assert!(stats.system_throughput_mbps() > 10.0);
-    }
-
-    #[test]
-    fn frame_conservation_holds_per_station() {
-        let topo = Topology::fully_connected(4);
-        let phy = PhyParams::table1();
-        let mut sim = SimulatorBuilder::new(phy, topo)
-            .seed(21)
-            .with_stations(|_, _| PPersistent::new(0.03))
-            .traffic(TrafficSpec::poisson(400.0).with_queue_frames(8))
-            .build();
-        sim.run_for(SimDuration::from_secs(1));
-        let stats = sim.stats();
-        for i in 0..4 {
-            let t = &stats.nodes[i].traffic;
-            assert_eq!(
-                t.queued_at_start + t.arrivals,
-                t.delivered + t.drops + sim.queued_frames(i) as u64,
-                "station {i}"
-            );
-        }
-        // The invariant also survives a measurement reset mid-run.
-        sim.reset_measurements();
-        sim.run_for(SimDuration::from_millis(500));
-        let stats = sim.stats();
-        for i in 0..4 {
-            let t = &stats.nodes[i].traffic;
-            assert!(t.queued_at_start <= 8);
-            assert_eq!(
-                t.queued_at_start + t.arrivals,
-                t.delivered + t.drops + sim.queued_frames(i) as u64,
-                "station {i} after reset"
-            );
-        }
-    }
-
-    #[test]
-    fn queue_empty_stations_do_not_contend() {
-        // One lonely CBR station at 20 fps: with no competition every frame
-        // should take exactly one attempt, and between frames the station
-        // must sit in QueueEmpty drawing nothing.
-        let topo = Topology::fully_connected(1);
-        let phy = PhyParams::table1();
-        let mut sim = SimulatorBuilder::new(phy, topo)
-            .seed(2)
-            .with_stations(|_, _| FixedWindow::new(8))
-            .traffic(TrafficSpec {
-                arrival: ArrivalProcess::Cbr { rate_fps: 20.0 },
-                queue_frames: Some(4),
-            })
-            .build();
-        sim.run_for(SimDuration::from_secs(2));
-        let stats = sim.stats();
-        let t = &stats.nodes[0].traffic;
-        assert!((38..=41).contains(&t.arrivals), "arrivals {}", t.arrivals);
-        assert_eq!(stats.nodes[0].attempts, t.delivered);
-        assert_eq!(t.drops, 0);
-        // Idle between frames: mean delay is a single uncontended access.
-        assert!(
-            t.mean_delay() < SimDuration::from_millis(1),
-            "{}",
-            t.mean_delay()
-        );
-        // The series saw mostly empty queues.
-        assert!(stats.throughput_series.iter().all(|s| s.active_nodes <= 1));
-    }
-
-    #[test]
-    fn mixed_saturated_and_finite_stations_coexist() {
-        let topo = Topology::fully_connected(3);
-        let phy = PhyParams::table1();
-        let mut sim = SimulatorBuilder::new(phy, topo)
-            .seed(6)
-            .with_stations(|_, _| PPersistent::new(0.05))
-            .traffic(TrafficSpec::poisson(30.0))
-            .station_arrival(0, ArrivalProcess::Saturated)
-            .build();
-        sim.run_for(SimDuration::from_secs(2));
-        let stats = sim.stats();
-        // The saturated station has no traffic bookkeeping but dominates the
-        // channel; the finite stations still get their trickle through.
-        assert_eq!(stats.nodes[0].traffic.arrivals, 0);
-        assert_eq!(sim.queued_frames(0), 0);
-        assert!(stats.nodes[0].successes > 1000);
-        for i in 1..3 {
-            let t = &stats.nodes[i].traffic;
-            assert!(t.arrivals > 30, "station {i}: {}", t.arrivals);
-            assert!(t.delivered > 0, "station {i}");
-        }
-    }
-
-    #[test]
-    fn saturated_spec_builds_no_traffic_layer() {
-        let topo = Topology::fully_connected(2);
-        let phy = PhyParams::table1();
-        let sim = SimulatorBuilder::new(phy, topo)
-            .seed(1)
-            .with_stations(|_, _| PPersistent::new(0.05))
-            .traffic(TrafficSpec::saturated())
-            .build();
-        assert!(!sim.has_finite_load());
-        assert_eq!(sim.total_queued_frames(), 0);
-    }
-
-    #[test]
-    fn onoff_bursts_drive_queue_high_water_above_cbr() {
-        // Same long-run rate, bursty vs smooth: the MMPP source must show a
-        // larger queue high-water mark.
-        let run = |arrival: ArrivalProcess| {
-            let topo = Topology::fully_connected(2);
-            let phy = PhyParams::table1();
-            let mut sim = SimulatorBuilder::new(phy, topo)
-                .seed(14)
-                .with_stations(|_, _| PPersistent::new(0.02))
-                .traffic(TrafficSpec {
-                    arrival,
-                    queue_frames: None,
-                })
-                .build();
-            sim.run_for(SimDuration::from_secs(3));
-            let stats = sim.stats();
-            assert_eq!(stats.total_frame_drops(), 0);
-            stats.max_queue_high_water()
-        };
-        let cbr = run(ArrivalProcess::Cbr { rate_fps: 200.0 });
-        let bursty = run(ArrivalProcess::OnOff {
-            rate_fps: 800.0,
-            mean_on: SimDuration::from_millis(50),
-            mean_off: SimDuration::from_millis(150),
-        });
-        assert!(
-            bursty > cbr,
-            "bursty high-water {bursty} should exceed CBR {cbr}"
-        );
-    }
-
-    #[test]
-    fn finite_load_runs_are_deterministic() {
-        let run = || {
-            let topo = Topology::fully_connected(6);
-            let phy = PhyParams::table1();
-            let mut sim = SimulatorBuilder::new(phy, topo)
-                .seed(33)
-                .with_stations(|_, _| PPersistent::new(0.04))
-                .traffic(TrafficSpec::poisson(120.0).with_queue_frames(32))
-                .build();
-            sim.run_for(SimDuration::from_secs(1));
-            let s = sim.stats();
-            (
-                s.total_frame_arrivals(),
-                s.total_frames_delivered(),
-                s.total_frame_drops(),
-                s.mean_frame_delay(),
-            )
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn deactivation_pauses_arrivals_and_preserves_the_queue() {
-        let topo = Topology::fully_connected(2);
-        let phy = PhyParams::table1();
-        let mut sim = SimulatorBuilder::new(phy, topo)
-            .seed(8)
-            .with_stations(|_, _| PPersistent::new(0.05))
-            .traffic(TrafficSpec::poisson(5000.0).with_queue_frames(64))
-            .build();
-        sim.run_for(SimDuration::from_millis(100));
-        sim.deactivate_station(1);
-        let queued = sim.queued_frames(1);
-        let arrivals = sim.stats().nodes[1].traffic.arrivals;
-        sim.run_for(SimDuration::from_millis(200));
-        // No generation and no service while inactive.
-        assert_eq!(sim.queued_frames(1), queued);
-        assert_eq!(sim.stats().nodes[1].traffic.arrivals, arrivals);
-        sim.activate_station(1);
-        sim.run_for(SimDuration::from_millis(200));
-        assert!(sim.stats().nodes[1].traffic.arrivals > arrivals);
-        assert!(sim.stats().nodes[1].traffic.delivered > 0);
-    }
-
-    #[test]
-    fn airtime_accounts_every_attempt() {
-        let topo = Topology::fully_connected(2);
-        let phy = PhyParams::table1();
-        let data_airtime = phy.data_airtime();
-        let mut sim = SimulatorBuilder::new(phy, topo)
-            .seed(8)
-            .with_stations(|_, _| PPersistent::new(0.05))
-            .build();
-        sim.run_for(SimDuration::from_secs(1));
-        let stats = sim.stats();
-        for i in 0..2 {
-            let n = &stats.nodes[i];
-            // Attempts still in flight at the end of the run have not been
-            // credited yet, so airtime lies within one frame of attempts×T.
-            let lower = data_airtime * n.attempts.saturating_sub(1);
-            let upper = data_airtime * n.attempts;
-            assert!(
-                n.airtime >= lower && n.airtime <= upper,
-                "station {i}: airtime {} vs attempts {}",
-                n.airtime,
-                n.attempts
-            );
-            assert!(stats.node_airtime_share(i) > 0.0);
-        }
-        assert!(stats.total_airtime() > SimDuration::ZERO);
-    }
 }

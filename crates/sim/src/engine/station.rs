@@ -1,5 +1,6 @@
-//! Per-station MAC state tracked by the event engine, in a cache-conscious
-//! hot/cold struct-of-arrays layout.
+//! The station-MAC component: per-station DCF state in a cache-conscious
+//! hot/cold struct-of-arrays layout, plus the component handlers for the two
+//! station-addressed events (`TxStart`, `AckTimeout`).
 //!
 //! Every transmission start/end walks the transmitter's sensing neighbours
 //! and touches, per neighbour, only a handful of small fields: the busy
@@ -21,8 +22,17 @@
 //! one array per field — also keeps the per-access cost flat at small N,
 //! where a field-per-array layout pays eight bounds-checked pointer chases
 //! for state that fits in L1 anyway.
+//!
+//! Backoff timers live in the kernel's indexed timer tier owned by this
+//! component ([`StationMac::tier`]): at most one pending `TxStart` per
+//! station, armed through [`Ctx::arm_timer`] and physically cancelled on
+//! every carrier-sense freeze.
 
-use super::event::EventQueue;
+use super::apctl::ApControl;
+use super::arrivals::TrafficSources;
+use super::channel::{Channel, Transmission};
+use super::event::Event;
+use super::{Ctx, EnginePeers, World, CHANNEL_ID};
 use crate::backoff::{BackoffPolicy, Policy};
 use crate::control::{BusyOutcome, ChannelObservation};
 use crate::phy::PhyParams;
@@ -30,6 +40,7 @@ use crate::time::SimTime;
 use crate::topology::NodeId;
 use rand::RngCore;
 use rand_chacha::ChaCha8Rng;
+use wlan_des::{Component, Handle, TierId};
 
 /// What a station is currently doing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,7 +168,8 @@ impl HotState {
     pub(crate) fn busy_start(
         &mut self,
         phy: &PhyParams,
-        queue: &mut EventQueue,
+        ctx: &mut Ctx<'_>,
+        tier: TierId,
         now: SimTime,
         node: NodeId,
         is_data: bool,
@@ -198,7 +210,7 @@ impl HotState {
                     self.remaining_slots -= elapsed;
                     self.clear_countdown();
                     self.timer_gen += 1;
-                    queue.cancel_timer(node);
+                    ctx.cancel_timer(tier, node);
                 }
             }
         }
@@ -211,7 +223,8 @@ impl HotState {
     fn resume_countdown(
         &mut self,
         phy: &PhyParams,
-        queue: &mut EventQueue,
+        ctx: &mut Ctx<'_>,
+        tier: TierId,
         now: SimTime,
         node: NodeId,
         ack_follows: bool,
@@ -233,8 +246,8 @@ impl HotState {
             // engine invalidated that event with the `timer_gen` bump
             // above and pushed a replacement; with physical cancellation
             // the replacement is explicit.
-            queue.cancel_timer(node);
-            queue.schedule_timer(node, gen, fire);
+            ctx.cancel_timer(tier, node);
+            ctx.arm_timer(tier, node, gen, fire);
         }
     }
 }
@@ -308,7 +321,7 @@ impl Stations {
     /// expire (the earliest expiry is `now + DIFS + slot > now + SIFS`), so the
     /// `TxStart` it would schedule is dead on arrival. In that case the
     /// countdown is armed (`countdown_start` set, backoff redrawn exactly as
-    /// usual — the RNG stream must not change) but the queue push is skipped.
+    /// usual — the RNG stream must not change) but the timer arm is skipped.
     /// A zero-slot countdown still schedules: its expiry at `now + DIFS` is
     /// covered by the same-instant rule in `busy_start` (`elapsed >=
     /// remaining_slots` leaves the timer valid), so that event genuinely fires.
@@ -321,7 +334,8 @@ impl Stations {
     pub(crate) fn busy_end(
         &mut self,
         phy: &PhyParams,
-        queue: &mut EventQueue,
+        ctx: &mut Ctx<'_>,
+        tier: TierId,
         now: SimTime,
         node: NodeId,
         ack_follows: bool,
@@ -342,7 +356,7 @@ impl Stations {
         let redraw = contending && h.redraw_on_resume();
         if !(needs_obs || redraw) {
             if contending {
-                h.resume_countdown(phy, queue, now, node, ack_follows);
+                h.resume_countdown(phy, ctx, tier, now, node, ack_follows);
             }
             return;
         }
@@ -362,7 +376,199 @@ impl Stations {
             self.hot[node].remaining_slots = self.policy[node].next_backoff(rng);
         }
         if contending {
-            self.hot[node].resume_countdown(phy, queue, now, node, ack_follows);
+            self.hot[node].resume_countdown(phy, ctx, tier, now, node, ack_follows);
+        }
+    }
+}
+
+/// The station-MAC component: all per-station DCF state plus the sorted
+/// active-station list. Owns the backoff timer tier; receives `TxStart`
+/// (from that tier) and `AckTimeout` (from the general tier).
+pub(crate) struct StationMac {
+    pub(crate) stations: Stations,
+    /// Ids of active stations, **sorted ascending**. ACK events notify exactly
+    /// this set (every station senses the AP); keeping it sorted preserves the
+    /// engine's ascending-id notification order.
+    pub(crate) active: Vec<NodeId>,
+    /// The backoff timer tier this component owns.
+    pub(crate) tier: TierId,
+    pub(crate) channel: Handle<Channel>,
+    pub(crate) ap: Handle<ApControl>,
+    pub(crate) traffic: Handle<TrafficSources>,
+}
+
+impl StationMac {
+    /// Enter the contention phase: draw a fresh backoff and, if the medium is
+    /// idle, arm the transmission timer. Under finite load a station with an
+    /// empty queue parks in `QueueEmpty` instead — no backoff is drawn and
+    /// no timer armed until the next frame arrival restarts contention.
+    ///
+    /// `has_frame` is the caller-supplied answer to "does `node` have a frame
+    /// to send?" (always true without a traffic layer; queried from the
+    /// traffic component otherwise) — passed in because the traffic state
+    /// lives in a peer component.
+    pub(crate) fn begin_contention(
+        &mut self,
+        phy: &PhyParams,
+        ctx: &mut Ctx<'_>,
+        node: NodeId,
+        has_frame: bool,
+    ) {
+        let now = ctx.now();
+        let difs = phy.difs;
+        if !self.stations.is_active(node) {
+            return;
+        }
+        if !has_frame {
+            let h = &mut self.stations.hot[node];
+            h.phase = Phase::QueueEmpty;
+            h.clear_countdown();
+            return;
+        }
+        let st = &mut self.stations;
+        let rng: &mut dyn RngCore = &mut st.rng[node];
+        let drawn = st.policy[node].next_backoff(rng);
+        let h = &mut st.hot[node];
+        h.phase = Phase::Contending;
+        h.remaining_slots = drawn;
+        h.clear_countdown();
+        if h.sensed_busy == 0 {
+            let start = if h.idle_since + difs > now {
+                h.idle_since + difs
+            } else {
+                now
+            };
+            h.set_countdown(start);
+            h.timer_gen += 1;
+            let gen = h.timer_gen;
+            let fire = start + phy.slot * h.remaining_slots;
+            ctx.arm_timer(self.tier, node, gen, fire);
+        }
+    }
+
+    /// A station's backoff timer fired: start transmitting (unless the timer
+    /// is stale).
+    fn handle_tx_start(
+        &mut self,
+        world: &mut World,
+        peers: &mut EnginePeers<'_>,
+        ctx: &mut Ctx<'_>,
+        node: NodeId,
+        gen: u64,
+    ) {
+        {
+            let h = &self.stations.hot[node];
+            // A timer is valid iff it is the most recently scheduled one and the
+            // station is still counting down. Note that `sensed_busy` may be non-zero
+            // here: if another station started transmitting at exactly this instant,
+            // this station's counter still legitimately reached zero in the same slot
+            // and both transmit (that is precisely how same-slot collisions happen).
+            // Timers that were frozen strictly before their expiry are invalidated by
+            // bumping `timer_gen` in `busy_start`.
+            if h.phase != Phase::Contending || h.timer_gen != gen || h.countdown().is_none() {
+                return; // stale timer
+            }
+        }
+        let now = ctx.now();
+        let airtime = world.phy.data_airtime();
+        let end = now + airtime;
+        let payload_bits = world.phy.payload_bits;
+
+        // Reception bookkeeping: each pair of overlapping frames interferes with the
+        // other; a frame overlapping an AP transmission is lost outright. Whether an
+        // interfered frame is still decodable is decided at TxEnd by the capture
+        // model (without one, any interference is fatal — the paper's model).
+        let rx_power = match &world.capture {
+            Some(c) => c.received_power(world.topology.distance_to_ap(node)),
+            None => 1.0,
+        };
+        let tx = {
+            let channel = peers.get_mut(self.channel);
+            let collided = channel.ap_transmitting;
+            let mut interference = 0.0;
+            for &id in &channel.active_tx {
+                let other = channel.txs.get_mut(id);
+                interference += other.rx_power;
+                other.interference += rx_power;
+            }
+            let tx = channel.txs.insert(Transmission {
+                source: node,
+                start: now,
+                payload_bits,
+                rx_power,
+                interference,
+                collided,
+            });
+            channel.active_tx.push(tx);
+            tx
+        };
+        world.stats.nodes[node].attempts += 1;
+
+        {
+            let h = &mut self.stations.hot[node];
+            h.phase = Phase::Transmitting;
+            h.clear_countdown();
+            h.timer_gen += 1;
+        }
+
+        ctx.schedule(end, CHANNEL_ID, Event::TxEnd { tx });
+
+        // Stations within sensing range of the transmitter see the medium go busy
+        // (ascending id order — the RNG-stream-stability rule).
+        let tier = self.tier;
+        for &other in world.topology.neighbors(node) {
+            let h = &mut self.stations.hot[other];
+            if h.is_active() {
+                h.busy_start(&world.phy, ctx, tier, now, other, true);
+            }
+        }
+        peers
+            .get_mut(self.ap)
+            .channel_busy_start(&world.phy, &mut world.stats, now, true);
+    }
+
+    /// A station gave up waiting for its ACK (unless the timeout is stale).
+    fn handle_ack_timeout(
+        &mut self,
+        world: &mut World,
+        peers: &mut EnginePeers<'_>,
+        ctx: &mut Ctx<'_>,
+        node: NodeId,
+        gen: u64,
+    ) {
+        {
+            let h = &self.stations.hot[node];
+            if h.phase != Phase::AwaitingAck || h.ack_gen != gen {
+                return; // stale timeout (the ACK arrived)
+            }
+        }
+        world.stats.nodes[node].failures += 1;
+        {
+            let st = &mut self.stations;
+            let rng: &mut dyn RngCore = &mut st.rng[node];
+            st.policy[node].on_failure(rng);
+        }
+        let has_frame = peers.get(self.traffic).has_frame(node);
+        self.begin_contention(&world.phy, ctx, node, has_frame);
+    }
+}
+
+impl Component<World, Event> for StationMac {
+    fn handle(
+        &mut self,
+        world: &mut World,
+        peers: &mut EnginePeers<'_>,
+        ctx: &mut Ctx<'_>,
+        event: Event,
+    ) {
+        match event {
+            Event::TxStart { station, gen } => {
+                self.handle_tx_start(world, peers, ctx, station, gen)
+            }
+            Event::AckTimeout { station, gen } => {
+                self.handle_ack_timeout(world, peers, ctx, station, gen)
+            }
+            other => unreachable!("station MAC received {other:?}"),
         }
     }
 }
