@@ -1,0 +1,346 @@
+//! Campaign service mode: read a job-spec JSON document on stdin, schedule
+//! the jobs over a worker pool, and stream one JSON result line per job (in
+//! input order) on stdout.
+//!
+//! Long jobs are **checkpointed** at a configurable simulated-time cadence —
+//! `Simulator::checkpoint` snapshots the full DES state to
+//! `<checkpoint_dir>/<key>.ckpt`, and `--resume` continues an interrupted job
+//! from its last snapshot, bit-identical to a straight-through run. Completed
+//! jobs land in the content-addressed result cache (see `wlan_core::cache`),
+//! so re-submitting a spec recomputes only the jobs whose inputs changed.
+//!
+//! ## Job spec
+//!
+//! ```json
+//! {
+//!   "threads": 4,
+//!   "checkpoint_sim_secs": 30.0,
+//!   "cache_dir": "results/.cache",
+//!   "checkpoint_dir": "results/.checkpoints",
+//!   "jobs": [
+//!     {"protocol": "WTopCsma", "topology": "FullyConnected", "n": 10, "seed": 1},
+//!     {"protocol": {"StaticPPersistent": {"p": 0.02}},
+//!      "topology": {"UniformDisc": {"radius": 16.0}}, "n": 8,
+//!      "warmup": 100000000, "measure": 300000000}
+//!   ]
+//! }
+//! ```
+//!
+//! Each job needs `protocol`, `topology` and `n`; every other key overrides
+//! the corresponding [`Scenario`] default (same names and encodings as the
+//! scenario's own JSON serialisation — durations are nanosecond integers;
+//! unknown keys are rejected). All top-level keys except `jobs` are
+//! optional.
+//!
+//! ## Output protocol
+//!
+//! One line per job, in input order:
+//!
+//! ```json
+//! {"job": 0, "key": "<32-hex>", "cached": false, "resumed": false, "result": {...}}
+//! ```
+//!
+//! followed by a summary line `{"jobs": N, "cache_hits": H, "cache_misses": M}`.
+//! Diagnostics go to stderr.
+//!
+//! ## Flags
+//!
+//! * `--resume` — load `<key>.ckpt` snapshots left by an interrupted run.
+//! * `--no-cache` — bypass the result cache (jobs still checkpoint).
+//! * `--threads N` — override the spec's worker count.
+
+use serde::{Deserialize, Serialize, Value};
+use std::io::Read as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use wlan_core::{job_key, ResultCache, Scenario, ScenarioResult};
+use wlan_sim::SimDuration;
+
+/// A parsed job plus its cache key.
+struct Job {
+    scenario: Scenario,
+    key: String,
+}
+
+/// What happened to one job.
+struct Outcome {
+    result: ScenarioResult,
+    cached: bool,
+    resumed: bool,
+}
+
+/// Checkpointing configuration shared by all workers.
+struct CheckpointPolicy {
+    dir: PathBuf,
+    every: Option<SimDuration>,
+    resume: bool,
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("campaign_server: {msg}");
+    std::process::exit(1);
+}
+
+fn opt<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::F64(x) => Some(x),
+        Value::U64(x) => Some(x as f64),
+        Value::I64(x) => Some(x as f64),
+        _ => None,
+    }
+}
+
+/// Build a [`Scenario`] from a job map: `protocol` / `topology` / `n` are
+/// required, every other entry overrides the matching field of the default
+/// scenario (validated by round-tripping the merged map through the
+/// scenario's own deserialiser, so a typo'd key or a mistyped value is a
+/// hard error, not a silently ignored one).
+fn parse_job(value: &Value) -> Result<Scenario, String> {
+    let Value::Map(entries) = value else {
+        return Err("job must be a JSON object".to_string());
+    };
+    let protocol = wlan_core::Protocol::from_value(
+        opt(entries, "protocol").ok_or("job is missing `protocol`")?,
+    )
+    .map_err(|e| format!("bad `protocol`: {e}"))?;
+    let topology = wlan_core::TopologySpec::from_value(
+        opt(entries, "topology").ok_or("job is missing `topology`")?,
+    )
+    .map_err(|e| format!("bad `topology`: {e}"))?;
+    let n = match opt(entries, "n").ok_or("job is missing `n`")? {
+        Value::U64(n) => *n as usize,
+        other => return Err(format!("bad `n`: expected an integer, got {other:?}")),
+    };
+    let defaults = Scenario::new(protocol, topology, n).to_value();
+    let Value::Map(mut merged) = defaults else {
+        unreachable!("a scenario serialises to a map");
+    };
+    for (key, val) in entries {
+        match merged.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = val.clone(),
+            None => return Err(format!("unknown scenario field `{key}`")),
+        }
+    }
+    Scenario::from_value(&Value::Map(merged)).map_err(|e| e.to_string())
+}
+
+/// Run one job to completion, consulting the cache first and checkpointing
+/// at the policy's cadence. The result is bit-identical whether the job ran
+/// straight through, resumed from a snapshot, or came from the cache.
+fn run_job(job: &Job, cache: Option<&ResultCache>, ckpt: &CheckpointPolicy) -> Outcome {
+    if let Some(cache) = cache {
+        if let Some(result) = cache.lookup(&job.key) {
+            return Outcome {
+                result,
+                cached: true,
+                resumed: false,
+            };
+        }
+    }
+    let scenario = &job.scenario;
+    let mut sim = scenario.build_simulator();
+    let mut resumed = false;
+    let path = ckpt.dir.join(format!("{}.ckpt", job.key));
+    if ckpt.resume {
+        if let Ok(bytes) = std::fs::read(&path) {
+            if sim.resume(&bytes).is_ok() {
+                resumed = true;
+            } else {
+                // A stale or corrupt snapshot leaves the simulator partially
+                // overwritten; discard it and start the job from scratch.
+                eprintln!(
+                    "campaign_server: discarding unusable snapshot {}",
+                    path.display()
+                );
+                sim = scenario.build_simulator();
+            }
+        }
+    }
+    let end = scenario.end_time();
+    match ckpt.every {
+        Some(every) => {
+            while sim.now() < end {
+                let next = (sim.now() + every).min(end);
+                scenario.advance_until(&mut sim, next);
+                if sim.now() < end {
+                    let tmp = ckpt.dir.join(format!("{}.ckpt.tmp", job.key));
+                    let write = std::fs::write(&tmp, sim.checkpoint())
+                        .and_then(|()| std::fs::rename(&tmp, &path));
+                    if let Err(e) = write {
+                        eprintln!(
+                            "campaign_server: cannot write snapshot {}: {e}",
+                            path.display()
+                        );
+                    }
+                }
+            }
+        }
+        None => scenario.advance_until(&mut sim, end),
+    }
+    let result = scenario.collect(&sim);
+    if let Some(cache) = cache {
+        if let Err(e) = cache.store(&job.key, &result) {
+            eprintln!("campaign_server: cannot store result {}: {e}", job.key);
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    Outcome {
+        result,
+        cached: false,
+        resumed,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let resume = args.iter().any(|a| a == "--resume");
+    let no_cache = args.iter().any(|a| a == "--no-cache");
+    let threads_flag = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1);
+
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        fail(format!("cannot read job spec from stdin: {e}"));
+    }
+    let spec: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => fail(format!("job spec is not valid JSON: {e}")),
+    };
+    let Value::Map(spec) = &spec else {
+        fail("job spec must be a JSON object");
+    };
+    let jobs_value = match opt(spec, "jobs") {
+        Some(Value::Seq(jobs)) => jobs,
+        Some(_) => fail("`jobs` must be an array"),
+        None => fail("job spec is missing `jobs`"),
+    };
+    let threads = threads_flag
+        .or_else(|| match opt(spec, "threads") {
+            Some(Value::U64(t)) => Some(*t as usize),
+            _ => None,
+        })
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(wlan_core::default_threads);
+    let string_key = |key: &str| match opt(spec, key) {
+        Some(Value::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    let results_dir = std::env::var("WLAN_REPRO_OUT").unwrap_or_else(|_| "results".to_string());
+    let cache_dir = string_key("cache_dir")
+        .or_else(|| std::env::var("WLAN_CACHE_DIR").ok())
+        .unwrap_or_else(|| format!("{results_dir}/.cache"));
+    let checkpoint_dir =
+        string_key("checkpoint_dir").unwrap_or_else(|| format!("{results_dir}/.checkpoints"));
+    let every = opt(spec, "checkpoint_sim_secs")
+        .and_then(as_f64)
+        .filter(|&s| s > 0.0)
+        .map(SimDuration::from_secs_f64);
+
+    let jobs: Vec<Job> = jobs_value
+        .iter()
+        .enumerate()
+        .map(|(i, v)| match parse_job(v) {
+            Ok(scenario) => {
+                let key = job_key(&scenario);
+                Job { scenario, key }
+            }
+            Err(e) => fail(format!("job {i}: {e}")),
+        })
+        .collect();
+
+    let cache = if no_cache {
+        None
+    } else {
+        match ResultCache::open(&cache_dir) {
+            Ok(cache) => Some(cache),
+            Err(e) => fail(format!("cannot open cache directory {cache_dir}: {e}")),
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&checkpoint_dir) {
+        fail(format!(
+            "cannot create checkpoint directory {checkpoint_dir}: {e}"
+        ));
+    }
+    let ckpt = CheckpointPolicy {
+        dir: PathBuf::from(&checkpoint_dir),
+        every,
+        resume,
+    };
+    eprintln!(
+        "campaign_server: {} job{} on {} thread{}, cache {}, checkpoints in {}{}",
+        jobs.len(),
+        if jobs.len() == 1 { "" } else { "s" },
+        threads,
+        if threads == 1 { "" } else { "s" },
+        match &cache {
+            Some(c) => format!("in {}", c.dir().display()),
+            None => "disabled".to_string(),
+        },
+        checkpoint_dir,
+        match every {
+            Some(d) => format!(" every {} sim-s", d.as_secs_f64()),
+            None => " (final state only; no periodic snapshots)".to_string(),
+        },
+    );
+
+    // Workers claim jobs by atomic counter; the main thread re-serialises the
+    // completions into input order so the stream is deterministic.
+    let next_job = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Outcome)>();
+    let cache_ref = cache.as_ref();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()) {
+            let tx = tx.clone();
+            let jobs = &jobs;
+            let next_job = &next_job;
+            let ckpt = &ckpt;
+            scope.spawn(move || loop {
+                let i = next_job.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                if tx.send((i, run_job(job, cache_ref, ckpt))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut pending = std::collections::BTreeMap::new();
+        let mut emit_next = 0usize;
+        for (i, outcome) in rx {
+            pending.insert(i, outcome);
+            while let Some(outcome) = pending.remove(&emit_next) {
+                let line = Value::Map(vec![
+                    ("job".to_string(), Value::U64(emit_next as u64)),
+                    ("key".to_string(), Value::Str(jobs[emit_next].key.clone())),
+                    ("cached".to_string(), Value::Bool(outcome.cached)),
+                    ("resumed".to_string(), Value::Bool(outcome.resumed)),
+                    ("result".to_string(), outcome.result.to_value()),
+                ]);
+                println!(
+                    "{}",
+                    serde_json::to_string(&line).expect("serialise result line")
+                );
+                emit_next += 1;
+            }
+        }
+    });
+
+    let stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+    let summary = Value::Map(vec![
+        ("jobs".to_string(), Value::U64(jobs.len() as u64)),
+        ("cache_hits".to_string(), Value::U64(stats.hits)),
+        ("cache_misses".to_string(), Value::U64(stats.misses)),
+    ]);
+    println!(
+        "{}",
+        serde_json::to_string(&summary).expect("serialise summary line")
+    );
+}

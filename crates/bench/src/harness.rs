@@ -6,15 +6,18 @@
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
-use wlan_core::{default_threads, Campaign, CampaignReport, Protocol, Scenario, TopologySpec};
+use wlan_core::{
+    default_threads, Campaign, CampaignReport, Protocol, ResultCache, Scenario, TopologySpec,
+};
 use wlan_sim::SimDuration;
 
 /// Global run configuration for the experiment harness.
 ///
 /// `from_env` / `from_args` are the **single source** of the `--quick` /
-/// `--full` / `--threads` command line and the `WLAN_REPRO_QUICK` /
-/// `WLAN_THREADS` environment variables; binaries must consume this struct
-/// rather than re-parsing either.
+/// `--full` / `--threads` / `--no-cache` command line and the
+/// `WLAN_REPRO_QUICK` / `WLAN_THREADS` / `WLAN_NO_CACHE` environment
+/// variables; binaries must consume this struct rather than re-parsing
+/// either.
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
     /// Quick mode: fewer seeds, fewer sweep points and shorter runs. Intended for
@@ -24,6 +27,9 @@ pub struct RunConfig {
     /// Worker threads for campaign execution. Results are bit-identical for
     /// every value; more threads only finish sooner.
     pub threads: usize,
+    /// Disable the content-addressed result cache (`--no-cache` /
+    /// `WLAN_NO_CACHE=1`): every job goes to the engine, nothing is stored.
+    pub no_cache: bool,
 }
 
 impl RunConfig {
@@ -55,7 +61,38 @@ impl RunConfig {
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&t| t >= 1)
             .unwrap_or_else(default_threads);
-        RunConfig { quick, threads }
+        let no_cache = args.iter().any(|a| a == "--no-cache")
+            || std::env::var("WLAN_NO_CACHE")
+                .map(|v| v != "0")
+                .unwrap_or(false);
+        RunConfig {
+            quick,
+            threads,
+            no_cache,
+        }
+    }
+
+    /// Install the process-global result cache unless `--no-cache` was given.
+    ///
+    /// The cache directory is `WLAN_CACHE_DIR` when set, else `.cache/` inside
+    /// [`out_dir`]. Returns the installed cache so callers can report hit/miss
+    /// statistics; an unopenable directory degrades to uncached execution with
+    /// a warning rather than aborting the run.
+    pub fn install_cache(&self) -> Option<&'static ResultCache> {
+        if self.no_cache {
+            return None;
+        }
+        if let Some(cache) = wlan_core::cache::install_from_env() {
+            return Some(cache);
+        }
+        let dir = out_dir().join(".cache");
+        match ResultCache::open(&dir) {
+            Ok(cache) => Some(wlan_core::cache::install(cache)),
+            Err(e) => {
+                eprintln!("warning: cannot open result cache {}: {e}", dir.display());
+                None
+            }
+        }
     }
 
     /// Seeds to average over.
@@ -243,10 +280,12 @@ mod tests {
         let quick = RunConfig {
             quick: true,
             threads: 1,
+            no_cache: true,
         };
         let full = RunConfig {
             quick: false,
             threads: 1,
+            no_cache: true,
         };
         assert!(quick.seeds().len() < full.seeds().len());
         assert!(quick.node_counts().len() <= full.node_counts().len());
@@ -269,6 +308,10 @@ mod tests {
         // Malformed --threads falls back to the default.
         let cfg = RunConfig::from_args(&to_args(&["bin", "--threads", "zero"]));
         assert!(cfg.threads >= 1);
+        // --no-cache is recognised; absent, the cache stays enabled (unless
+        // the WLAN_NO_CACHE environment override is exported).
+        let cfg = RunConfig::from_args(&to_args(&["bin", "--no-cache"]));
+        assert!(cfg.no_cache);
     }
 
     #[test]

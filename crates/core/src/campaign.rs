@@ -27,6 +27,7 @@
 //! assert!(outcome.report().cells[0].mean_mbps > 0.0);
 //! ```
 
+use crate::cache::ResultCache;
 use crate::protocol::Protocol;
 use crate::scenario::{Scenario, ScenarioResult, TopologySpec};
 use serde::{Deserialize, Serialize};
@@ -72,7 +73,47 @@ fn threads_from(var: Option<&str>) -> usize {
 /// a single shared queue) and write the result into that job's dedicated
 /// slot. Scheduling order therefore never influences output order, and each
 /// job's determinism comes from the scenario owning all of its randomness.
+///
+/// When a process-global [`ResultCache`] is installed
+/// ([`crate::cache::install`] / [`crate::cache::install_from_env`]), jobs
+/// whose key is already cached are served from disk and only the misses run
+/// on the pool — the results are bit-identical either way, because the cache
+/// stores exactly what the engine produced. No global installed (the
+/// default) means no caching and no behaviour change.
 pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioResult> {
+    match crate::cache::installed() {
+        Some(cache) => run_scenarios_cached(scenarios, threads, cache),
+        None => run_scenarios_pool(scenarios, threads),
+    }
+}
+
+/// [`run_scenarios`] against an explicit [`ResultCache`]: serve cached jobs
+/// from disk, run only the misses on the pool (in their original relative
+/// order), store their results, and return everything in input order.
+pub fn run_scenarios_cached(
+    scenarios: &[Scenario],
+    threads: usize,
+    cache: &ResultCache,
+) -> Vec<ScenarioResult> {
+    let keys: Vec<String> = scenarios.iter().map(crate::cache::job_key).collect();
+    let mut out: Vec<Option<ScenarioResult>> = keys.iter().map(|k| cache.lookup(k)).collect();
+    let missing: Vec<usize> = (0..out.len()).filter(|&i| out[i].is_none()).collect();
+    if !missing.is_empty() {
+        let jobs: Vec<Scenario> = missing.iter().map(|&i| scenarios[i].clone()).collect();
+        let fresh = run_scenarios_pool(&jobs, threads);
+        for (&i, result) in missing.iter().zip(fresh) {
+            // A failed store only loses the cache entry, never the result.
+            let _ = cache.store(&keys[i], &result);
+            out[i] = Some(result);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every slot is a hit or a computed miss"))
+        .collect()
+}
+
+/// The uncached thread-pool executor behind [`run_scenarios`].
+fn run_scenarios_pool(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioResult> {
     let n = scenarios.len();
     if threads <= 1 || n <= 1 {
         return scenarios.iter().map(Scenario::run).collect();
@@ -550,6 +591,50 @@ mod tests {
         assert_eq!(s.mean_mbps, 0.0);
         assert_eq!(s.stddev_mbps, 0.0);
         assert_eq!(s.ci95_mbps, 0.0);
+    }
+
+    #[test]
+    fn cached_runner_serves_second_pass_from_disk_bit_identically() {
+        let dir =
+            std::env::temp_dir().join(format!("wlan_campaign_cache_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let base = Scenario::new(
+            Protocol::StaticPPersistent { p: 0.04 },
+            TopologySpec::FullyConnected,
+            5,
+        )
+        .durations(SimDuration::from_millis(50), SimDuration::from_millis(200));
+        let jobs: Vec<Scenario> = (1..=3u64).map(|seed| base.clone().seed(seed)).collect();
+
+        let cold = run_scenarios_cached(&jobs, 2, &cache);
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().hits, 0);
+        let warm = run_scenarios_cached(&jobs, 2, &cache);
+        assert_eq!(cache.stats().hits, 3, "warm pass must run zero jobs");
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&warm).unwrap(),
+            "cached results must be bit-identical to computed ones"
+        );
+
+        // A corrupted entry is detected, recomputed and healed.
+        let key = crate::cache::job_key(&jobs[0]);
+        let entry = dir.join(format!("{key}.json"));
+        std::fs::write(&entry, "{\"truncated\": tru").unwrap();
+        let healed = run_scenarios_cached(&jobs, 1, &cache);
+        assert_eq!(cache.stats().misses, 4, "corrupt entry counts as a miss");
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&healed).unwrap()
+        );
+        let again = run_scenarios_cached(&jobs, 1, &cache);
+        assert_eq!(cache.stats().hits, 3 + 2 + 3, "healed entry hits again");
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`campaign`] — the parallel campaign runner: expands a scenario grid into
 //!   jobs, executes them on a thread pool, and aggregates per-cell statistics
 //!   deterministically (parallel output is bit-identical to serial).
+//! * [`cache`] — the content-addressed result cache: jobs keyed by a stable
+//!   hash of `(canonical scenario, engine fingerprint)`, so reruns compute
+//!   only the delta and serve everything else from disk, bit-identically.
 //! * [`dynamics`] — dynamic-membership runs (stations joining/leaving) used for
 //!   the convergence experiments of Figs. 8–11.
 //!
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod campaign;
 pub mod dynamics;
 pub mod idlesense;
@@ -46,9 +50,10 @@ pub mod tora;
 pub(crate) mod trace;
 pub mod wtop;
 
+pub use cache::{job_key, CacheStats, ResultCache, ENGINE_FINGERPRINT};
 pub use campaign::{
-    default_threads, run_scenarios, run_seeds, run_seeds_parallel, Campaign, CampaignCell,
-    CampaignOutcome, CampaignReport, CellStats,
+    default_threads, run_scenarios, run_scenarios_cached, run_seeds, run_seeds_parallel, Campaign,
+    CampaignCell, CampaignOutcome, CampaignReport, CellStats,
 };
 pub use dynamics::{run_dynamic, DynamicResult, MembershipChange, MembershipSchedule};
 pub use idlesense::{IdleSenseConfig, IdleSensePolicy};

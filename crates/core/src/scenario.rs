@@ -7,8 +7,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use wlan_sim::{
-    CaptureModel, PhyParams, SimDuration, SimStats, Simulator, SimulatorBuilder, ThroughputSample,
-    Topology, TrafficSpec,
+    CaptureModel, PhyParams, SimDuration, SimStats, SimTime, Simulator, SimulatorBuilder,
+    ThroughputSample, Topology, TrafficSpec,
 };
 
 /// How the stations are laid out around the AP.
@@ -77,7 +77,12 @@ impl TopologySpec {
 }
 
 /// Full description of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// Serialisable: the result cache keys jobs by a canonical encoding of this
+/// struct (see [`crate::cache`]), and `campaign-server` reads job lists as
+/// JSON. Every field participates in the cache key, so adding a field is a
+/// (deliberate) cache-invalidation event for scenarios that set it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Scenario {
     /// The channel-access scheme under test.
     pub protocol: Protocol,
@@ -190,15 +195,50 @@ impl Scenario {
     /// Run the scenario: warm up, reset measurements, measure, and summarise.
     pub fn run(&self) -> ScenarioResult {
         let mut sim = self.build_simulator();
-        let hidden_pairs = sim.topology().num_hidden_pairs();
-        if !self.warmup.is_zero() {
-            sim.run_for(self.warmup);
-            sim.reset_measurements();
+        self.advance_until(&mut sim, self.end_time());
+        self.collect(&sim)
+    }
+
+    /// The simulated time at which this scenario's run completes
+    /// (warm-up + measurement).
+    pub fn end_time(&self) -> SimTime {
+        SimTime::ZERO + self.warmup + self.measure
+    }
+
+    /// Advance `sim` to `until`, applying the measurement reset at the
+    /// warm-up boundary exactly as [`run`](Self::run) would.
+    ///
+    /// This is the checkpoint-aware inner loop of `run`: driving a simulator
+    /// to [`end_time`](Self::end_time) through any sequence of
+    /// `advance_until` calls — including across a
+    /// [`Simulator::checkpoint`] / [`Simulator::resume`] round trip, which
+    /// preserves [`Simulator::measurement_started_at`] and therefore whether
+    /// the warm-up reset is still pending — is bit-identical to a
+    /// straight-through run.
+    pub fn advance_until(&self, sim: &mut Simulator, until: SimTime) {
+        let warmup_end = SimTime::ZERO + self.warmup;
+        if !self.warmup.is_zero() && sim.measurement_started_at() < warmup_end {
+            let stop = until.min(warmup_end);
+            if stop > sim.now() {
+                sim.run_until(stop);
+            }
+            if sim.now() >= warmup_end {
+                sim.reset_measurements();
+            }
         }
-        sim.run_for(self.measure);
+        if until > sim.now() {
+            sim.run_until(until);
+        }
+    }
+
+    /// Summarise a simulator this scenario built and ran (through
+    /// [`run`](Self::run), or through [`advance_until`](Self::advance_until)
+    /// with or without checkpoint/resume cycles) into a [`ScenarioResult`].
+    pub fn collect(&self, sim: &Simulator) -> ScenarioResult {
+        let hidden_pairs = sim.topology().num_hidden_pairs();
         let stats = sim.stats();
         let traffic = if sim.has_finite_load() {
-            Some(TrafficSummary::from_run(&sim, &stats, &self.phy))
+            Some(TrafficSummary::from_run(sim, &stats, &self.phy))
         } else {
             None
         };

@@ -13,8 +13,10 @@
 //! The pair `(p0, 2^j CWmin)` is piggy-backed on every ACK.
 
 use crate::trace::BoundedTrace;
+use serde::{Deserialize, Serialize};
 use stochastic_approx::{KieferWolfowitz, PowerLawGains};
 use wlan_sim::backoff::RandomReset;
+use wlan_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use wlan_sim::{ApAlgorithm, ControlPayload, PhyParams, Policy, SimDuration, SimTime};
 
 /// Configuration of the TORA-CSMA controller.
@@ -213,6 +215,49 @@ impl ApAlgorithm for ToraController {
     fn control_trace(&self) -> &[(SimTime, f64)] {
         self.p0_trace.as_slice()
     }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        writer.put_value(&self.kw.to_value());
+        writer.put_u8(self.stage);
+        writer.put_u64(self.bits_received);
+        match self.segment_start {
+            None => writer.put_bool(false),
+            Some(t) => {
+                writer.put_bool(true);
+                writer.put_time(t);
+            }
+        }
+        writer.put_f64(self.advertised_p0);
+        self.p0_trace.save_state(writer);
+        writer.put_usize(self.stage_trace.len());
+        for &(t, stage) in &self.stage_trace {
+            writer.put_time(t);
+            writer.put_u8(stage);
+        }
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.kw =
+            KieferWolfowitz::from_value(&reader.get_value()?).map_err(SnapshotError::custom)?;
+        self.stage = reader.get_u8()?;
+        self.bits_received = reader.get_u64()?;
+        self.segment_start = if reader.get_bool()? {
+            Some(reader.get_time()?)
+        } else {
+            None
+        };
+        self.advertised_p0 = reader.get_f64()?;
+        self.p0_trace.load_state(reader)?;
+        let n = reader.get_usize()?;
+        self.stage_trace.clear();
+        self.stage_trace.reserve(n.min(self.trace_cap));
+        for _ in 0..n {
+            let t = reader.get_time()?;
+            let stage = reader.get_u8()?;
+            self.stage_trace.push((t, stage));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -354,6 +399,41 @@ mod tests {
         assert!(c.control_trace().len() < 8, "{}", c.control_trace().len());
         assert!(!c.control_trace().is_empty());
         assert!(c.stage_trace().len() < 8);
+    }
+
+    #[test]
+    fn controller_state_round_trips_through_the_snapshot_codec() {
+        let mut c = controller();
+        let mut ms = 0;
+        // Drive the estimate towards zero far enough to record a stage switch.
+        for _ in 0..8 {
+            feed_measurement(&mut c, &mut ms, LOW);
+            feed_measurement(&mut c, &mut ms, HIGH);
+        }
+        assert!(c.stage() >= 1, "setup should have switched stage");
+        c.on_success(SimTime::from_millis(ms + 17), 0, 98_765);
+
+        let mut w = StateWriter::new();
+        ApAlgorithm::save_state(&c, &mut w);
+        let bytes = w.finish();
+        let mut twin = controller();
+        let mut r = StateReader::new(&bytes);
+        ApAlgorithm::load_state(&mut twin, &mut r).unwrap();
+        r.expect_end().unwrap();
+
+        assert_eq!(c.estimate_p0().to_bits(), twin.estimate_p0().to_bits());
+        assert_eq!(c.stage(), twin.stage());
+        assert_eq!(c.stage_trace(), twin.stage_trace());
+        assert_eq!(c.control_trace(), twin.control_trace());
+        // Identical continuations stay identical.
+        let (mut ma, mut mb) = (ms, ms);
+        for i in 0..6 {
+            let bits = if i % 2 == 0 { HIGH } else { LOW };
+            feed_measurement(&mut c, &mut ma, bits);
+            feed_measurement(&mut twin, &mut mb, bits);
+        }
+        assert_eq!(c.estimate_p0().to_bits(), twin.estimate_p0().to_bits());
+        assert_eq!(c.stage(), twin.stage());
     }
 
     #[test]

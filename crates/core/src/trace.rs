@@ -15,6 +15,7 @@
 //! would erase a transition — those bound memory by discarding the oldest
 //! half instead.
 
+use wlan_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use wlan_sim::SimTime;
 
 /// A `(time, value)` series bounded by stride-doubling decimation.
@@ -61,6 +62,35 @@ impl<T: Copy> BoundedTrace<T> {
     /// The retained entries, oldest first.
     pub(crate) fn as_slice(&self) -> &[(SimTime, T)] {
         &self.entries
+    }
+}
+
+impl BoundedTrace<f64> {
+    /// Append the trace's mutable state (entries + stride gate) to a
+    /// checkpoint. The cap is configuration, rebuilt from the scenario.
+    pub(crate) fn save_state(&self, writer: &mut StateWriter) {
+        writer.put_usize(self.entries.len());
+        for &(t, v) in &self.entries {
+            writer.put_time(t);
+            writer.put_f64(v);
+        }
+        writer.put_u32(self.stride);
+        writer.put_u32(self.skip);
+    }
+
+    /// Restore state written by [`save_state`](Self::save_state).
+    pub(crate) fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let n = reader.get_usize()?;
+        self.entries.clear();
+        self.entries.reserve(n.min(self.cap));
+        for _ in 0..n {
+            let t = reader.get_time()?;
+            let v = reader.get_f64()?;
+            self.entries.push((t, v));
+        }
+        self.stride = reader.get_u32()?;
+        self.skip = reader.get_u32()?;
+        Ok(())
     }
 }
 

@@ -15,8 +15,10 @@
 //! hidden terminals make the throughput function unknown.
 
 use crate::trace::BoundedTrace;
+use serde::{Deserialize, Serialize};
 use stochastic_approx::{KieferWolfowitz, PowerLawGains};
 use wlan_sim::backoff::PPersistent;
+use wlan_sim::snapshot::{SnapshotError, StateReader, StateWriter};
 use wlan_sim::{ApAlgorithm, ControlPayload, PhyParams, Policy, SimDuration, SimTime};
 
 /// Configuration of the wTOP-CSMA controller.
@@ -265,6 +267,53 @@ impl ApAlgorithm for WtopController {
     fn control_trace(&self) -> &[(SimTime, f64)] {
         self.estimate_trace.as_slice()
     }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        // The Kiefer–Wolfowitz iterate carries its whole mutable state and
+        // derives the serde traits, so it rides the Value codec; the
+        // remaining fields are the measurement accumulator of the open
+        // segment plus the bounded traces. Configuration (update period,
+        // scale, clamps, gains) is rebuilt from the scenario.
+        writer.put_value(&self.kw.to_value());
+        match self.last_plus_measurement {
+            None => writer.put_bool(false),
+            Some(y) => {
+                writer.put_bool(true);
+                writer.put_f64(y);
+            }
+        }
+        writer.put_u64(self.bits_received);
+        match self.segment_start {
+            None => writer.put_bool(false),
+            Some(t) => {
+                writer.put_bool(true);
+                writer.put_time(t);
+            }
+        }
+        writer.put_f64(self.advertised_p);
+        self.probe_trace.save_state(writer);
+        self.estimate_trace.save_state(writer);
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.kw =
+            KieferWolfowitz::from_value(&reader.get_value()?).map_err(SnapshotError::custom)?;
+        self.last_plus_measurement = if reader.get_bool()? {
+            Some(reader.get_f64()?)
+        } else {
+            None
+        };
+        self.bits_received = reader.get_u64()?;
+        self.segment_start = if reader.get_bool()? {
+            Some(reader.get_time()?)
+        } else {
+            None
+        };
+        self.advertised_p = reader.get_f64()?;
+        self.probe_trace.load_state(reader)?;
+        self.estimate_trace.load_state(reader)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +430,41 @@ mod tests {
         }
         assert_eq!(c.estimate_trace().len(), 20);
         assert_eq!(c.probe_trace().len(), 20);
+    }
+
+    #[test]
+    fn controller_state_round_trips_through_the_snapshot_codec() {
+        let mut c = controller();
+        let mut cursor = 0;
+        for i in 0..7 {
+            let bits = if i % 2 == 0 { 5_000_000 } else { 300_000 };
+            feed_measurement(&mut c, &mut cursor, bits);
+        }
+        // Leave a segment half-open so the accumulator state is non-trivial.
+        c.on_success(SimTime::from_millis(cursor + 40), 0, 123_456);
+
+        let mut w = StateWriter::new();
+        ApAlgorithm::save_state(&c, &mut w);
+        let bytes = w.finish();
+        let mut twin = controller();
+        let mut r = StateReader::new(&bytes);
+        ApAlgorithm::load_state(&mut twin, &mut r).unwrap();
+        r.expect_end().unwrap();
+
+        assert_eq!(c.estimate().to_bits(), twin.estimate().to_bits());
+        assert_eq!(c.advertised().to_bits(), twin.advertised().to_bits());
+        assert_eq!(c.control_trace(), twin.control_trace());
+        // Identical continuations stay identical.
+        let mut ca = cursor;
+        let mut cb = cursor;
+        for i in 0..5 {
+            let bits = if i % 2 == 0 { 200_000 } else { 4_000_000 };
+            feed_measurement(&mut c, &mut ca, bits);
+            feed_measurement(&mut twin, &mut cb, bits);
+        }
+        assert_eq!(c.estimate().to_bits(), twin.estimate().to_bits());
+        assert_eq!(c.iterations(), twin.iterations());
+        assert_eq!(c.probe_trace(), twin.probe_trace());
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   seen by existing ones.
 //! * A generational [`Slab`] ([`slab`]) for entities whose lifecycle spans
 //!   events, keeping memory bounded by concurrency instead of run length.
+//! * A checkpoint codec ([`snapshot`]): [`StateWriter`]/[`StateReader`]
+//!   serialize mutable kernel and model state — clock, `(time, seq)`
+//!   counter, pending events, RNG stream positions — so a resumed run is
+//!   bit-identical to a straight-through run.
 //!
 //! # A minimal custom component
 //!
@@ -87,11 +91,13 @@ pub mod rng;
 pub mod sched;
 pub mod simulation;
 pub mod slab;
+pub mod snapshot;
 pub mod time;
 
-pub use queue::{EventQueue, TierId};
+pub use queue::{EventQueue, QueueSnapshot, TierId};
 pub use rng::StreamMaster;
 pub use sched::{BinaryHeapScheduler, CalendarQueue, Scheduler};
 pub use simulation::{AsAny, Component, ComponentId, Handle, Peers, Simulation, SimulationContext};
-pub use slab::{Slab, SlotId};
+pub use slab::{Slab, SlabSnapshot, SlotId, SlotSnapshot};
+pub use snapshot::{SnapshotError, StateReader, StateWriter};
 pub use time::{SimDuration, SimTime};

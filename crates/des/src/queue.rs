@@ -196,6 +196,16 @@ impl TimerSet {
     fn len(&self) -> usize {
         self.armed.len()
     }
+
+    /// Drop every armed timer, resetting the position map and cached
+    /// minimum (checkpoint restore repopulates via [`TimerSet::arm`]).
+    fn clear(&mut self) {
+        self.armed.clear();
+        for p in &mut self.pos {
+            *p = NOT_ARMED;
+        }
+        self.min = MinState::Empty;
+    }
 }
 
 /// One registered timer tier: the set itself, the component every fired
@@ -342,6 +352,93 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Capture every pending entry — general events and armed timers, each
+    /// with its original `(time, seq)` key — plus the shared sequence
+    /// counter.
+    ///
+    /// Pop order is a pure function of the `(time, seq)` entry multiset, so
+    /// [`restore`](Self::restore)-ing a snapshot into a queue with the same
+    /// tier layout reproduces the identical pop sequence; no scheduler- or
+    /// tier-internal bookkeeping (calendar cursor, cached minima) needs to
+    /// round-trip.
+    pub fn snapshot(&self) -> QueueSnapshot<E>
+    where
+        E: Clone,
+    {
+        QueueSnapshot {
+            general: self
+                .general
+                .entries()
+                .into_iter()
+                .map(|(time, seq, (target, event))| (time, seq, target, event))
+                .collect(),
+            tiers: self
+                .tiers
+                .iter()
+                .map(|tier| {
+                    tier.set
+                        .armed
+                        .iter()
+                        .map(|t| (t.time, t.seq, t.index, t.gen))
+                        .collect()
+                })
+                .collect(),
+            next_seq: self.next_seq,
+        }
+    }
+
+    /// Replace *all* pending events with the contents of `snapshot`,
+    /// preserving each entry's original sequence number, and restore the
+    /// shared counter. The queue must have the same tier layout (count and
+    /// registration order) as the one the snapshot was taken from — tiers
+    /// carry owner and payload-constructor functions that a snapshot cannot,
+    /// so restore targets a structurally identical queue built by the same
+    /// code path.
+    ///
+    /// # Panics
+    ///
+    /// If the snapshot's tier count differs from this queue's.
+    pub fn restore(&mut self, snapshot: QueueSnapshot<E>) {
+        assert_eq!(
+            snapshot.tiers.len(),
+            self.tiers.len(),
+            "queue snapshot tier count mismatch"
+        );
+        self.general = CalendarQueue::new();
+        for (time, seq, target, event) in snapshot.general {
+            self.general.schedule(time, seq, (target, event));
+        }
+        for (tier, timers) in self.tiers.iter_mut().zip(snapshot.tiers) {
+            tier.set.clear();
+            for (time, seq, index, gen) in timers {
+                tier.set.arm(Timer {
+                    time,
+                    seq,
+                    index,
+                    gen,
+                });
+            }
+        }
+        self.next_seq = snapshot.next_seq;
+    }
+}
+
+/// The pending-event state of an [`EventQueue`], produced by
+/// [`EventQueue::snapshot`] and consumed by [`EventQueue::restore`].
+///
+/// Entries carry their original sequence numbers, which is what makes a
+/// restored queue pop the identical `(time, seq)` total order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueSnapshot<E> {
+    /// General-tier entries: `(time, seq, target component, event)`, in no
+    /// particular order.
+    pub general: Vec<(SimTime, u64, ComponentId, E)>,
+    /// Armed timers per registered tier, in tier registration order:
+    /// `(time, seq, timer index, arming generation)`.
+    pub tiers: Vec<Vec<(SimTime, u64, usize, u64)>>,
+    /// The shared sequence counter at snapshot time.
+    pub next_seq: u64,
 }
 
 /// Which tier holds the earliest pending event.
@@ -457,6 +554,48 @@ mod tests {
             q.pop().unwrap(),
             (SimTime::from_micros(1), 0, Ev::Timer { index: 100, gen: 1 })
         );
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_pop_order_and_seq_counter() {
+        let (mut q, timers, arrivals) = two_tier_queue();
+        q.schedule(SimTime::from_micros(20), 5, Ev::Tick);
+        q.schedule(SimTime::from_micros(10), 6, Ev::Tick);
+        q.arm_timer(timers, 3, 7, SimTime::from_micros(10)); // ties with above
+        q.arm_timer(arrivals, 1, 0, SimTime::from_micros(15));
+        q.pop(); // consume the earliest so the snapshot is mid-flight
+        let snap = q.snapshot();
+
+        // Restore into a fresh queue polluted with unrelated events: restore
+        // must replace everything, not merge.
+        let (mut restored, _, _) = two_tier_queue();
+        restored.schedule(SimTime::from_micros(1), 9, Ev::Tick);
+        restored.arm_timer(timers, 2, 2, SimTime::from_micros(2));
+        restored.restore(snap);
+        assert_eq!(restored.len(), q.len());
+
+        // Identical pops, and identical seq continuation: an event scheduled
+        // after restore lands at the same (time, seq) in both queues.
+        q.schedule(SimTime::from_micros(12), 8, Ev::Tick);
+        restored.schedule(SimTime::from_micros(12), 8, Ev::Tick);
+        loop {
+            let a = q.pop();
+            let b = restored.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tier count mismatch")]
+    fn restore_rejects_mismatched_tier_layout() {
+        let (q, _, _) = two_tier_queue();
+        let snap = q.snapshot();
+        let mut other: EventQueue<Ev> = EventQueue::new();
+        other.add_tier(0, 8, make_timer);
+        other.restore(snap);
     }
 
     #[test]
@@ -645,6 +784,63 @@ mod tests {
                     }
                 }
                 prop_assert_eq!(q.len(), 0);
+            }
+
+            /// Snapshot/restore taken after an arbitrary interleaving of
+            /// schedule / arm / cancel / pop is pop-order identical to the
+            /// original queue, including sequence-counter continuation
+            /// (events scheduled *after* the restore still tie-break
+            /// identically).
+            #[test]
+            fn snapshot_restore_is_pop_order_identical(
+                ops in proptest::collection::vec(
+                    (0u64..4, 0u64..8, 0u64..80, 0u64..9_000), 1..300),
+            ) {
+                const INDICES: usize = 8;
+                let mut q: EventQueue<Ev> = EventQueue::new();
+                let timers = q.add_tier(0, INDICES, make_timer);
+                let mut floor = SimTime::ZERO;
+                let mut gen = 0u64;
+                let mut target = 0usize;
+                for (op, index, slots, jitter_ns) in ops {
+                    let index = index as usize;
+                    let time = floor
+                        + crate::time::SimDuration::from_micros(9) * slots
+                        + crate::time::SimDuration::from_nanos(jitter_ns);
+                    match op {
+                        0 => {
+                            q.schedule(time, target, Ev::Tick);
+                            target += 1;
+                        }
+                        1 => {
+                            gen += 1;
+                            q.cancel_timer(timers, index);
+                            q.arm_timer(timers, index, gen, time);
+                        }
+                        2 => q.cancel_timer(timers, index),
+                        _ => {
+                            if let Some((t, _, _)) = q.pop() {
+                                floor = t;
+                            }
+                        }
+                    }
+                }
+                let snap = q.snapshot();
+                let mut restored: EventQueue<Ev> = EventQueue::new();
+                restored.add_tier(0, INDICES, make_timer);
+                restored.restore(snap);
+                prop_assert_eq!(restored.len(), q.len());
+                // Post-restore scheduling draws the same sequence numbers.
+                q.schedule(floor, target, Ev::Tick);
+                restored.schedule(floor, target, Ev::Tick);
+                loop {
+                    let a = q.pop();
+                    let b = restored.pop();
+                    prop_assert_eq!(a, b);
+                    if a.is_none() {
+                        break;
+                    }
+                }
             }
         }
     }

@@ -287,6 +287,36 @@ impl<W: 'static, E: 'static> Simulation<W, E> {
         self.events_processed
     }
 
+    /// Shared access to the RNG stream attached to component `id`, if any —
+    /// the checkpoint path reads each stream's exact position through this.
+    pub fn component_rng(&self, id: ComponentId) -> Option<&ChaCha8Rng> {
+        self.rngs.get(id).and_then(|r| r.as_deref())
+    }
+
+    /// Capture the pending-event state (see [`EventQueue::snapshot`]).
+    pub fn queue_snapshot(&self) -> crate::queue::QueueSnapshot<E>
+    where
+        E: Clone,
+    {
+        self.queue.snapshot()
+    }
+
+    /// Restore kernel state from a checkpoint: the clock, the dispatch
+    /// counter, and the *entire* pending-event queue (every event already in
+    /// the queue — including initial-setup events of a freshly built
+    /// simulation — is replaced; see [`EventQueue::restore`]). The queue
+    /// must have the same tier layout as the snapshot's source.
+    pub fn restore_kernel_state(
+        &mut self,
+        now: SimTime,
+        events_processed: u64,
+        queue: crate::queue::QueueSnapshot<E>,
+    ) {
+        self.now = now;
+        self.events_processed = events_processed;
+        self.queue.restore(queue);
+    }
+
     /// Shared access to the world.
     pub fn world(&self) -> &W {
         &self.world

@@ -9,6 +9,7 @@
 use crate::control::ControlPayload;
 use crate::time::SimTime;
 use crate::topology::NodeId;
+use wlan_des::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// A controller running at the access point.
 ///
@@ -50,6 +51,23 @@ pub trait ApAlgorithm: Send {
     /// large-N campaign profiles.
     fn control_trace(&self) -> &[(SimTime, f64)] {
         &[]
+    }
+
+    /// Append the controller's *mutable* state to a checkpoint. Build-time
+    /// configuration is reconstructed from the scenario; the default writes
+    /// nothing, which is correct only for stateless controllers — an
+    /// adaptive controller must override both this and
+    /// [`load_state`](Self::load_state) symmetrically or resumed runs will
+    /// diverge from straight-through ones.
+    fn save_state(&self, writer: &mut StateWriter) {
+        let _ = writer;
+    }
+
+    /// Restore state written by [`save_state`](Self::save_state) into a
+    /// freshly built controller.
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let _ = reader;
+        Ok(())
     }
 }
 
@@ -117,6 +135,20 @@ impl ApAlgorithm for Controller {
             Controller::Custom(c) => c.control_trace(),
         }
     }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        match self {
+            Controller::Null(c) => c.save_state(writer),
+            Controller::Custom(c) => c.save_state(writer),
+        }
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        match self {
+            Controller::Null(c) => c.load_state(reader),
+            Controller::Custom(c) => c.load_state(reader),
+        }
+    }
 }
 
 impl From<NullController> for Controller {
@@ -171,6 +203,17 @@ impl ApAlgorithm for NullController {
 
     fn name(&self) -> &'static str {
         "null"
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        writer.put_u64(self.successes);
+        writer.put_u64(self.collisions);
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.successes = reader.get_u64()?;
+        self.collisions = reader.get_u64()?;
+        Ok(())
     }
 }
 

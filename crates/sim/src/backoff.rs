@@ -24,6 +24,7 @@ use crate::idlesense::IdleSensePolicy;
 use crate::phy::PhyParams;
 use rand::Rng;
 use rand::RngCore;
+use wlan_des::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// Station-side contention resolution: decides how many idle slots to wait
 /// before each transmission attempt and how to react to successes, failures,
@@ -95,6 +96,25 @@ pub trait BackoffPolicy: Send {
 
     /// Short human-readable policy name.
     fn name(&self) -> &'static str;
+
+    /// Append the policy's *mutable* state to a checkpoint.
+    ///
+    /// Build-time configuration (window bounds, weights, retry limits) is
+    /// reconstructed from the scenario, so only state that evolves during the
+    /// run belongs here. The default writes nothing — correct for stateless
+    /// policies; a `Custom` policy with mutable state must override both
+    /// this and [`load_state`](Self::load_state) symmetrically or resumed
+    /// runs will diverge.
+    fn save_state(&self, writer: &mut StateWriter) {
+        let _ = writer;
+    }
+
+    /// Restore state written by [`save_state`](Self::save_state) into a
+    /// freshly built policy.
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let _ = reader;
+        Ok(())
+    }
 }
 
 /// The closed set of station policies, dispatched statically on the
@@ -192,6 +212,14 @@ impl BackoffPolicy for Policy {
 
     fn name(&self) -> &'static str {
         dispatch!(self, p => p.name())
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        dispatch!(self, p => p.save_state(writer))
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        dispatch!(self, p => p.load_state(reader))
     }
 }
 
@@ -378,6 +406,19 @@ impl BackoffPolicy for ExponentialBackoff {
     fn name(&self) -> &'static str {
         "802.11-DCF"
     }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        writer.put_u8(self.stage);
+        writer.put_u32(self.retries);
+        writer.put_u64(self.dropped_frames);
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.stage = reader.get_u8()?;
+        self.retries = reader.get_u32()?;
+        self.dropped_frames = reader.get_u64()?;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -491,6 +532,29 @@ impl BackoffPolicy for PPersistent {
     fn name(&self) -> &'static str {
         "p-persistent"
     }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        writer.put_f64(self.p);
+        writer.put_f64(self.ln_q);
+        match self.last_control_p {
+            None => writer.put_bool(false),
+            Some(p) => {
+                writer.put_bool(true);
+                writer.put_f64(p);
+            }
+        }
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.p = reader.get_f64()?;
+        self.ln_q = reader.get_f64()?;
+        self.last_control_p = if reader.get_bool()? {
+            Some(reader.get_f64()?)
+        } else {
+            None
+        };
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -596,6 +660,19 @@ impl BackoffPolicy for RandomReset {
     fn name(&self) -> &'static str {
         "random-reset"
     }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        writer.put_u8(self.stage);
+        writer.put_u8(self.reset_stage);
+        writer.put_f64(self.p0);
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.stage = reader.get_u8()?;
+        self.reset_stage = reader.get_u8()?;
+        self.p0 = reader.get_f64()?;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -648,6 +725,15 @@ impl BackoffPolicy for FixedWindow {
     fn name(&self) -> &'static str {
         "fixed-window"
     }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        writer.put_u32(self.cw);
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.cw = reader.get_u32()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -658,6 +744,62 @@ mod tests {
 
     fn rng() -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn policy_state_round_trips_through_the_snapshot_codec() {
+        let phy = PhyParams::table1();
+        let mut r = rng();
+
+        // Drive every stateful policy away from its initial state, save it,
+        // load into a freshly built twin, and check future draws agree.
+        let mut policies: Vec<(Policy, Policy)> = vec![
+            (
+                ExponentialBackoff::new(&phy).into(),
+                ExponentialBackoff::new(&phy).into(),
+            ),
+            (PPersistent::new(0.05).into(), PPersistent::new(0.05).into()),
+            (
+                RandomReset::new(&phy, 2, 0.3).into(),
+                RandomReset::new(&phy, 2, 0.3).into(),
+            ),
+            (FixedWindow::new(32).into(), FixedWindow::new(32).into()),
+            (
+                IdleSensePolicy::for_phy(&phy).into(),
+                IdleSensePolicy::for_phy(&phy).into(),
+            ),
+        ];
+        for (original, twin) in &mut policies {
+            original.on_failure(&mut r);
+            original.on_failure(&mut r);
+            original.on_success(&mut r);
+            original.on_control(&ControlPayload::AttemptProbability(0.07));
+            original.on_observation(&ChannelObservation {
+                idle_slots: 2,
+                own_transmission: false,
+                outcome: crate::control::BusyOutcome::Unknown,
+            });
+
+            let mut writer = StateWriter::new();
+            original.save_state(&mut writer);
+            let bytes = writer.finish();
+            let mut reader = StateReader::new(&bytes);
+            twin.load_state(&mut reader).unwrap();
+            reader.expect_end().unwrap();
+
+            let mut ra = rng();
+            let mut rb = rng();
+            for _ in 0..100 {
+                assert_eq!(
+                    original.next_backoff(&mut ra),
+                    twin.next_backoff(&mut rb),
+                    "policy {} diverged after restore",
+                    original.name()
+                );
+            }
+            assert_eq!(original.attempt_probability(), twin.attempt_probability());
+            assert_eq!(original.backoff_stage(), twin.backoff_stage());
+        }
     }
 
     #[test]

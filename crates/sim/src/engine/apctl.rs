@@ -21,6 +21,7 @@ use crate::phy::PhyParams;
 use crate::stats::{SimStats, ThroughputSample};
 use crate::time::SimTime;
 use crate::topology::NodeId;
+use wlan_des::snapshot::{SnapshotError, StateReader, StateWriter};
 use wlan_des::{Component, Handle};
 
 /// A pending ACK the AP is about to transmit / is transmitting.
@@ -75,6 +76,52 @@ impl ApControl {
             mac,
             traffic,
         }
+    }
+
+    /// Append all mutable AP state — the controller (validated by name), the
+    /// pending-ACK latch and the busy-period bookkeeping — to a checkpoint.
+    pub(crate) fn save(&self, writer: &mut StateWriter) {
+        writer.put_str(self.controller.name());
+        self.controller.save_state(writer);
+        match &self.pending_ack {
+            None => writer.put_bool(false),
+            Some(ack) => {
+                writer.put_bool(true);
+                writer.put_usize(ack.dest);
+                ack.payload.save_state(writer);
+            }
+        }
+        writer.put_u32(self.busy_count);
+        writer.put_time(self.idle_since);
+        writer.put_time(self.busy_start);
+        writer.put_bool(self.busy_has_data);
+        writer.put_bool(self.busy_has_success);
+    }
+
+    /// Restore state written by [`save`](Self::save) into a freshly built AP.
+    pub(crate) fn load(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let name = reader.get_str()?;
+        if name != self.controller.name() {
+            return Err(SnapshotError::custom(format!(
+                "checkpoint controller {name:?} does not match built controller {:?}",
+                self.controller.name()
+            )));
+        }
+        self.controller.load_state(reader)?;
+        self.pending_ack = if reader.get_bool()? {
+            Some(PendingAck {
+                dest: reader.get_usize()?,
+                payload: ControlPayload::load_state(reader)?,
+            })
+        } else {
+            None
+        };
+        self.busy_count = reader.get_u32()?;
+        self.idle_since = reader.get_time()?;
+        self.busy_start = reader.get_time()?;
+        self.busy_has_data = reader.get_bool()?;
+        self.busy_has_success = reader.get_bool()?;
+        Ok(())
     }
 
     /// The AP's perceived medium goes busy (or busier): idle-slot accounting

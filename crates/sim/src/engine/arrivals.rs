@@ -17,6 +17,7 @@ use crate::topology::NodeId;
 use crate::traffic::ArrivalSampler;
 use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
+use wlan_des::snapshot::{SnapshotError, StateReader, StateWriter};
 use wlan_des::{Component, Handle, TierId};
 
 /// Runtime traffic state of one finite-load station: its arrival sampler,
@@ -75,7 +76,82 @@ pub(crate) struct TrafficSources {
     pub(crate) mac: Handle<StationMac>,
 }
 
+impl FiniteSource {
+    fn save(&self, writer: &mut StateWriter) {
+        self.sampler.save_state(writer);
+        writer.put_rng(&self.rng);
+        writer.put_usize(self.queue.len());
+        for &arrived in &self.queue {
+            writer.put_time(arrived);
+        }
+        match self.last_delay {
+            None => writer.put_bool(false),
+            Some(d) => {
+                writer.put_bool(true);
+                writer.put_duration(d);
+            }
+        }
+    }
+
+    fn load(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.sampler.load_state(reader)?;
+        self.rng = reader.get_rng()?;
+        let queued = reader.get_usize()?;
+        self.queue.clear();
+        for _ in 0..queued {
+            self.queue.push_back(reader.get_time()?);
+        }
+        self.last_delay = if reader.get_bool()? {
+            Some(reader.get_duration()?)
+        } else {
+            None
+        };
+        Ok(())
+    }
+}
+
 impl TrafficSources {
+    /// Append all mutable traffic state to a checkpoint. Saturated stations
+    /// carry nothing; finite sources write their sampler phase, RNG stream
+    /// position, queued-frame timestamps and jitter accumulator.
+    pub(crate) fn save(&self, writer: &mut StateWriter) {
+        writer.put_usize(self.stations.len());
+        for station in &self.stations {
+            match station {
+                StationTraffic::Saturated => writer.put_u8(0),
+                StationTraffic::Finite(src) => {
+                    writer.put_u8(1);
+                    src.save(writer);
+                }
+            }
+        }
+    }
+
+    /// Restore state written by [`save`](Self::save) into freshly built
+    /// sources (same scenario, so counts and variants match).
+    pub(crate) fn load(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let n = reader.get_usize()?;
+        if n != self.stations.len() {
+            return Err(SnapshotError::custom(format!(
+                "checkpoint has {n} traffic stations, scenario built {}",
+                self.stations.len()
+            )));
+        }
+        for (node, station) in self.stations.iter_mut().enumerate() {
+            let tag = reader.get_u8()?;
+            match (tag, station) {
+                (0, StationTraffic::Saturated) => {}
+                (1, StationTraffic::Finite(src)) => src.load(reader)?,
+                (tag, _) => {
+                    return Err(SnapshotError::custom(format!(
+                        "station {node}: checkpoint traffic variant {tag} does not match scenario"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Whether `node` currently has a frame to send. Saturated stations (and
     /// every station of a simulator without a traffic layer) always do.
     pub(crate) fn has_frame(&self, node: NodeId) -> bool {

@@ -22,7 +22,8 @@ use crate::control::ControlPayload;
 use crate::time::SimTime;
 use crate::topology::NodeId;
 use rand::{Rng, RngCore};
-use wlan_des::{Component, Handle, Slab};
+use wlan_des::snapshot::{SnapshotError, StateReader, StateWriter};
+use wlan_des::{Component, Handle, Slab, SlabSnapshot, SlotId, SlotSnapshot};
 
 /// An in-flight data transmission (slab-resident from `TxStart` until the end
 /// of its lifecycle: `TxEnd` when no ACK follows, `AckEnd` otherwise).
@@ -42,6 +43,26 @@ pub(crate) struct Transmission {
 }
 
 impl Transmission {
+    fn save(&self, writer: &mut StateWriter) {
+        writer.put_usize(self.source);
+        writer.put_time(self.start);
+        writer.put_u64(self.payload_bits);
+        writer.put_f64(self.rx_power);
+        writer.put_f64(self.interference);
+        writer.put_bool(self.collided);
+    }
+
+    fn load(reader: &mut StateReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Transmission {
+            source: reader.get_usize()?,
+            start: reader.get_time()?,
+            payload_bits: reader.get_u64()?,
+            rx_power: reader.get_f64()?,
+            interference: reader.get_f64()?,
+            collided: reader.get_bool()?,
+        })
+    }
+
     fn decodable(&self, capture: Option<&CaptureModel>) -> bool {
         if self.collided {
             return false;
@@ -69,6 +90,80 @@ pub(crate) struct Channel {
 }
 
 impl Channel {
+    /// Append all mutable channel state to a checkpoint: the complete
+    /// transmission slab (every slot with its generation and the free-list
+    /// links, so [`TxId`]s embedded in pending events stay valid), the
+    /// active-transmission list and the AP-transmitting flag.
+    pub(crate) fn save(&self, writer: &mut StateWriter) {
+        let snap = self.txs.snapshot();
+        writer.put_usize(snap.slots.len());
+        for slot in &snap.slots {
+            match slot {
+                SlotSnapshot::Occupied { generation, value } => {
+                    writer.put_u8(1);
+                    writer.put_u32(*generation);
+                    value.save(writer);
+                }
+                SlotSnapshot::Vacant {
+                    generation,
+                    next_free,
+                } => {
+                    writer.put_u8(0);
+                    writer.put_u32(*generation);
+                    writer.put_u32(*next_free);
+                }
+            }
+        }
+        writer.put_u32(snap.free_head);
+        writer.put_usize(snap.len);
+        writer.put_usize(snap.high_water);
+        writer.put_usize(self.active_tx.len());
+        for tx in &self.active_tx {
+            writer.put_u32(tx.index());
+            writer.put_u32(tx.generation());
+        }
+        writer.put_bool(self.ap_transmitting);
+    }
+
+    /// Restore state written by [`save`](Self::save).
+    pub(crate) fn load(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let slot_count = reader.get_usize()?;
+        let mut slots = Vec::with_capacity(slot_count);
+        for _ in 0..slot_count {
+            slots.push(match reader.get_u8()? {
+                1 => SlotSnapshot::Occupied {
+                    generation: reader.get_u32()?,
+                    value: Transmission::load(reader)?,
+                },
+                0 => SlotSnapshot::Vacant {
+                    generation: reader.get_u32()?,
+                    next_free: reader.get_u32()?,
+                },
+                tag => {
+                    return Err(SnapshotError::custom(format!(
+                        "unknown slab slot tag {tag}"
+                    )))
+                }
+            });
+        }
+        let snap = SlabSnapshot {
+            slots,
+            free_head: reader.get_u32()?,
+            len: reader.get_usize()?,
+            high_water: reader.get_usize()?,
+        };
+        self.txs = Slab::restore(snap);
+        let active = reader.get_usize()?;
+        self.active_tx.clear();
+        for _ in 0..active {
+            let index = reader.get_u32()?;
+            let generation = reader.get_u32()?;
+            self.active_tx.push(SlotId::from_parts(index, generation));
+        }
+        self.ap_transmitting = reader.get_bool()?;
+        Ok(())
+    }
+
     fn handle_tx_end(
         &mut self,
         world: &mut World,

@@ -60,6 +60,7 @@ mod apctl;
 mod arrivals;
 mod channel;
 mod event;
+mod snapshot;
 mod station;
 #[cfg(test)]
 mod tests;
@@ -645,6 +646,14 @@ impl Simulator {
     /// Run the simulation for the given additional duration.
     pub fn run_for(&mut self, d: SimDuration) {
         self.sim.run_for(d);
+    }
+
+    /// When the current measurement interval began (the simulation start, or
+    /// the instant of the last [`reset_measurements`](Self::reset_measurements)).
+    /// Lets a campaign resuming from a checkpoint decide whether the warm-up
+    /// reset has already happened.
+    pub fn measurement_started_at(&self) -> SimTime {
+        self.sim.world().measure_start
     }
 }
 

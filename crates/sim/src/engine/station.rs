@@ -40,6 +40,7 @@ use crate::time::SimTime;
 use crate::topology::NodeId;
 use rand::RngCore;
 use rand_chacha::ChaCha8Rng;
+use wlan_des::snapshot::{SnapshotError, StateReader, StateWriter};
 use wlan_des::{Component, Handle, TierId};
 
 /// What a station is currently doing.
@@ -250,6 +251,48 @@ impl HotState {
             ctx.arm_timer(tier, node, gen, fire);
         }
     }
+
+    /// Append this record to a checkpoint. The flags byte and the countdown
+    /// sentinel are written raw — both are plain state here, even though the
+    /// flag capabilities are derived from the policy at build time.
+    fn save(&self, writer: &mut StateWriter) {
+        writer.put_u8(match self.phase {
+            Phase::Inactive => 0,
+            Phase::QueueEmpty => 1,
+            Phase::Contending => 2,
+            Phase::Transmitting => 3,
+            Phase::AwaitingAck => 4,
+        });
+        writer.put_u8(self.flags);
+        writer.put_u32(self.sensed_busy);
+        writer.put_u64(self.remaining_slots);
+        writer.put_time(self.idle_since);
+        writer.put_time(self.countdown_start);
+        writer.put_u64(self.timer_gen);
+        writer.put_u64(self.ack_gen);
+        writer.put_u64(self.pending_idle_slots);
+    }
+
+    /// Restore a record written by [`save`](Self::save).
+    fn load(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.phase = match reader.get_u8()? {
+            0 => Phase::Inactive,
+            1 => Phase::QueueEmpty,
+            2 => Phase::Contending,
+            3 => Phase::Transmitting,
+            4 => Phase::AwaitingAck,
+            tag => return Err(SnapshotError::custom(format!("unknown Phase tag {tag}"))),
+        };
+        self.flags = reader.get_u8()?;
+        self.sensed_busy = reader.get_u32()?;
+        self.remaining_slots = reader.get_u64()?;
+        self.idle_since = reader.get_time()?;
+        self.countdown_start = reader.get_time()?;
+        self.timer_gen = reader.get_u64()?;
+        self.ack_gen = reader.get_u64()?;
+        self.pending_idle_slots = reader.get_u64()?;
+        Ok(())
+    }
 }
 
 /// MAC state for all stations: the hot records in one packed array, the cold
@@ -301,6 +344,45 @@ impl Stations {
     /// Number of stations.
     pub(crate) fn len(&self) -> usize {
         self.hot.len()
+    }
+
+    /// Append all mutable per-station state — hot record, policy state and
+    /// RNG stream position — to a checkpoint. The policy's name string is
+    /// written alongside its state so a resume against a scenario that built
+    /// different policies fails loudly instead of misinterpreting bytes.
+    pub(crate) fn save(&self, writer: &mut StateWriter) {
+        writer.put_usize(self.len());
+        for node in 0..self.len() {
+            self.hot[node].save(writer);
+            writer.put_str(self.policy[node].name());
+            self.policy[node].save_state(writer);
+            writer.put_rng(&self.rng[node]);
+        }
+    }
+
+    /// Restore state written by [`save`](Self::save) into freshly built
+    /// stations (same scenario, so counts, weights and policy types match).
+    pub(crate) fn load(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let n = reader.get_usize()?;
+        if n != self.len() {
+            return Err(SnapshotError::custom(format!(
+                "checkpoint has {n} stations, scenario built {}",
+                self.len()
+            )));
+        }
+        for node in 0..n {
+            self.hot[node].load(reader)?;
+            let name = reader.get_str()?;
+            if name != self.policy[node].name() {
+                return Err(SnapshotError::custom(format!(
+                    "station {node}: checkpoint policy {name:?} does not match built policy {:?}",
+                    self.policy[node].name()
+                )));
+            }
+            self.policy[node].load_state(reader)?;
+            self.rng[node] = reader.get_rng()?;
+        }
+        Ok(())
     }
 
     /// Whether the station is participating in the network.

@@ -606,3 +606,126 @@ fn airtime_accounts_every_attempt() {
     }
     assert!(stats.total_airtime() > SimDuration::ZERO);
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume
+// ---------------------------------------------------------------------------
+
+/// Run `straight` and `resumed` to `t_end` and assert they are observably
+/// bit-identical: same clock, same event count, same serialized statistics.
+fn assert_runs_identical(straight: &mut Simulator, resumed: &mut Simulator, t_end: SimTime) {
+    straight.run_until(t_end);
+    resumed.run_until(t_end);
+    assert_eq!(straight.now(), resumed.now());
+    assert_eq!(straight.events_processed(), resumed.events_processed());
+    assert_eq!(
+        serde_json::to_string(&straight.stats()).unwrap(),
+        serde_json::to_string(&resumed.stats()).unwrap(),
+    );
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical_saturated_dcf() {
+    let build = || {
+        SimulatorBuilder::new(PhyParams::table1(), Topology::fully_connected(8))
+            .seed(11)
+            .with_stations(|_, phy| ExponentialBackoff::new(phy))
+            .build()
+    };
+    let mut straight = build();
+    let mut source = build();
+    // An odd instant, generally inside a busy period.
+    source.run_until(SimTime::from_nanos(123_456_789));
+    let ckpt = source.checkpoint();
+    let mut resumed = build();
+    resumed.resume(&ckpt).unwrap();
+    assert_eq!(resumed.now(), source.now());
+    assert_runs_identical(&mut straight, &mut resumed, SimTime::from_millis(300));
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical_under_finite_load() {
+    let build = || {
+        SimulatorBuilder::new(PhyParams::table1(), Topology::fully_connected(6))
+            .seed(29)
+            .traffic(TrafficSpec::poisson(400.0).with_queue_frames(16))
+            .with_stations(|_, _| PPersistent::new(0.04))
+            .build()
+    };
+    let mut straight = build();
+    let mut source = build();
+    source.run_until(SimTime::from_nanos(87_654_321));
+    let ckpt = source.checkpoint();
+    let mut resumed = build();
+    resumed.resume(&ckpt).unwrap();
+    assert_runs_identical(&mut straight, &mut resumed, SimTime::from_millis(400));
+    assert_eq!(
+        straight.total_queued_frames(),
+        resumed.total_queued_frames()
+    );
+}
+
+#[test]
+fn checkpoint_survives_a_mid_run_measurement_reset() {
+    // Checkpoint *before* the warm-up reset; both runs reset at the same
+    // instant afterwards, so the measured stats must agree exactly.
+    let build = || {
+        SimulatorBuilder::new(PhyParams::table1(), Topology::fully_connected(4))
+            .seed(5)
+            .with_stations(|_, _| PPersistent::new(0.05))
+            .build()
+    };
+    let mut straight = build();
+    let mut source = build();
+    source.run_until(SimTime::from_millis(40));
+    let ckpt = source.checkpoint();
+    let mut resumed = build();
+    resumed.resume(&ckpt).unwrap();
+    assert_eq!(
+        resumed.measurement_started_at(),
+        source.measurement_started_at()
+    );
+    for sim in [&mut straight, &mut resumed] {
+        sim.run_until(SimTime::from_millis(100));
+        sim.reset_measurements();
+    }
+    assert_eq!(resumed.measurement_started_at(), SimTime::from_millis(100));
+    assert_runs_identical(&mut straight, &mut resumed, SimTime::from_millis(350));
+}
+
+#[test]
+fn resume_rejects_corrupt_and_mismatched_checkpoints() {
+    let build = |n: usize| {
+        SimulatorBuilder::new(PhyParams::table1(), Topology::fully_connected(n))
+            .seed(3)
+            .with_stations(|_, phy| ExponentialBackoff::new(phy))
+            .build()
+    };
+    let mut source = build(4);
+    source.run_until(SimTime::from_millis(10));
+    let ckpt = source.checkpoint();
+
+    // Truncation is an error, not a panic.
+    assert!(build(4).resume(&ckpt[..ckpt.len() / 2]).is_err());
+    // Garbage is rejected by the magic check.
+    assert!(build(4).resume(b"definitely not a checkpoint").is_err());
+    // A scenario with a different station count is rejected loudly.
+    let err = build(5).resume(&ckpt).unwrap_err();
+    assert!(err.to_string().contains("stations"), "{err}");
+}
+
+#[test]
+fn resume_rejects_checkpoints_from_a_different_policy() {
+    let mut source = SimulatorBuilder::new(PhyParams::table1(), Topology::fully_connected(3))
+        .seed(7)
+        .with_stations(|_, _| PPersistent::new(0.05))
+        .build();
+    source.run_until(SimTime::from_millis(5));
+    let ckpt = source.checkpoint();
+    let mut other = SimulatorBuilder::new(PhyParams::table1(), Topology::fully_connected(3))
+        .seed(7)
+        .with_stations(|_, phy| ExponentialBackoff::new(phy))
+        .build();
+    let err = other.resume(&ckpt).unwrap_err();
+    assert!(err.to_string().contains("policy"), "{err}");
+}

@@ -19,6 +19,7 @@ use crate::control::{ChannelObservation, ControlPayload};
 use crate::phy::PhyParams;
 use rand::Rng;
 use rand::RngCore;
+use wlan_des::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// Configuration of the IdleSense station policy.
 #[derive(Debug, Clone)]
@@ -155,6 +156,19 @@ impl BackoffPolicy for IdleSensePolicy {
 
     fn name(&self) -> &'static str {
         "idle-sense"
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) {
+        writer.put_f64(self.cw);
+        writer.put_u64(self.idle_slot_sum);
+        writer.put_u32(self.observed_transmissions);
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.cw = reader.get_f64()?;
+        self.idle_slot_sum = reader.get_u64()?;
+        self.observed_transmissions = reader.get_u32()?;
+        Ok(())
     }
 }
 

@@ -78,6 +78,12 @@ const _: () = {
     assert_send::<phy::PhyParams>();
 };
 
+/// The checkpoint codec (re-exported from the `wlan-des` kernel): the byte
+/// writer/reader pair used by [`Simulator::checkpoint`] /
+/// [`Simulator::resume`] and by the `save_state`/`load_state` hooks on
+/// [`BackoffPolicy`] and [`ApAlgorithm`].
+pub use wlan_des::snapshot;
+
 pub use ap::{ApAlgorithm, Controller, NullController};
 pub use backoff::{BackoffPolicy, Policy};
 pub use capture::CaptureModel;

@@ -36,6 +36,7 @@
 use crate::time::SimDuration;
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
+use wlan_des::snapshot::{SnapshotError, StateReader, StateWriter};
 
 /// A per-station frame arrival process.
 ///
@@ -219,6 +220,40 @@ impl ArrivalSampler {
             burst: None,
             started: false,
         })
+    }
+
+    /// Append the sampler's mutable state (the started flag and the MMPP
+    /// phase) to a checkpoint. The arrival process itself is build-time
+    /// configuration and is reconstructed from the scenario.
+    pub fn save_state(&self, writer: &mut StateWriter) {
+        writer.put_bool(self.started);
+        match self.burst {
+            None => writer.put_u8(0),
+            Some(Burst::On { remaining }) => {
+                writer.put_u8(1);
+                writer.put_duration(remaining);
+            }
+            Some(Burst::Off { remaining }) => {
+                writer.put_u8(2);
+                writer.put_duration(remaining);
+            }
+        }
+    }
+
+    /// Restore state written by [`save_state`](Self::save_state).
+    pub fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.started = reader.get_bool()?;
+        self.burst = match reader.get_u8()? {
+            0 => None,
+            1 => Some(Burst::On {
+                remaining: reader.get_duration()?,
+            }),
+            2 => Some(Burst::Off {
+                remaining: reader.get_duration()?,
+            }),
+            tag => return Err(SnapshotError::custom(format!("unknown Burst tag {tag}"))),
+        };
+        Ok(())
     }
 
     /// Delay until the next frame arrival.

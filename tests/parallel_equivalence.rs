@@ -6,7 +6,8 @@
 //! on, scaled down to test size.
 
 use wlan_sa::core::{
-    run_seeds_parallel, Campaign, Protocol, Scenario, ScenarioResult, TopologySpec,
+    run_scenarios_cached, run_seeds_parallel, Campaign, Protocol, ResultCache, Scenario,
+    ScenarioResult, TopologySpec,
 };
 use wlan_sa::sim::SimDuration;
 
@@ -54,6 +55,48 @@ fn campaign_reports_are_identical_across_thread_counts() {
     let a = serde_json::to_string(&campaign().threads(1).run().report()).unwrap();
     let b = serde_json::to_string(&campaign().threads(8).run().report()).unwrap();
     assert_eq!(a, b);
+}
+
+/// Warm-cache equivalence, the property the incremental `repro_all` rerun
+/// relies on: running the same job list through the content-addressed cache a
+/// second time must execute **zero** engine jobs (every lookup hits) and
+/// serialise byte-identically to the cold pass — even when the warm pass uses
+/// a different thread count, since nothing about the execution environment
+/// enters the cache key.
+#[test]
+fn warm_cache_second_pass_runs_zero_engine_jobs() {
+    let dir = std::env::temp_dir().join(format!("wlan_warm_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let jobs = campaign().jobs();
+    assert!(!jobs.is_empty());
+
+    let cache = ResultCache::open(&dir).expect("open cache");
+    let cold = run_scenarios_cached(&jobs, 1, &cache);
+    assert_eq!(
+        cache.stats().misses,
+        jobs.len() as u64,
+        "the cold pass computes every job"
+    );
+    assert_eq!(cache.stats().hits, 0);
+
+    let warm = run_scenarios_cached(&jobs, 8, &cache);
+    assert_eq!(
+        cache.stats().hits,
+        jobs.len() as u64,
+        "the warm pass must be served entirely from the cache"
+    );
+    assert_eq!(
+        cache.stats().misses,
+        jobs.len() as u64,
+        "the warm pass must not re-execute any engine job"
+    );
+    let a = serde_json::to_string(&cold).expect("serialise cold");
+    let b = serde_json::to_string(&warm).expect("serialise warm");
+    assert_eq!(
+        a, b,
+        "cached results are not byte-identical to computed ones"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// `run_seeds_parallel` is the narrow entry point `run_seeds` is rewired

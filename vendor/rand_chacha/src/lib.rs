@@ -86,6 +86,34 @@ fn bump_counter(state: &mut [u32; BLOCK_WORDS]) {
 }
 
 impl ChaCha8Rng {
+    /// Number of `u32` words in the cipher input state.
+    pub const STATE_WORDS: usize = BLOCK_WORDS;
+    /// Number of `u32` words in the buffered keystream batch.
+    pub const BUFFER_WORDS: usize = BUF_WORDS;
+
+    /// Capture the complete generator state — cipher input, buffered
+    /// keystream batch and consumption index — as plain words.
+    ///
+    /// Together with [`ChaCha8Rng::from_state`] this allows a generator to be
+    /// serialized and restored at its exact stream position, which the
+    /// simulation-checkpoint layer relies on: a restored generator must
+    /// produce the identical word sequence the original would have.
+    pub fn state(&self) -> ([u32; 16], [u32; 64], usize) {
+        (self.state, self.block, self.index)
+    }
+
+    /// Rebuild a generator from a state captured by [`ChaCha8Rng::state`].
+    ///
+    /// `index` is clamped to the buffer length; any value at or beyond it
+    /// simply forces a refill on the next draw, exactly like a fresh seed.
+    pub fn from_state(state: [u32; 16], block: [u32; 64], index: usize) -> Self {
+        ChaCha8Rng {
+            state,
+            block,
+            index: index.min(BUF_WORDS),
+        }
+    }
+
     fn refill(&mut self) {
         // Generate BATCH_BLOCKS consecutive blocks into the buffer. The
         // intermediate counter states are tiny copies; the block mixes are
@@ -222,6 +250,19 @@ mod tests {
                     "seed {seed} word {i}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn state_round_trip_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..53 {
+            a.next_u32();
+        }
+        let (state, block, index) = a.state();
+        let mut b = ChaCha8Rng::from_state(state, block, index);
+        for _ in 0..BUF_WORDS * 3 {
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 
