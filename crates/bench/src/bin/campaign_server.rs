@@ -1,6 +1,6 @@
 //! Campaign service mode: read a job-spec JSON document on stdin, schedule
-//! the jobs over a worker pool, and stream one JSON result line per job (in
-//! input order) on stdout.
+//! the jobs over a **supervised** worker pool, and stream one JSON line per
+//! job (in input order) on stdout.
 //!
 //! Long jobs are **checkpointed** at a configurable simulated-time cadence —
 //! `Simulator::checkpoint` snapshots the full DES state to
@@ -9,12 +9,36 @@
 //! jobs land in the content-addressed result cache (see `wlan_core::cache`),
 //! so re-submitting a spec recomputes only the jobs whose inputs changed.
 //!
+//! ## Supervision
+//!
+//! The server is built to run unattended for days:
+//!
+//! * **Panic isolation** — every job runs under `catch_unwind`; a panicking
+//!   job is retried (deterministic backoff, `WLAN_JOB_RETRIES` budget) and,
+//!   if it keeps panicking, emitted as an error line instead of tearing the
+//!   pool down.
+//! * **Wall-clock timeout** — `job_timeout_secs` (spec key, or the
+//!   `WLAN_JOB_TIMEOUT_SECS` environment variable): a job exceeding it is
+//!   snapshotted and **requeued**, so a pathological cell cannot pin a
+//!   worker forever. Each claim makes simulated-time progress, so requeued
+//!   jobs still terminate.
+//! * **Graceful drain** — on SIGTERM/SIGINT the pool stops claiming,
+//!   in-flight jobs snapshot and stop at the next slice boundary, the
+//!   summary line reports the drained count, and the process exits 0. A
+//!   rerun with `--resume` continues bit-identically.
+//! * **Degraded cache** — an unopenable cache directory, or a failing store,
+//!   logs one warning and the campaign continues compute-only.
+//! * **Fault injection** — `WLAN_FAULT_PLAN` (see `wlan_core::fault`)
+//!   deterministically trips cache/checkpoint/panic/stall sites for chaos
+//!   testing.
+//!
 //! ## Job spec
 //!
 //! ```json
 //! {
 //!   "threads": 4,
 //!   "checkpoint_sim_secs": 30.0,
+//!   "job_timeout_secs": 900.0,
 //!   "cache_dir": "results/.cache",
 //!   "checkpoint_dir": "results/.checkpoints",
 //!   "jobs": [
@@ -30,7 +54,8 @@
 //! the corresponding [`Scenario`] default (same names and encodings as the
 //! scenario's own JSON serialisation — durations are nanosecond integers;
 //! unknown keys are rejected). All top-level keys except `jobs` are
-//! optional.
+//! optional. A job that fails to parse or validate yields a per-job error
+//! line; it never aborts the other jobs.
 //!
 //! ## Output protocol
 //!
@@ -38,24 +63,56 @@
 //!
 //! ```json
 //! {"job": 0, "key": "<32-hex>", "cached": false, "resumed": false, "result": {...}}
+//! {"job": 1, "error": "invalid scenario: ..."}
 //! ```
 //!
-//! followed by a summary line `{"jobs": N, "cache_hits": H, "cache_misses": M}`.
-//! Diagnostics go to stderr.
+//! followed by a summary line
+//! `{"jobs": N, "completed": X, "errors": E, "drained": D, "cache_hits": H, "cache_misses": M}`.
+//! Drained jobs (in-flight or never claimed when a signal arrived) emit no
+//! per-job line — they are jobs a `--resume` rerun will finish. Diagnostics
+//! go to stderr.
 //!
 //! ## Flags
 //!
 //! * `--resume` — load `<key>.ckpt` snapshots left by an interrupted run.
 //! * `--no-cache` — bypass the result cache (jobs still checkpoint).
 //! * `--threads N` — override the spec's worker count.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use serde::{Deserialize, Serialize, Value};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::Read as _;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use wlan_core::{job_key, ResultCache, Scenario, ScenarioResult};
-use wlan_sim::SimDuration;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+use wlan_core::fault::{self, FaultSite};
+use wlan_core::{job_key, max_job_attempts, ResultCache, Scenario, ScenarioResult};
+use wlan_sim::{SimDuration, Simulator};
+
+/// Set by the SIGTERM/SIGINT handler: workers stop claiming, in-flight jobs
+/// snapshot at the next slice boundary and report [`Status::Drained`].
+static DRAINING: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    DRAINING.store(true, Ordering::SeqCst);
+}
+
+/// Install the drain handler for SIGTERM and SIGINT. Raw `signal(2)` —
+/// setting a sig-atomic flag is the only async-signal-safe thing we do.
+fn install_signal_handlers() {
+    #[allow(non_camel_case_types)]
+    type sighandler_t = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: sighandler_t) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
 
 /// A parsed job plus its cache key.
 struct Job {
@@ -63,18 +120,56 @@ struct Job {
     key: String,
 }
 
-/// What happened to one job.
+/// What happened to one job that produced a result.
 struct Outcome {
     result: ScenarioResult,
     cached: bool,
     resumed: bool,
 }
 
-/// Checkpointing configuration shared by all workers.
+/// Terminal status of one job slot, sent to the in-order emitter.
+enum Status {
+    /// The job finished (fresh, cached, or resumed) — emits a result line.
+    Done(Box<Outcome>),
+    /// The job failed permanently — emits `{"job":i,"error":...}`.
+    Failed(String),
+    /// A drain interrupted the job after its snapshot was flushed — no line;
+    /// a `--resume` rerun finishes it.
+    Drained,
+}
+
+/// One entry of the work queue. `claims` counts timeout requeues (and keys
+/// the `worker_stall` fault site), `panics` counts panicking attempts (and
+/// keys `job_panic`), and `resume` says whether to look for a snapshot.
+struct WorkItem {
+    index: usize,
+    claims: u32,
+    panics: u32,
+    resume: bool,
+}
+
+/// What a worker should do with a claimed item.
+enum Disposition {
+    Done(Box<Outcome>),
+    /// Panicked with retry budget left: back off and requeue.
+    Retry,
+    /// Wall-clock timeout: snapshot written, requeue for another claim.
+    Requeue,
+    Drained,
+    Failed(String),
+}
+
+/// Checkpointing configuration shared by all workers (whether to *resume*
+/// from a snapshot is per-claim state, carried by [`WorkItem`]).
 struct CheckpointPolicy {
     dir: PathBuf,
     every: Option<SimDuration>,
-    resume: bool,
+}
+
+/// Supervision limits shared by all workers.
+struct Limits {
+    attempts: u32,
+    timeout: Option<Duration>,
 }
 
 fn fail(msg: impl std::fmt::Display) -> ! {
@@ -95,11 +190,22 @@ fn as_f64(v: &Value) -> Option<f64> {
     }
 }
 
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Build a [`Scenario`] from a job map: `protocol` / `topology` / `n` are
 /// required, every other entry overrides the matching field of the default
 /// scenario (validated by round-tripping the merged map through the
 /// scenario's own deserialiser, so a typo'd key or a mistyped value is a
-/// hard error, not a silently ignored one).
+/// hard error, not a silently ignored one), and the merged scenario must
+/// pass [`Scenario::validate`].
 fn parse_job(value: &Value) -> Result<Scenario, String> {
     let Value::Map(entries) = value else {
         return Err("job must be a JSON object".to_string());
@@ -126,27 +232,54 @@ fn parse_job(value: &Value) -> Result<Scenario, String> {
             None => return Err(format!("unknown scenario field `{key}`")),
         }
     }
-    Scenario::from_value(&Value::Map(merged)).map_err(|e| e.to_string())
+    let scenario = Scenario::from_value(&Value::Map(merged)).map_err(|e| e.to_string())?;
+    scenario
+        .validate()
+        .map_err(|e| format!("invalid scenario: {e}"))?;
+    Ok(scenario)
 }
 
-/// Run one job to completion, consulting the cache first and checkpointing
-/// at the policy's cadence. The result is bit-identical whether the job ran
-/// straight through, resumed from a snapshot, or came from the cache.
-fn run_job(job: &Job, cache: Option<&ResultCache>, ckpt: &CheckpointPolicy) -> Outcome {
-    if let Some(cache) = cache {
-        if let Some(result) = cache.lookup(&job.key) {
-            return Outcome {
-                result,
-                cached: true,
-                resumed: false,
-            };
-        }
+/// Write a snapshot of `sim` to `path` (temp file + rename). `ordinal`
+/// counts this job's snapshot writes and keys the `checkpoint_write` fault
+/// site; a failed write — real or injected — is a warning, never an abort:
+/// the job keeps running and simply has a staler resume point.
+fn write_snapshot(sim: &Simulator, path: &Path, key: &str, ordinal: &mut u32) {
+    let attempt = *ordinal;
+    *ordinal += 1;
+    if fault::trips(FaultSite::CheckpointWrite, key, attempt) {
+        eprintln!(
+            "campaign_server: cannot write snapshot {}: injected fault: checkpoint_write",
+            path.display()
+        );
+        return;
     }
+    let tmp = path.with_extension("ckpt.tmp");
+    let write = std::fs::write(&tmp, sim.checkpoint()).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = write {
+        eprintln!(
+            "campaign_server: cannot write snapshot {}: {e}",
+            path.display()
+        );
+    }
+}
+
+/// Advance one job in slices, supervising between slices: a drain request
+/// snapshots and stops, a wall-clock timeout snapshots and requeues, and the
+/// periodic checkpoint cadence (if any) snapshots and continues. The result
+/// of a completed job is bit-identical however many slices, snapshots,
+/// resumes or requeues it took (the `advance_until` contract).
+fn advance_job(
+    job: &Job,
+    cache: Option<&ResultCache>,
+    ckpt: &CheckpointPolicy,
+    item: &WorkItem,
+    limits: &Limits,
+) -> Disposition {
     let scenario = &job.scenario;
     let mut sim = scenario.build_simulator();
     let mut resumed = false;
     let path = ckpt.dir.join(format!("{}.ckpt", job.key));
-    if ckpt.resume {
+    if item.resume {
         if let Ok(bytes) = std::fs::read(&path) {
             if sim.resume(&bytes).is_ok() {
                 resumed = true;
@@ -162,41 +295,164 @@ fn run_job(job: &Job, cache: Option<&ResultCache>, ckpt: &CheckpointPolicy) -> O
         }
     }
     let end = scenario.end_time();
-    match ckpt.every {
-        Some(every) => {
-            while sim.now() < end {
-                let next = (sim.now() + every).min(end);
-                scenario.advance_until(&mut sim, next);
-                if sim.now() < end {
-                    let tmp = ckpt.dir.join(format!("{}.ckpt.tmp", job.key));
-                    let write = std::fs::write(&tmp, sim.checkpoint())
-                        .and_then(|()| std::fs::rename(&tmp, &path));
-                    if let Err(e) = write {
-                        eprintln!(
-                            "campaign_server: cannot write snapshot {}: {e}",
-                            path.display()
-                        );
-                    }
-                }
+    // Supervision needs slice boundaries even without periodic snapshots.
+    let slice = ckpt.every.unwrap_or(SimDuration::from_secs(1));
+    let claimed = Instant::now();
+    let mut writes = 0u32;
+    while sim.now() < end {
+        let next = (sim.now() + slice).min(end);
+        scenario.advance_until(&mut sim, next);
+        if sim.now() >= end {
+            break;
+        }
+        if DRAINING.load(Ordering::SeqCst) {
+            write_snapshot(&sim, &path, &job.key, &mut writes);
+            return Disposition::Drained;
+        }
+        if let Some(timeout) = limits.timeout {
+            // The slice above made simulated-time progress, so requeueing
+            // still terminates: every claim moves the job forward.
+            if claimed.elapsed() >= timeout {
+                write_snapshot(&sim, &path, &job.key, &mut writes);
+                return Disposition::Requeue;
             }
         }
-        None => scenario.advance_until(&mut sim, end),
+        if ckpt.every.is_some() {
+            write_snapshot(&sim, &path, &job.key, &mut writes);
+        }
     }
     let result = scenario.collect(&sim);
     if let Some(cache) = cache {
         if let Err(e) = cache.store(&job.key, &result) {
-            eprintln!("campaign_server: cannot store result {}: {e}", job.key);
+            cache.note_degraded(&job.key, &e);
         }
     }
     let _ = std::fs::remove_file(&path);
-    Outcome {
+    Disposition::Done(Box::new(Outcome {
         result,
         cached: false,
         resumed,
+    }))
+}
+
+/// Run one claim of one job under supervision: cache short-circuit, injected
+/// worker stall, and panic isolation with a bounded retry budget.
+fn run_job(
+    job: &Job,
+    cache: Option<&ResultCache>,
+    ckpt: &CheckpointPolicy,
+    item: &WorkItem,
+    limits: &Limits,
+) -> Disposition {
+    let plan = fault::active();
+    if let Some(plan) = plan.as_deref() {
+        if plan.should_fault(FaultSite::WorkerStall, &job.key, item.claims) {
+            std::thread::sleep(plan.stall());
+        }
+    }
+    if let Some(cache) = cache {
+        if let Some(result) = cache.lookup(&job.key) {
+            return Disposition::Done(Box::new(Outcome {
+                result,
+                cached: true,
+                resumed: false,
+            }));
+        }
+    }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(plan) = plan.as_deref() {
+            if plan.should_fault(FaultSite::JobPanic, &job.key, item.panics) {
+                panic!(
+                    "injected fault: job_panic (job {}, attempt {})",
+                    item.index, item.panics
+                );
+            }
+        }
+        advance_job(job, cache, ckpt, item, limits)
+    }));
+    match outcome {
+        Ok(disposition) => disposition,
+        Err(payload) => {
+            let message = panic_message(payload);
+            if item.panics + 1 < limits.attempts {
+                eprintln!(
+                    "campaign_server: job {} panicked (attempt {}/{}): {message} — retrying",
+                    item.index,
+                    item.panics + 1,
+                    limits.attempts
+                );
+                Disposition::Retry
+            } else {
+                Disposition::Failed(format!(
+                    "job panicked on all {} attempts: {message}",
+                    limits.attempts
+                ))
+            }
+        }
+    }
+}
+
+/// Emit `{"job":i,"error":...}` on stdout (stderr fallback if even that line
+/// cannot be serialised).
+fn emit_error_line(index: usize, error: &str) {
+    let line = Value::Map(vec![
+        ("job".to_string(), Value::U64(index as u64)),
+        ("error".to_string(), Value::Str(error.to_string())),
+    ]);
+    match serde_json::to_string(&line) {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("campaign_server: job {index}: {error} (error line unserialisable: {e})")
+        }
+    }
+}
+
+/// Emit the line (or no line, for a drained slot) for one finished job,
+/// updating the summary counters.
+fn emit_status(
+    index: usize,
+    status: Status,
+    jobs: &[Result<Job, String>],
+    completed: &mut u64,
+    errors: &mut u64,
+) {
+    match status {
+        Status::Done(outcome) => {
+            let key = match &jobs[index] {
+                Ok(job) => job.key.clone(),
+                Err(_) => unreachable!("only parsed jobs produce results"),
+            };
+            let line = Value::Map(vec![
+                ("job".to_string(), Value::U64(index as u64)),
+                ("key".to_string(), Value::Str(key)),
+                ("cached".to_string(), Value::Bool(outcome.cached)),
+                ("resumed".to_string(), Value::Bool(outcome.resumed)),
+                ("result".to_string(), outcome.result.to_value()),
+            ]);
+            match serde_json::to_string(&line) {
+                Ok(text) => {
+                    println!("{text}");
+                    *completed += 1;
+                }
+                Err(e) => {
+                    emit_error_line(index, &format!("cannot serialise result: {e}"));
+                    *errors += 1;
+                }
+            }
+        }
+        Status::Failed(error) => {
+            emit_error_line(index, &error);
+            *errors += 1;
+        }
+        Status::Drained => {}
     }
 }
 
 fn main() {
+    install_signal_handlers();
+    if fault::install_from_env().is_some() {
+        eprintln!("campaign_server: WLAN_FAULT_PLAN active — injecting deterministic faults");
+    }
     let args: Vec<String> = std::env::args().collect();
     let resume = args.iter().any(|a| a == "--resume");
     let no_cache = args.iter().any(|a| a == "--no-cache");
@@ -244,41 +500,64 @@ fn main() {
         .and_then(as_f64)
         .filter(|&s| s > 0.0)
         .map(SimDuration::from_secs_f64);
+    let timeout = opt(spec, "job_timeout_secs")
+        .and_then(as_f64)
+        .or_else(|| {
+            std::env::var("WLAN_JOB_TIMEOUT_SECS")
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+        })
+        .filter(|&s| s > 0.0)
+        .map(Duration::from_secs_f64);
 
-    let jobs: Vec<Job> = jobs_value
+    // A job that fails to parse or validate occupies an error slot; the
+    // healthy jobs run regardless.
+    let jobs: Vec<Result<Job, String>> = jobs_value
         .iter()
-        .enumerate()
-        .map(|(i, v)| match parse_job(v) {
-            Ok(scenario) => {
+        .map(|v| {
+            parse_job(v).map(|scenario| {
                 let key = job_key(&scenario);
                 Job { scenario, key }
-            }
-            Err(e) => fail(format!("job {i}: {e}")),
+            })
         })
         .collect();
 
+    // An unopenable cache directory degrades to compute-only; it must not
+    // abort a campaign that would succeed without caching.
     let cache = if no_cache {
         None
     } else {
         match ResultCache::open(&cache_dir) {
             Ok(cache) => Some(cache),
-            Err(e) => fail(format!("cannot open cache directory {cache_dir}: {e}")),
+            Err(e) => {
+                eprintln!(
+                    "campaign_server: warning: cannot open cache directory {cache_dir} ({e}) — \
+                     running compute-only"
+                );
+                None
+            }
         }
     };
     if let Err(e) = std::fs::create_dir_all(&checkpoint_dir) {
-        fail(format!(
-            "cannot create checkpoint directory {checkpoint_dir}: {e}"
-        ));
+        eprintln!(
+            "campaign_server: warning: cannot create checkpoint directory {checkpoint_dir} ({e}) \
+             — snapshots will fail"
+        );
     }
     let ckpt = CheckpointPolicy {
         dir: PathBuf::from(&checkpoint_dir),
         every,
-        resume,
     };
+    let limits = Limits {
+        attempts: max_job_attempts(),
+        timeout,
+    };
+    let parse_errors = jobs.iter().filter(|j| j.is_err()).count();
     eprintln!(
-        "campaign_server: {} job{} on {} thread{}, cache {}, checkpoints in {}{}",
+        "campaign_server: {} job{} ({} invalid) on {} thread{}, cache {}, checkpoints in {}{}{}",
         jobs.len(),
         if jobs.len() == 1 { "" } else { "s" },
+        parse_errors,
         threads,
         if threads == 1 { "" } else { "s" },
         match &cache {
@@ -290,57 +569,134 @@ fn main() {
             Some(d) => format!(" every {} sim-s", d.as_secs_f64()),
             None => " (final state only; no periodic snapshots)".to_string(),
         },
+        match limits.timeout {
+            Some(t) => format!(", job timeout {:.1}s", t.as_secs_f64()),
+            None => String::new(),
+        },
     );
 
-    // Workers claim jobs by atomic counter; the main thread re-serialises the
-    // completions into input order so the stream is deterministic.
-    let next_job = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Outcome)>();
+    // Workers pop WorkItems from a requeue-capable deque; the main thread
+    // re-serialises the completions into input order so the stream is
+    // deterministic. Parse failures are injected as pre-finished slots.
+    let queue: Mutex<VecDeque<WorkItem>> = Mutex::new(
+        jobs.iter()
+            .enumerate()
+            .filter(|(_, j)| j.is_ok())
+            .map(|(index, _)| WorkItem {
+                index,
+                claims: 0,
+                panics: 0,
+                resume,
+            })
+            .collect(),
+    );
+    let runnable = jobs.len() - parse_errors;
+    let (tx, rx) = mpsc::channel::<(usize, Status)>();
+    for (i, job) in jobs.iter().enumerate() {
+        if let Err(e) = job {
+            let _ = tx.send((i, Status::Failed(e.clone())));
+        }
+    }
+    let mut completed = 0u64;
+    let mut errors = 0u64;
     let cache_ref = cache.as_ref();
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(jobs.len()) {
+        for _ in 0..threads.min(runnable.max(1)) {
             let tx = tx.clone();
             let jobs = &jobs;
-            let next_job = &next_job;
+            let queue = &queue;
             let ckpt = &ckpt;
+            let limits = &limits;
             scope.spawn(move || loop {
-                let i = next_job.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                if tx.send((i, run_job(job, cache_ref, ckpt))).is_err() {
-                    break;
+                if DRAINING.load(Ordering::SeqCst) {
+                    break; // stop claiming; unclaimed items count as drained
+                }
+                let item = queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .pop_front();
+                let Some(mut item) = item else { break };
+                let Ok(job) = &jobs[item.index] else {
+                    unreachable!("only parsed jobs are queued");
+                };
+                match run_job(job, cache_ref, ckpt, &item, limits) {
+                    Disposition::Done(outcome) => {
+                        let _ = tx.send((item.index, Status::Done(outcome)));
+                    }
+                    Disposition::Failed(error) => {
+                        let _ = tx.send((item.index, Status::Failed(error)));
+                    }
+                    Disposition::Drained => {
+                        let _ = tx.send((item.index, Status::Drained));
+                    }
+                    Disposition::Retry => {
+                        // Deterministic bounded backoff (wall-clock only; a
+                        // retry is a pure re-execution of the job).
+                        std::thread::sleep(Duration::from_millis(
+                            (1u64 << item.panics.min(6)).min(50),
+                        ));
+                        item.panics += 1;
+                        item.resume = true;
+                        queue
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push_back(item);
+                    }
+                    Disposition::Requeue => {
+                        eprintln!(
+                            "campaign_server: job {} hit its wall-clock timeout — snapshotted \
+                             and requeued (claim {})",
+                            item.index,
+                            item.claims + 1
+                        );
+                        item.claims += 1;
+                        item.resume = true;
+                        queue
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push_back(item);
+                    }
                 }
             });
         }
         drop(tx);
-        let mut pending = std::collections::BTreeMap::new();
+        let mut pending: BTreeMap<usize, Status> = BTreeMap::new();
         let mut emit_next = 0usize;
-        for (i, outcome) in rx {
-            pending.insert(i, outcome);
-            while let Some(outcome) = pending.remove(&emit_next) {
-                let line = Value::Map(vec![
-                    ("job".to_string(), Value::U64(emit_next as u64)),
-                    ("key".to_string(), Value::Str(jobs[emit_next].key.clone())),
-                    ("cached".to_string(), Value::Bool(outcome.cached)),
-                    ("resumed".to_string(), Value::Bool(outcome.resumed)),
-                    ("result".to_string(), outcome.result.to_value()),
-                ]);
-                println!(
-                    "{}",
-                    serde_json::to_string(&line).expect("serialise result line")
-                );
+        for (i, status) in rx {
+            pending.insert(i, status);
+            while let Some(status) = pending.remove(&emit_next) {
+                emit_status(emit_next, status, &jobs, &mut completed, &mut errors);
                 emit_next += 1;
             }
         }
+        // A drain leaves gaps (unclaimed jobs send nothing): flush whatever
+        // finished out of order, still ascending by index.
+        for (i, status) in pending {
+            emit_status(i, status, &jobs, &mut completed, &mut errors);
+        }
     });
 
+    let drained = jobs.len() as u64 - completed - errors;
     let stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
     let summary = Value::Map(vec![
         ("jobs".to_string(), Value::U64(jobs.len() as u64)),
+        ("completed".to_string(), Value::U64(completed)),
+        ("errors".to_string(), Value::U64(errors)),
+        ("drained".to_string(), Value::U64(drained)),
         ("cache_hits".to_string(), Value::U64(stats.hits)),
         ("cache_misses".to_string(), Value::U64(stats.misses)),
     ]);
-    println!(
-        "{}",
-        serde_json::to_string(&summary).expect("serialise summary line")
-    );
+    match serde_json::to_string(&summary) {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("campaign_server: cannot serialise summary line: {e}");
+            std::process::exit(1);
+        }
+    }
+    if drained > 0 {
+        eprintln!(
+            "campaign_server: drained with {drained} job(s) unfinished — rerun with --resume to \
+             continue from the flushed snapshots"
+        );
+    }
 }

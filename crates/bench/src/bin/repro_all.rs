@@ -19,6 +19,7 @@ use wlan_core::CacheStats;
 fn main() {
     let cfg = RunConfig::from_env();
     let cache = cfg.install_cache();
+    let faults = cfg.install_faults();
     println!(
         "Reproducing all experiments in {} mode on {} thread{} (results in {}, cache {})\n",
         if cfg.quick { "QUICK" } else { "FULL" },
@@ -30,6 +31,12 @@ fn main() {
             None => "disabled".to_string(),
         },
     );
+    if let Some(plan) = &faults {
+        println!(
+            "CHAOS MODE: fault plan seed {} active — results below are a robustness run\n",
+            plan.seed()
+        );
+    }
     type Experiment = fn(&RunConfig) -> String;
     let experiments: Vec<(&str, Experiment)> = vec![
         ("table1", ex::table1),

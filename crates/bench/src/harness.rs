@@ -95,6 +95,18 @@ impl RunConfig {
         }
     }
 
+    /// Install the deterministic fault plan from `WLAN_FAULT_PLAN`, if set
+    /// (chaos experiments on the repro binaries; a no-op otherwise). Reports
+    /// the active plan on stderr so a chaos run is visible in the logs.
+    pub fn install_faults(&self) -> Option<std::sync::Arc<wlan_core::FaultPlan>> {
+        let plan = wlan_core::fault::install_from_env()?;
+        eprintln!(
+            "harness: WLAN_FAULT_PLAN active (seed {}) — injecting deterministic faults",
+            plan.seed()
+        );
+        Some(plan)
+    }
+
     /// Seeds to average over.
     pub fn seeds(&self) -> Vec<u64> {
         if self.quick {

@@ -40,7 +40,18 @@
 //! ran: library users and tests are unaffected by default. For explicit
 //! control (and for tests) use [`crate::run_scenarios_cached`] with a local
 //! [`ResultCache`].
+//!
+//! ## Degradation
+//!
+//! The cache is an accelerator, never a dependency: any failed read is a
+//! miss (the job recomputes), and the first failed store flips the handle
+//! into *degraded* mode — one warning on stderr, then compute-only
+//! operation from the caller's side. The deterministic fault injector
+//! ([`crate::fault`]) can trip the `cache_read` / `cache_write` sites to
+//! exercise exactly these paths.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use crate::fault::{self, FaultSite};
 use crate::scenario::{Scenario, ScenarioResult};
 use serde::{Deserialize, Serialize, Value};
 use std::path::{Path, PathBuf};
@@ -73,6 +84,7 @@ pub struct ResultCache {
     dir: PathBuf,
     hits: AtomicU64,
     misses: AtomicU64,
+    store_failures: AtomicU64,
 }
 
 impl ResultCache {
@@ -84,6 +96,7 @@ impl ResultCache {
             dir,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            store_failures: AtomicU64::new(0),
         })
     }
 
@@ -109,6 +122,12 @@ impl ResultCache {
     /// truncated or hand-edited file — counts as a miss and leaves the entry
     /// to be overwritten by the recompute's [`store`](Self::store).
     pub fn lookup(&self, key: &str) -> Option<ScenarioResult> {
+        // An injected cache_read fault models a read I/O error, which — like
+        // every other read failure — is simply a miss.
+        if fault::trips(FaultSite::CacheRead, key, 0) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         match self.read_verified(key) {
             Some(result) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -146,6 +165,11 @@ impl ResultCache {
     /// Store `result` under `key` (atomic temp-file + rename; an existing
     /// entry — e.g. a corrupt one that just missed — is replaced).
     pub fn store(&self, key: &str, result: &ScenarioResult) -> std::io::Result<()> {
+        if fault::trips(FaultSite::CacheWrite, key, 0) {
+            return Err(std::io::Error::other(format!(
+                "injected fault: cache_write (key {key})"
+            )));
+        }
         let result_value = result.to_value();
         let entry = Value::Map(vec![
             ("key".to_string(), Value::Str(key.to_string())),
@@ -164,6 +188,31 @@ impl ResultCache {
         let tmp = self.dir.join(format!("{key}.json.tmp"));
         std::fs::write(&tmp, text)?;
         std::fs::rename(&tmp, self.entry_path(key))
+    }
+
+    /// Record a failed [`store`](Self::store): the first failure per handle
+    /// logs one warning on stderr (read-only directory, disk full, injected
+    /// `cache_write` fault — all look the same here); later failures are
+    /// counted silently. Campaigns call this instead of aborting, so a broken
+    /// cache degrades to compute-only.
+    pub fn note_degraded(&self, key: &str, err: &std::io::Error) {
+        if self.store_failures.fetch_add(1, Ordering::Relaxed) == 0 {
+            eprintln!(
+                "warning: result cache at {} is unwritable ({err}) — \
+                 continuing compute-only (first failed key: {key})",
+                self.dir.display()
+            );
+        }
+    }
+
+    /// Whether any store through this handle has failed (degraded mode).
+    pub fn degraded(&self) -> bool {
+        self.store_failures.load(Ordering::Relaxed) > 0
+    }
+
+    /// Number of failed stores recorded via [`note_degraded`](Self::note_degraded).
+    pub fn store_failures(&self) -> u64 {
+        self.store_failures.load(Ordering::Relaxed)
     }
 }
 
@@ -254,7 +303,12 @@ static GLOBAL: OnceLock<ResultCache> = OnceLock::new();
 /// existing global in place and returns it.
 pub fn install(cache: ResultCache) -> &'static ResultCache {
     let _ = GLOBAL.set(cache);
-    GLOBAL.get().expect("global cache was just installed")
+    match GLOBAL.get() {
+        Some(cache) => cache,
+        // `set` either succeeded or found the cell already populated; a
+        // populated OnceLock can never read back empty.
+        None => unreachable!("global cache was just installed"),
+    }
 }
 
 /// The process-global cache, if one was installed.
@@ -263,19 +317,29 @@ pub fn installed() -> Option<&'static ResultCache> {
 }
 
 /// Install the global cache from the `WLAN_CACHE_DIR` environment variable
-/// (no-op returning `None` when unset or unopenable; an already installed
-/// global wins as in [`install`]).
+/// (no-op returning `None` when unset; an already installed global wins as
+/// in [`install`]). An unopenable directory logs one warning and returns
+/// `None` — the campaign runs compute-only instead of aborting.
 pub fn install_from_env() -> Option<&'static ResultCache> {
     if let Some(cache) = installed() {
         return Some(cache);
     }
     let dir = std::env::var("WLAN_CACHE_DIR").ok()?;
-    ResultCache::open(dir).ok().map(install)
+    match ResultCache::open(&dir) {
+        Ok(cache) => Some(install(cache)),
+        Err(e) => {
+            eprintln!("warning: WLAN_CACHE_DIR={dir} is unusable ({e}) — running without cache");
+            None
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
+    use crate::fault::FaultPlan;
     use crate::protocol::Protocol;
     use crate::scenario::TopologySpec;
 
@@ -328,5 +392,54 @@ mod tests {
             job_key_with_fingerprint(&s, "wlan-engine/1"),
             job_key_with_fingerprint(&s, "wlan-engine/2")
         );
+    }
+
+    #[test]
+    fn open_on_a_regular_file_path_is_an_error() {
+        let path = std::env::temp_dir().join(format!("wlan_cache_file_{}", std::process::id()));
+        std::fs::write(&path, "not a directory").unwrap();
+        assert!(ResultCache::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_write_fault_fails_store_and_read_fault_forces_miss() {
+        let dir = std::env::temp_dir().join(format!("wlan_cache_fault_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let s = scenario();
+        let result = s.run();
+        let key = job_key(&s);
+
+        {
+            let _guard = crate::fault::scoped(
+                FaultPlan::builder(3)
+                    .site(FaultSite::CacheWrite, 1.0, None)
+                    .build(),
+            );
+            let err = cache
+                .store(&key, &result)
+                .expect_err("write fault must trip");
+            assert!(err.to_string().contains("injected fault"));
+            assert!(!cache.degraded(), "store() itself never flips degradation");
+            cache.note_degraded(&key, &err);
+            cache.note_degraded(&key, &err);
+            assert!(cache.degraded());
+            assert_eq!(cache.store_failures(), 2, "counted, warned once");
+        }
+
+        // Fault cleared: the store lands and a read fault then hides it.
+        cache.store(&key, &result).unwrap();
+        assert!(cache.lookup(&key).is_some());
+        {
+            let _guard = crate::fault::scoped(
+                FaultPlan::builder(3)
+                    .site(FaultSite::CacheRead, 1.0, None)
+                    .build(),
+            );
+            assert!(cache.lookup(&key).is_none(), "read fault is a miss");
+        }
+        assert!(cache.lookup(&key).is_some(), "entry intact after the fault");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,6 +10,20 @@
 //! module guarantees by pre-expanding the grid into an indexed job list and
 //! writing each worker's result into the slot of the job it claimed.
 //!
+//! ## Supervision
+//!
+//! Every job runs under [`std::panic::catch_unwind`]: a panicking job (a
+//! real bug, or an injected [`crate::fault`] fault) is retried up to
+//! [`max_job_attempts`] times with a deterministic backoff, and a job that
+//! exhausts its attempts is **quarantined** into a structured
+//! [`JobError`] slot instead of tearing down the whole pool. Retries never
+//! perturb anything: each job owns all of its randomness, so a retry is a
+//! pure re-execution, and results are collected by slot index, so the
+//! output order — and the output bytes of every healthy job — are identical
+//! to a fault-free serial run. [`run_scenarios_checked`] exposes the per-job
+//! `Result`s; [`run_scenarios`] keeps the historical infallible signature
+//! (it panics, after the pool has fully drained, if any job was quarantined).
+//!
 //! ```
 //! use wlan_core::{Campaign, Protocol, TopologySpec};
 //! use wlan_sim::SimDuration;
@@ -26,13 +40,18 @@
 //! assert_eq!(outcome.cells.len(), 4); // 2 protocols × 1 topology × 2 N
 //! assert!(outcome.report().cells[0].mean_mbps > 0.0);
 //! ```
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::cache::ResultCache;
+use crate::error::{CampaignError, JobError};
+use crate::fault::{self, FaultSite};
 use crate::protocol::Protocol;
 use crate::scenario::{Scenario, ScenarioResult, TopologySpec};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
 use wlan_sim::{SimDuration, TrafficSpec};
 
 // The campaign executor moves scenarios and results across threads; these
@@ -44,6 +63,7 @@ const _: () = {
     assert_send::<ScenarioResult>();
     assert_send::<Protocol>();
     assert_send::<TopologySpec>();
+    assert_send::<JobError>();
 };
 
 /// Number of worker threads to use when none is requested explicitly: the
@@ -65,6 +85,87 @@ fn threads_from(var: Option<&str>) -> usize {
         })
 }
 
+/// Retries granted to a panicking job beyond its first attempt, when the
+/// `WLAN_JOB_RETRIES` environment variable does not override it.
+pub const DEFAULT_JOB_RETRIES: u32 = 2;
+
+/// Total attempts the supervised pool gives each job: 1 initial run plus
+/// `WLAN_JOB_RETRIES` retries (default [`DEFAULT_JOB_RETRIES`]). A job that
+/// panics on every attempt is quarantined as [`JobError::Panicked`].
+pub fn max_job_attempts() -> u32 {
+    attempts_from(std::env::var("WLAN_JOB_RETRIES").ok().as_deref())
+}
+
+/// [`max_job_attempts`] with the `WLAN_JOB_RETRIES` value passed in.
+fn attempts_from(var: Option<&str>) -> u32 {
+    1 + var
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(DEFAULT_JOB_RETRIES)
+}
+
+/// Deterministic backoff before retry `attempt` (1-based): doubling from
+/// 1 ms, capped at 50 ms. Purely a wall-clock pause — it cannot influence
+/// results, which depend only on the scenario's own seed.
+fn retry_backoff(attempt: u32) -> Duration {
+    Duration::from_millis((1u64 << attempt.min(6)).min(50))
+}
+
+/// Extract a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one job under supervision: pre-flight validation, panic isolation,
+/// bounded deterministic retries, and fault injection at the `job_panic` /
+/// `worker_stall` sites of the active [`crate::fault::FaultPlan`] (scoped by
+/// the job's content-addressed cache key, so the schedule is independent of
+/// thread scheduling).
+fn run_one_supervised(scenario: &Scenario, attempts: u32) -> Result<ScenarioResult, JobError> {
+    if let Err(e) = scenario.validate() {
+        return Err(JobError::InvalidScenario(e));
+    }
+    let plan = fault::active();
+    let scope = plan
+        .as_ref()
+        .filter(|p| {
+            p.site(FaultSite::JobPanic).is_some() || p.site(FaultSite::WorkerStall).is_some()
+        })
+        .map(|_| crate::cache::job_key(scenario));
+    let mut last_panic = String::new();
+    for attempt in 0..attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(retry_backoff(attempt));
+        }
+        if let (Some(plan), Some(scope)) = (plan.as_deref(), scope.as_deref()) {
+            if plan.should_fault(FaultSite::WorkerStall, scope, attempt) {
+                std::thread::sleep(plan.stall());
+            }
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let (Some(plan), Some(scope)) = (plan.as_deref(), scope.as_deref()) {
+                if plan.should_fault(FaultSite::JobPanic, scope, attempt) {
+                    panic!("injected fault: job_panic (scope {scope}, attempt {attempt})");
+                }
+            }
+            scenario.run()
+        }));
+        match outcome {
+            Ok(result) => return Ok(result),
+            Err(payload) => last_panic = panic_message(payload),
+        }
+    }
+    Err(JobError::Panicked {
+        attempts: attempts.max(1),
+        message: last_panic,
+    })
+}
+
 /// Run a list of independent scenarios on `threads` workers and return the
 /// results **in input order**, bit-identical to running them serially.
 ///
@@ -80,46 +181,72 @@ fn threads_from(var: Option<&str>) -> usize {
 /// on the pool — the results are bit-identical either way, because the cache
 /// stores exactly what the engine produced. No global installed (the
 /// default) means no caching and no behaviour change.
+///
+/// Panics — after every job has been given its full retry budget and every
+/// healthy result collected — if any job was quarantined; use
+/// [`try_run_scenarios`] or [`run_scenarios_checked`] to handle failures as
+/// values.
 pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioResult> {
-    match crate::cache::installed() {
-        Some(cache) => run_scenarios_cached(scenarios, threads, cache),
-        None => run_scenarios_pool(scenarios, threads),
+    match try_run_scenarios(scenarios, threads) {
+        Ok(results) => results,
+        Err(e) => panic!("campaign failed: {e}"),
     }
 }
 
-/// [`run_scenarios`] against an explicit [`ResultCache`]: serve cached jobs
-/// from disk, run only the misses on the pool (in their original relative
-/// order), store their results, and return everything in input order.
-pub fn run_scenarios_cached(
+/// [`run_scenarios`], but a quarantined job is an `Err` value instead of a
+/// panic: all healthy results are returned and the failures listed by input
+/// index.
+pub fn try_run_scenarios(
     scenarios: &[Scenario],
     threads: usize,
-    cache: &ResultCache,
-) -> Vec<ScenarioResult> {
-    let keys: Vec<String> = scenarios.iter().map(crate::cache::job_key).collect();
-    let mut out: Vec<Option<ScenarioResult>> = keys.iter().map(|k| cache.lookup(k)).collect();
-    let missing: Vec<usize> = (0..out.len()).filter(|&i| out[i].is_none()).collect();
-    if !missing.is_empty() {
-        let jobs: Vec<Scenario> = missing.iter().map(|&i| scenarios[i].clone()).collect();
-        let fresh = run_scenarios_pool(&jobs, threads);
-        for (&i, result) in missing.iter().zip(fresh) {
-            // A failed store only loses the cache entry, never the result.
-            let _ = cache.store(&keys[i], &result);
-            out[i] = Some(result);
-        }
-    }
-    out.into_iter()
-        .map(|slot| slot.expect("every slot is a hit or a computed miss"))
-        .collect()
+) -> Result<Vec<ScenarioResult>, CampaignError> {
+    let checked = match crate::cache::installed() {
+        Some(cache) => run_scenarios_cached_checked(scenarios, threads, cache),
+        None => run_scenarios_checked(scenarios, threads),
+    };
+    collect_checked(checked)
 }
 
-/// The uncached thread-pool executor behind [`run_scenarios`].
-fn run_scenarios_pool(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioResult> {
+/// Fold per-job results into all-or-error form (healthy results in input
+/// order, or the ascending-index failure list).
+fn collect_checked(
+    checked: Vec<Result<ScenarioResult, JobError>>,
+) -> Result<Vec<ScenarioResult>, CampaignError> {
+    let mut out = Vec::with_capacity(checked.len());
+    let mut failures = Vec::new();
+    for (i, result) in checked.into_iter().enumerate() {
+        match result {
+            Ok(r) => out.push(r),
+            Err(e) => failures.push((i, e)),
+        }
+    }
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(CampaignError { failures })
+    }
+}
+
+/// The supervised thread-pool executor: one `Result` per input scenario, in
+/// input order. A quarantined job occupies its own error slot; every other
+/// job's result is bit-identical to a run in which the failure never
+/// happened. Does not consult the result cache — see
+/// [`run_scenarios_cached_checked`].
+pub fn run_scenarios_checked(
+    scenarios: &[Scenario],
+    threads: usize,
+) -> Vec<Result<ScenarioResult, JobError>> {
     let n = scenarios.len();
+    let attempts = max_job_attempts();
     if threads <= 1 || n <= 1 {
-        return scenarios.iter().map(Scenario::run).collect();
+        return scenarios
+            .iter()
+            .map(|s| run_one_supervised(s, attempts))
+            .collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<ScenarioResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    type Slot = Mutex<Option<Result<ScenarioResult, JobError>>>;
+    let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             scope.spawn(|| loop {
@@ -127,19 +254,78 @@ fn run_scenarios_pool(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioRes
                 if i >= n {
                     break;
                 }
-                let result = scenarios[i].run();
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                // run_one_supervised never unwinds (panics are caught and
+                // converted), so a worker can never poison a slot or tear
+                // down the scope.
+                let result = run_one_supervised(&scenarios[i], attempts);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             });
         }
     });
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job index below len was claimed and executed")
+            match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Some(result) => result,
+                // Every index below `n` is claimed exactly once and the
+                // claiming worker always stores before looping.
+                None => unreachable!("campaign pool left an unfilled result slot"),
+            }
         })
         .collect()
+}
+
+/// [`run_scenarios_checked`] against an explicit [`ResultCache`]: serve
+/// cached jobs from disk, run only the misses on the supervised pool (in
+/// their original relative order), store the healthy fresh results, and
+/// return everything in input order.
+///
+/// Cache degradation is graceful by design: a failed read is a miss (the job
+/// recomputes), and a failed store — read-only directory, disk full, or an
+/// injected `cache_write` fault — logs **one** warning per cache handle and
+/// the campaign continues compute-only. A broken cache can never abort a
+/// campaign or change its results.
+pub fn run_scenarios_cached_checked(
+    scenarios: &[Scenario],
+    threads: usize,
+    cache: &ResultCache,
+) -> Vec<Result<ScenarioResult, JobError>> {
+    let keys: Vec<String> = scenarios.iter().map(crate::cache::job_key).collect();
+    let mut out: Vec<Option<Result<ScenarioResult, JobError>>> =
+        keys.iter().map(|k| cache.lookup(k).map(Ok)).collect();
+    let missing: Vec<usize> = (0..out.len()).filter(|&i| out[i].is_none()).collect();
+    if !missing.is_empty() {
+        let jobs: Vec<Scenario> = missing.iter().map(|&i| scenarios[i].clone()).collect();
+        let fresh = run_scenarios_checked(&jobs, threads);
+        for (&i, result) in missing.iter().zip(fresh) {
+            if let Ok(result) = &result {
+                // A failed store only loses the cache entry, never the result.
+                if let Err(e) = cache.store(&keys[i], result) {
+                    cache.note_degraded(&keys[i], &e);
+                }
+            }
+            out[i] = Some(result);
+        }
+    }
+    out.into_iter()
+        .map(|slot| match slot {
+            Some(result) => result,
+            None => unreachable!("every slot is a hit or a computed miss"),
+        })
+        .collect()
+}
+
+/// [`run_scenarios`] against an explicit [`ResultCache`] (panics if any job
+/// was quarantined, like [`run_scenarios`]).
+pub fn run_scenarios_cached(
+    scenarios: &[Scenario],
+    threads: usize,
+    cache: &ResultCache,
+) -> Vec<ScenarioResult> {
+    match collect_checked(run_scenarios_cached_checked(scenarios, threads, cache)) {
+        Ok(results) => results,
+        Err(e) => panic!("campaign failed: {e}"),
+    }
 }
 
 /// Run the same scenario over several seeds on the shared pool (with
@@ -252,9 +438,9 @@ impl Campaign {
 
     /// Width of the throughput time-series bins, which is also the beacon
     /// interval (defaults to the scenario default of 1 s). The scaling
-    /// campaign shortens it: in a collision-collapsed cold start no ACKs
-    /// flow, so controller segments close — and the control variable reaches
-    /// stations — only at beacon cadence.
+    /// campaign shortens it: in a collision collapse the control variable
+    /// reaches stations only via beacons, so controller segments close — and
+    /// the control variable reaches stations — only at beacon cadence.
     pub fn throughput_bin(mut self, bin: SimDuration) -> Self {
         self.throughput_bin = Some(bin);
         self
@@ -454,7 +640,10 @@ pub struct CampaignReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
+    use crate::fault::FaultPlan;
 
     fn tiny_campaign() -> Campaign {
         Campaign::new()
@@ -565,6 +754,119 @@ mod tests {
     }
 
     #[test]
+    fn invalid_scenarios_are_quarantined_not_panicked() {
+        let mut bad = Scenario::new(Protocol::Standard80211, TopologySpec::FullyConnected, 4)
+            .durations(SimDuration::from_millis(50), SimDuration::from_millis(100));
+        bad.weights = Some(vec![1.0; 3]); // length mismatch
+        let good = Scenario::new(
+            Protocol::StaticPPersistent { p: 0.04 },
+            TopologySpec::FullyConnected,
+            4,
+        )
+        .durations(SimDuration::from_millis(50), SimDuration::from_millis(100));
+        let results = run_scenarios_checked(&[good.clone(), bad, good.clone()], 2);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(JobError::InvalidScenario(
+                crate::error::ScenarioError::WeightsLengthMismatch {
+                    expected: 4,
+                    got: 3
+                }
+            ))
+        ));
+        assert!(results[2].is_ok());
+        // The healthy slots are bit-identical to a run without the bad job.
+        let clean = run_scenarios_checked(&[good.clone(), good], 1);
+        let ok = |r: &Result<ScenarioResult, JobError>| {
+            serde_json::to_string(r.as_ref().unwrap()).unwrap()
+        };
+        assert_eq!(ok(&results[0]), ok(&clean[0]));
+        assert_eq!(ok(&results[2]), ok(&clean[1]));
+        // try_run_scenarios folds the same failure into a CampaignError.
+        let mut bad2 = Scenario::new(Protocol::Standard80211, TopologySpec::FullyConnected, 4);
+        bad2.n = 0;
+        let err = try_run_scenarios(&[bad2], 1).expect_err("zero stations must fail");
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].0, 0);
+    }
+
+    #[test]
+    fn transient_injected_panics_are_retried_to_success() {
+        let jobs: Vec<Scenario> = (1..=3u64)
+            .map(|seed| {
+                Scenario::new(
+                    Protocol::StaticPPersistent { p: 0.04 },
+                    TopologySpec::FullyConnected,
+                    4,
+                )
+                .durations(SimDuration::from_millis(50), SimDuration::from_millis(150))
+                .seed(seed)
+            })
+            .collect();
+        let clean: Vec<String> = run_scenarios_checked(&jobs, 1)
+            .into_iter()
+            .map(|r| serde_json::to_string(&r.unwrap()).unwrap())
+            .collect();
+        // Every attempt below the retry budget trips; the final one succeeds.
+        let plan = FaultPlan::builder(11)
+            .site(FaultSite::JobPanic, 1.0, Some(max_job_attempts() - 1))
+            .build();
+        let _guard = crate::fault::scoped(plan);
+        let faulted = run_scenarios_checked(&jobs, 2);
+        for (r, expect) in faulted.into_iter().zip(&clean) {
+            let r = r.expect("transient faults must be retried through");
+            assert_eq!(&serde_json::to_string(&r).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn permanent_injected_panics_quarantine_only_their_job() {
+        let jobs: Vec<Scenario> = (1..=4u64)
+            .map(|seed| {
+                Scenario::new(
+                    Protocol::StaticPPersistent { p: 0.04 },
+                    TopologySpec::FullyConnected,
+                    4,
+                )
+                .durations(SimDuration::from_millis(50), SimDuration::from_millis(150))
+                .seed(seed)
+            })
+            .collect();
+        let clean: Vec<String> = run_scenarios_checked(&jobs, 1)
+            .into_iter()
+            .map(|r| serde_json::to_string(&r.unwrap()).unwrap())
+            .collect();
+        // Rate 0.5, unbounded: some jobs fault on every attempt (quarantined),
+        // some recover. The plan itself predicts which, so assert exactness.
+        let plan = FaultPlan::builder(5)
+            .site(FaultSite::JobPanic, 0.5, None)
+            .build();
+        let attempts = max_job_attempts();
+        let expect_fail: Vec<bool> = jobs
+            .iter()
+            .map(|j| {
+                plan.faults_every_attempt(FaultSite::JobPanic, &crate::cache::job_key(j), attempts)
+            })
+            .collect();
+        let _guard = crate::fault::scoped(plan);
+        let faulted = run_scenarios_checked(&jobs, 2);
+        for ((r, &fail), expect) in faulted.into_iter().zip(&expect_fail).zip(&clean) {
+            match r {
+                Ok(result) => {
+                    assert!(!fail, "plan predicted quarantine");
+                    assert_eq!(&serde_json::to_string(&result).unwrap(), expect);
+                }
+                Err(e) => {
+                    assert!(fail, "plan predicted success, got {e}");
+                    assert!(e.is_injected(), "{e}");
+                    assert!(matches!(e, JobError::Panicked { attempts: a, .. } if a == attempts));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn cell_stats_match_manual_aggregation() {
         let outcome = tiny_campaign().threads(2).run();
         let cell = &outcome.cells[0];
@@ -644,6 +946,24 @@ mod tests {
         assert!(threads_from(Some("not a number")) >= 1);
         assert!(threads_from(None) >= 1);
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn attempt_budget_parsing_honours_env_value() {
+        assert_eq!(attempts_from(None), 1 + DEFAULT_JOB_RETRIES);
+        assert_eq!(attempts_from(Some("0")), 1, "0 retries = 1 attempt");
+        assert_eq!(attempts_from(Some("5")), 6);
+        assert_eq!(attempts_from(Some("nope")), 1 + DEFAULT_JOB_RETRIES);
+        assert!(max_job_attempts() >= 1);
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_bounded() {
+        assert_eq!(retry_backoff(1), Duration::from_millis(2));
+        assert_eq!(retry_backoff(2), Duration::from_millis(4));
+        for attempt in 0..40 {
+            assert!(retry_backoff(attempt) <= Duration::from_millis(50));
+        }
     }
 
     #[test]

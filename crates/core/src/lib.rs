@@ -21,6 +21,13 @@
 //! * [`cache`] — the content-addressed result cache: jobs keyed by a stable
 //!   hash of `(canonical scenario, engine fingerprint)`, so reruns compute
 //!   only the delta and serve everything else from disk, bit-identically.
+//! * [`fault`] — the deterministic fault injector: a seeded [`FaultPlan`]
+//!   trips named sites (cache I/O, checkpoint writes, job panics, worker
+//!   stalls) as a pure function of `(seed, site, scope, attempt)`, so chaos
+//!   tests can assert byte-identical recovery.
+//! * [`error`] — typed failures of the service path ([`ScenarioError`],
+//!   [`JobError`], [`CampaignError`]); the supervised pool quarantines
+//!   failing jobs into these instead of panicking.
 //! * [`dynamics`] — dynamic-membership runs (stations joining/leaving) used for
 //!   the convergence experiments of Figs. 8–11.
 //!
@@ -43,6 +50,8 @@
 pub mod cache;
 pub mod campaign;
 pub mod dynamics;
+pub mod error;
+pub mod fault;
 pub mod idlesense;
 pub mod protocol;
 pub mod scenario;
@@ -52,10 +61,13 @@ pub mod wtop;
 
 pub use cache::{job_key, CacheStats, ResultCache, ENGINE_FINGERPRINT};
 pub use campaign::{
-    default_threads, run_scenarios, run_scenarios_cached, run_seeds, run_seeds_parallel, Campaign,
-    CampaignCell, CampaignOutcome, CampaignReport, CellStats,
+    default_threads, max_job_attempts, run_scenarios, run_scenarios_cached,
+    run_scenarios_cached_checked, run_scenarios_checked, run_seeds, run_seeds_parallel,
+    try_run_scenarios, Campaign, CampaignCell, CampaignOutcome, CampaignReport, CellStats,
 };
 pub use dynamics::{run_dynamic, DynamicResult, MembershipChange, MembershipSchedule};
+pub use error::{CampaignError, JobError, ScenarioError};
+pub use fault::{FaultPlan, FaultPlanBuilder, FaultSite};
 pub use idlesense::{IdleSenseConfig, IdleSensePolicy};
 pub use protocol::Protocol;
 pub use scenario::{mean_throughput, Scenario, ScenarioResult, TopologySpec, TrafficSummary};

@@ -2,6 +2,7 @@
 //! tests and the benchmark harness use to run one experiment
 //! (protocol × topology × N × seed) and collect the metrics the paper reports.
 
+use crate::error::ScenarioError;
 use crate::protocol::Protocol;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -173,6 +174,43 @@ impl Scenario {
     pub fn update_period(mut self, period: SimDuration) -> Self {
         self.update_period = period;
         self
+    }
+
+    /// Pre-flight validation: reject descriptions no simulator can run
+    /// (`n == 0`, a weight vector whose length disagrees with `n`,
+    /// non-positive or non-finite weights, NaN/negative arrival rates, a
+    /// queue bound of zero frames, a zero total duration) **before** any
+    /// engine state is built.
+    ///
+    /// `campaign_server` calls this while parsing job specs, so a bad spec
+    /// yields a per-job error line instead of a worker panic; the supervised
+    /// campaign pool calls it as its pre-flight check for the same reason.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.n == 0 {
+            return Err(ScenarioError::ZeroStations);
+        }
+        if let Some(weights) = &self.weights {
+            if weights.len() != self.n {
+                return Err(ScenarioError::WeightsLengthMismatch {
+                    expected: self.n,
+                    got: weights.len(),
+                });
+            }
+            if let Some((index, &value)) = weights
+                .iter()
+                .enumerate()
+                .find(|(_, w)| !(w.is_finite() && **w > 0.0))
+            {
+                return Err(ScenarioError::InvalidWeight { index, value });
+            }
+        }
+        self.traffic
+            .validate()
+            .map_err(ScenarioError::InvalidTraffic)?;
+        if self.warmup.is_zero() && self.measure.is_zero() {
+            return Err(ScenarioError::ZeroDuration);
+        }
+        Ok(())
     }
 
     /// Build the simulator for this scenario without running it.
@@ -703,6 +741,60 @@ mod tests {
         let bt = back.traffic.expect("round trip keeps the summary");
         assert_eq!(bt.total_arrivals, t.total_arrivals);
         assert_eq!(bt.queued_at_end, t.queued_at_end);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_nonsense() {
+        use crate::error::ScenarioError;
+        let good = Scenario::new(Protocol::Standard80211, TopologySpec::FullyConnected, 4);
+        assert!(good.validate().is_ok());
+
+        let mut zero_n = good.clone();
+        zero_n.n = 0;
+        assert_eq!(zero_n.validate(), Err(ScenarioError::ZeroStations));
+
+        let mut short_weights = good.clone();
+        short_weights.weights = Some(vec![1.0, 2.0]);
+        assert_eq!(
+            short_weights.validate(),
+            Err(ScenarioError::WeightsLengthMismatch {
+                expected: 4,
+                got: 2
+            })
+        );
+
+        let mut nan_weight = good.clone();
+        nan_weight.weights = Some(vec![1.0, f64::NAN, 1.0, 1.0]);
+        assert!(matches!(
+            nan_weight.validate(),
+            Err(ScenarioError::InvalidWeight { index: 1, .. })
+        ));
+
+        let mut bad_rate = good.clone();
+        bad_rate.traffic = TrafficSpec::poisson(-5.0);
+        assert!(matches!(
+            bad_rate.validate(),
+            Err(ScenarioError::InvalidTraffic(_))
+        ));
+        let mut nan_rate = good.clone();
+        nan_rate.traffic = TrafficSpec::poisson(f64::NAN);
+        assert!(matches!(
+            nan_rate.validate(),
+            Err(ScenarioError::InvalidTraffic(_))
+        ));
+
+        let mut zero_queue = good.clone();
+        zero_queue.traffic = TrafficSpec::poisson(100.0);
+        zero_queue.traffic.queue_frames = Some(0);
+        assert!(matches!(
+            zero_queue.validate(),
+            Err(ScenarioError::InvalidTraffic(_))
+        ));
+
+        let mut zero_duration = good.clone();
+        zero_duration.warmup = SimDuration::ZERO;
+        zero_duration.measure = SimDuration::ZERO;
+        assert_eq!(zero_duration.validate(), Err(ScenarioError::ZeroDuration));
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Cache degradation: a broken result cache must never abort a campaign or
+//! change a single byte of its output — it degrades to compute-only with a
+//! single warning (the first failed store; later failures are counted
+//! silently via [`ResultCache::store_failures`]).
+
+use wlan_sa::core::fault::{self, FaultPlan, FaultSite};
+use wlan_sa::core::{
+    run_scenarios_cached_checked, run_scenarios_checked, Protocol, ResultCache, Scenario,
+    ScenarioResult, TopologySpec,
+};
+use wlan_sa::sim::SimDuration;
+
+fn jobs() -> Vec<Scenario> {
+    (1..=3u64)
+        .map(|seed| {
+            Scenario::new(
+                Protocol::StaticPPersistent { p: 0.04 },
+                TopologySpec::FullyConnected,
+                5,
+            )
+            .durations(SimDuration::from_millis(50), SimDuration::from_millis(200))
+            .seed(seed)
+        })
+        .collect()
+}
+
+fn bytes(results: &[ScenarioResult]) -> String {
+    serde_json::to_string(&results.to_vec()).expect("serialise results")
+}
+
+fn unwrap_all(
+    results: Vec<Result<ScenarioResult, wlan_sa::core::JobError>>,
+) -> Vec<ScenarioResult> {
+    results
+        .into_iter()
+        .map(|r| r.expect("cache degradation must never fail a job"))
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("wlan_degradation_{tag}_{}", std::process::id()))
+}
+
+/// A cache directory that vanishes mid-campaign (the closest a root-run test
+/// gets to a read-only directory — permission bits don't bind root): every
+/// store fails, the campaign degrades to compute-only, bytes unchanged.
+#[test]
+fn vanished_cache_dir_degrades_to_compute_only() {
+    let reference = unwrap_all(run_scenarios_checked(&jobs(), 1));
+    let dir = temp_dir("vanished");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ResultCache::open(&dir).expect("open temp cache");
+    std::fs::remove_dir_all(&dir).expect("pull the directory out from under the cache");
+
+    let results = unwrap_all(run_scenarios_cached_checked(&jobs(), 2, &cache));
+    assert_eq!(
+        bytes(&results),
+        bytes(&reference),
+        "results must not change"
+    );
+    assert!(cache.degraded(), "failed stores must flip degraded mode");
+    assert_eq!(
+        cache.store_failures(),
+        3,
+        "every store failed (one warning, the rest counted silently)"
+    );
+    // The degraded cache keeps working compute-only on a second pass.
+    let again = unwrap_all(run_scenarios_cached_checked(&jobs(), 1, &cache));
+    assert_eq!(bytes(&again), bytes(&reference));
+    assert_eq!(cache.store_failures(), 6);
+}
+
+/// An unopenable cache path (a regular file where the directory should be —
+/// `create_dir_all` fails even for root) is an error at `open`, which
+/// callers turn into uncached execution.
+#[test]
+fn cache_open_on_file_path_fails_cleanly() {
+    let path = temp_dir("filepath");
+    let _ = std::fs::remove_dir_all(&path);
+    std::fs::write(&path, "not a directory").expect("create blocking file");
+    assert!(ResultCache::open(&path).is_err());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// An injected permanent write fault behaves exactly like the unwritable
+/// directory: compute-only, single-warning degradation, identical bytes —
+/// and clearing the fault heals the cache in place.
+#[test]
+fn injected_write_fault_degrades_then_heals() {
+    let reference = unwrap_all(run_scenarios_checked(&jobs(), 1));
+    let dir = temp_dir("writefault");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ResultCache::open(&dir).expect("open temp cache");
+    {
+        let _guard = fault::scoped(
+            FaultPlan::builder(21)
+                .site(FaultSite::CacheWrite, 1.0, None)
+                .build(),
+        );
+        let results = unwrap_all(run_scenarios_cached_checked(&jobs(), 2, &cache));
+        assert_eq!(bytes(&results), bytes(&reference));
+        assert!(cache.degraded());
+        assert_eq!(cache.store_failures(), 3);
+        assert_eq!(cache.stats().hits, 0, "nothing was ever stored");
+    }
+    // Fault cleared: stores land again and the next pass is served from disk.
+    let healed = unwrap_all(run_scenarios_cached_checked(&jobs(), 1, &cache));
+    assert_eq!(bytes(&healed), bytes(&reference));
+    let warm = unwrap_all(run_scenarios_cached_checked(&jobs(), 1, &cache));
+    assert_eq!(bytes(&warm), bytes(&reference));
+    assert_eq!(cache.stats().hits, 3, "healed cache serves from disk");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An injected permanent read fault turns every lookup into a miss: jobs
+/// recompute (bytes identical), the entries stay intact, and clearing the
+/// fault restores hits.
+#[test]
+fn injected_read_fault_forces_recompute_not_corruption() {
+    let reference = unwrap_all(run_scenarios_checked(&jobs(), 1));
+    let dir = temp_dir("readfault");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ResultCache::open(&dir).expect("open temp cache");
+    let cold = unwrap_all(run_scenarios_cached_checked(&jobs(), 2, &cache));
+    assert_eq!(bytes(&cold), bytes(&reference));
+    {
+        let _guard = fault::scoped(
+            FaultPlan::builder(22)
+                .site(FaultSite::CacheRead, 1.0, None)
+                .build(),
+        );
+        let blinded = unwrap_all(run_scenarios_cached_checked(&jobs(), 2, &cache));
+        assert_eq!(bytes(&blinded), bytes(&reference));
+        assert_eq!(cache.stats().hits, 0, "a read fault can never hit");
+    }
+    let warm = unwrap_all(run_scenarios_cached_checked(&jobs(), 1, &cache));
+    assert_eq!(bytes(&warm), bytes(&reference));
+    assert_eq!(cache.stats().hits, 3, "entries survived the read faults");
+    let _ = std::fs::remove_dir_all(&dir);
+}

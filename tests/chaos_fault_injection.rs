@@ -1,0 +1,179 @@
+//! Chaos tests: random deterministic [`FaultPlan`]s × a campaign grid.
+//!
+//! The determinism contract gives chaos testing something most services never
+//! get: an injected fault schedule is a pure function of the plan seed, so
+//! recovery can be asserted **byte for byte** —
+//!
+//! * transient faults (bounded `max_trips` below the retry budget, worker
+//!   stalls) are absorbed completely: zero quarantined jobs and results
+//!   byte-identical to the fault-free run;
+//! * permanent faults quarantine *exactly* the jobs the plan predicts
+//!   ([`FaultPlan::faults_every_attempt`]) with structured errors, and every
+//!   other job's bytes are unaffected;
+//! * cache I/O faults never quarantine anything — the cache degrades to
+//!   compute-only and the results stay byte-identical to uncached runs.
+
+use proptest::prelude::*;
+use wlan_sa::core::fault::{self, FaultPlan, FaultSite};
+use wlan_sa::core::{
+    job_key, max_job_attempts, run_scenarios_cached_checked, run_scenarios_checked, JobError,
+    Protocol, ResultCache, Scenario, ScenarioResult, TopologySpec,
+};
+use wlan_sa::sim::SimDuration;
+
+/// Silence the default panic hook for injected panics (the supervised pool
+/// catches them, but the hook still runs and would spam the test log); real
+/// panics keep the full default report.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("injected fault"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("injected fault"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// A small heterogeneous campaign grid (two protocols × two seeds), cheap
+/// enough to run dozens of times per proptest case.
+fn grid(case_seed: u64) -> Vec<Scenario> {
+    let mut jobs = Vec::new();
+    for proto in [
+        Protocol::StaticPPersistent { p: 0.04 },
+        Protocol::Standard80211,
+    ] {
+        for s in 0..2u64 {
+            jobs.push(
+                Scenario::new(proto, TopologySpec::FullyConnected, 4)
+                    .durations(SimDuration::from_millis(50), SimDuration::from_millis(150))
+                    .seed(1 + case_seed * 2 + s),
+            );
+        }
+    }
+    jobs
+}
+
+fn bytes(r: &ScenarioResult) -> String {
+    serde_json::to_string(r).expect("serialise result")
+}
+
+fn baseline(jobs: &[Scenario]) -> Vec<String> {
+    run_scenarios_checked(jobs, 1)
+        .into_iter()
+        .map(|r| bytes(&r.expect("fault-free jobs succeed")))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Transient faults — panics bounded below the retry budget plus worker
+    /// stalls — are fully absorbed: no quarantine, bytes identical.
+    #[test]
+    fn transient_faults_recover_byte_identically(plan_seed in 0u64..10_000, case in 0u64..50) {
+        quiet_injected_panics();
+        let jobs = grid(case);
+        let clean = baseline(&jobs);
+        let plan = FaultPlan::builder(plan_seed)
+            .site(FaultSite::JobPanic, 1.0, Some(max_job_attempts() - 1))
+            .site(FaultSite::WorkerStall, 0.5, None)
+            .stall_millis(1)
+            .build();
+        let _guard = fault::scoped(plan);
+        let faulted = run_scenarios_checked(&jobs, 3);
+        for (r, expect) in faulted.into_iter().zip(&clean) {
+            let r = r.expect("transient faults must be retried through");
+            prop_assert_eq!(&bytes(&r), expect);
+        }
+    }
+
+    /// Permanent faults (unbounded random panic rate) quarantine exactly the
+    /// jobs the plan predicts; every surviving job is byte-identical.
+    #[test]
+    fn permanent_faults_quarantine_exactly_the_predicted_jobs(
+        plan_seed in 0u64..10_000,
+        rate in 0.2f64..0.9,
+        case in 0u64..50,
+    ) {
+        quiet_injected_panics();
+        let jobs = grid(case);
+        let clean = baseline(&jobs);
+        let attempts = max_job_attempts();
+        let plan = FaultPlan::builder(plan_seed)
+            .site(FaultSite::JobPanic, rate, None)
+            .build();
+        let predicted: Vec<bool> = jobs
+            .iter()
+            .map(|j| plan.faults_every_attempt(FaultSite::JobPanic, &job_key(j), attempts))
+            .collect();
+        let _guard = fault::scoped(plan);
+        let faulted = run_scenarios_checked(&jobs, 3);
+        for ((r, &fail), expect) in faulted.into_iter().zip(&predicted).zip(&clean) {
+            match r {
+                Ok(result) => {
+                    prop_assert!(!fail, "plan predicted quarantine but the job succeeded");
+                    prop_assert_eq!(&bytes(&result), expect);
+                }
+                Err(e) => {
+                    prop_assert!(fail, "plan predicted success but got: {}", e);
+                    prop_assert!(e.is_injected(), "unexpected real failure: {}", e);
+                    prop_assert!(
+                        matches!(e, JobError::Panicked { attempts: a, .. } if a == attempts),
+                        "quarantine must record the full attempt budget"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Cache read/write faults never fail a job: lookups degrade to misses,
+    /// stores degrade to compute-only, and the results stay byte-identical
+    /// to an uncached fault-free run.
+    #[test]
+    fn cache_faults_degrade_without_changing_results(plan_seed in 0u64..10_000) {
+        quiet_injected_panics();
+        let jobs = grid(plan_seed % 7);
+        let clean = baseline(&jobs);
+        let dir = std::env::temp_dir().join(format!(
+            "wlan_chaos_cache_{}_{plan_seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).expect("open temp cache");
+        {
+            let plan = FaultPlan::builder(plan_seed)
+                .site(FaultSite::CacheRead, 0.5, None)
+                .site(FaultSite::CacheWrite, 0.5, None)
+                .build();
+            let _guard = fault::scoped(plan);
+            // Two passes: the second mixes hits (stores that survived) with
+            // recomputes (reads that fault); bytes must never change.
+            for _ in 0..2 {
+                let results = run_scenarios_cached_checked(&jobs, 2, &cache);
+                for (r, expect) in results.into_iter().zip(&clean) {
+                    let r = r.expect("cache faults must never quarantine a job");
+                    prop_assert_eq!(&bytes(&r), expect);
+                }
+            }
+        }
+        // Fault-free warm pass over whatever the cache retained: still identical.
+        let warm = run_scenarios_cached_checked(&jobs, 2, &cache);
+        for (r, expect) in warm.into_iter().zip(&clean) {
+            prop_assert_eq!(&bytes(&r.expect("warm pass succeeds")), expect);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
