@@ -28,7 +28,8 @@
 //!
 //! ```text
 //! bench_engine [--quick|--extended|--full] [--out PATH] [--check PATH]
-//!              [--history PATH]
+//!              [--history PATH] [--profile] [--profile-out PATH]
+//!              [--overhead-check]
 //! ```
 //!
 //! `--check PATH` loads a previously committed `BENCH_engine.json` and exits
@@ -39,6 +40,21 @@
 //! workload timed in the same process — so the gate compares engine
 //! efficiency, not machine speed; comparing only shared cells keeps the gate
 //! meaningful across grid changes.
+//!
+//! `--profile` runs the kernel's sampled self-profiler over each cell in a
+//! **separate untimed pass** (the timed numbers above are never profiled) and
+//! prints a wall-clock attribution table: per `component/event-kind` handler
+//! and per scheduler operation, the sampled share of wall time with latency
+//! quantiles from a [`wlan_sim::DelayHistogram`]. The table is also written
+//! as JSON (`--profile-out`, default `BENCH_profile.json`).
+//!
+//! `--overhead-check` times a few representative cells with telemetry off and
+//! with the full dispatch registry on, interleaved, and exits with status 3
+//! if the enabled/disabled events-per-second ratio drops below 0.97 (the ~2%
+//! contract plus ~1% timing-noise allowance) — the CI gate on the "zero-cost
+//! when off, ~free when on" telemetry contract. The *off* path costs nothing
+//! by construction (the kernel runs its plain dispatch loop when no registry
+//! is installed), so bounding the *on* cost bounds both.
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -132,6 +148,179 @@ struct HistoryEntry {
     cache_hits: u64,
     /// Result-cache lookups that fell through to the engine.
     cache_misses: u64,
+    /// The cache-key engine fingerprint this build bakes in — ties every
+    /// history line to the engine behaviour revision it measured.
+    engine_fingerprint: String,
+    /// `git rev-parse --short HEAD` at run time (`null` outside a work tree).
+    git_commit: Option<String>,
+}
+
+/// One row of the `--profile` attribution table: a `component/kind` handler
+/// label (or a `sched.*` kernel operation) with its sampled wall-clock cost.
+#[derive(Debug, Serialize)]
+struct ProfileRow {
+    label: String,
+    samples: u64,
+    total_nanos: u64,
+    /// Fraction of all sampled nanoseconds attributed to this label.
+    share: f64,
+    mean_nanos: f64,
+    p50_nanos: u64,
+    p99_nanos: u64,
+}
+
+/// The JSON document written by `--profile` (`--profile-out`).
+#[derive(Debug, Serialize)]
+struct ProfileReport {
+    mode: String,
+    sample_every: u32,
+    /// Sim-seconds profiled per cell (the profile pass is shorter than the
+    /// timed pass; shares converge long before rates do).
+    profile_sim_seconds: f64,
+    rows: Vec<ProfileRow>,
+}
+
+/// Per-label accumulator behind the profiler sink.
+#[derive(Default)]
+struct ProfAccum {
+    samples: u64,
+    total_nanos: u64,
+    hist: wlan_sim::DelayHistogram,
+}
+
+/// Run the sampled self-profiler over `grid` (an untimed pass — one fresh
+/// simulator per cell) and fold every sample into per-label accumulators.
+#[allow(clippy::type_complexity)]
+fn profile_grid(
+    grid: &[(
+        Protocol,
+        &'static str,
+        TopologySpec,
+        usize,
+        u64,
+        TrafficSpec,
+    )],
+    sample_every: u32,
+    sim_secs: f64,
+) -> Vec<ProfileRow> {
+    use std::sync::{Arc, Mutex};
+    let accum: Arc<Mutex<std::collections::BTreeMap<String, ProfAccum>>> =
+        Arc::new(Mutex::new(std::collections::BTreeMap::new()));
+    for (proto, _, topo, n, _, traffic) in grid {
+        let scenario = Scenario::new(*proto, topo.clone(), *n)
+            .seed(1)
+            .durations(SimDuration::ZERO, SimDuration::from_secs_f64(sim_secs))
+            .traffic(*traffic);
+        let mut sim = scenario.build_simulator();
+        let sink_accum = Arc::clone(&accum);
+        sim.set_profiler(
+            sample_every,
+            Box::new(move |s: wlan_sim::ProfileSample| {
+                let label = match s.component {
+                    Some(id) => format!(
+                        "{}/{}",
+                        wlan_sim::COMPONENT_NAMES.get(id).copied().unwrap_or("?"),
+                        s.kind
+                    ),
+                    None => s.kind.to_string(),
+                };
+                let mut map = match sink_accum.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                let row = map.entry(label).or_default();
+                row.samples += 1;
+                row.total_nanos += s.nanos;
+                row.hist.record(SimDuration::from_nanos(s.nanos));
+            }),
+        );
+        sim.run_for(SimDuration::from_secs_f64(sim_secs));
+    }
+    let map = match accum.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    let grand_total: u64 = map.values().map(|a| a.total_nanos).sum();
+    let mut rows: Vec<ProfileRow> = map
+        .iter()
+        .map(|(label, a)| ProfileRow {
+            label: label.clone(),
+            samples: a.samples,
+            total_nanos: a.total_nanos,
+            share: if grand_total > 0 {
+                a.total_nanos as f64 / grand_total as f64
+            } else {
+                0.0
+            },
+            mean_nanos: if a.samples > 0 {
+                a.total_nanos as f64 / a.samples as f64
+            } else {
+                0.0
+            },
+            p50_nanos: a.hist.quantile(0.50).as_nanos(),
+            p99_nanos: a.hist.quantile(0.99).as_nanos(),
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.total_nanos));
+    rows
+}
+
+/// `git rev-parse --short HEAD`, or `None` outside a git work tree.
+fn git_short_sha() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let sha = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!sha.is_empty()).then_some(sha)
+}
+
+/// The `--overhead-check` gate: time representative cells with telemetry off
+/// and with the dispatch registry enabled, interleaved off/on/off/on, and
+/// return the geomean enabled/disabled events-per-second ratio (best-of-reps
+/// per arm, so scheduler noise cannot fail the gate spuriously).
+fn overhead_ratio() -> f64 {
+    let cells = [
+        (Protocol::Standard80211, 50usize),
+        (Protocol::WTopCsma, 50),
+        (Protocol::Standard80211, 500),
+    ];
+    const REPS: usize = 3;
+    let mut ratios = Vec::new();
+    for (proto, n) in cells {
+        let scenario = Scenario::new(proto, TopologySpec::FullyConnected, n)
+            .seed(1)
+            .durations(SimDuration::ZERO, SimDuration::from_secs(2));
+        let time_one = |enable: bool| -> f64 {
+            let mut sim = scenario.build_simulator();
+            if enable {
+                sim.enable_metrics();
+            }
+            sim.run_for(SimDuration::from_millis(100));
+            let events_before = sim.events_processed();
+            let start = Instant::now();
+            sim.run_for(SimDuration::from_secs(2));
+            (sim.events_processed() - events_before) as f64 / start.elapsed().as_secs_f64()
+        };
+        let (mut best_off, mut best_on) = (0.0f64, 0.0f64);
+        for _ in 0..REPS {
+            best_off = best_off.max(time_one(false));
+            best_on = best_on.max(time_one(true));
+        }
+        ratios.push(best_on / best_off);
+        println!(
+            "  overhead {:<22} n={:<4} off {:>6.2} Mev/s  on {:>6.2} Mev/s  ratio x{:.3}",
+            proto.label(),
+            n,
+            best_off / 1e6,
+            best_on / 1e6,
+            best_on / best_off
+        );
+    }
+    geomean(ratios.into_iter())
 }
 
 /// The cell grid for a mode: `(protocol, topology label, topology, n,
@@ -304,6 +493,10 @@ fn main() {
     // the perf trajectory).
     let only = arg_value("--only");
     let out_explicit = args.iter().any(|a| a == "--out");
+    let profile = args.iter().any(|a| a == "--profile");
+    let profile_out =
+        arg_value("--profile-out").unwrap_or_else(|| "BENCH_profile.json".to_string());
+    let overhead_check = args.iter().any(|a| a == "--overhead-check");
 
     let baseline: Baseline = serde_json::from_str(BASELINE_JSON).expect("parse embedded baseline");
     let mut grid = cells_for(mode);
@@ -312,6 +505,7 @@ fn main() {
             format!("{}:{tname}:{n}", proto.label()).contains(filter.as_str())
         });
     }
+    let grid_for_profile = profile.then(|| grid.clone());
 
     let calibration = calibration_mops();
     println!(
@@ -432,6 +626,8 @@ fn main() {
         cell_count: report.cells.len(),
         cache_hits: cache_stats.hits,
         cache_misses: cache_stats.misses,
+        engine_fingerprint: wlan_core::ENGINE_FINGERPRINT.to_string(),
+        git_commit: git_short_sha(),
     };
     if only.is_none() {
         let line = serde_json::to_string(&entry).expect("serialise history entry") + "\n";
@@ -482,5 +678,56 @@ fn main() {
             std::process::exit(2);
         }
         println!("  perf check passed");
+    }
+
+    if let Some(cells) = grid_for_profile {
+        const SAMPLE_EVERY: u32 = 32;
+        let profile_secs = 1.0;
+        println!(
+            "\nbench_engine: profiling {} cells (every {SAMPLE_EVERY}th event, {profile_secs} sim-s per cell, untimed pass)",
+            cells.len(),
+        );
+        let rows = profile_grid(&cells, SAMPLE_EVERY, profile_secs);
+        println!(
+            "  {:<24} {:>10} {:>7} {:>9} {:>8} {:>8}",
+            "label", "samples", "share", "mean ns", "p50 ns", "p99 ns"
+        );
+        for row in &rows {
+            println!(
+                "  {:<24} {:>10} {:>6.1}% {:>9.0} {:>8} {:>8}",
+                row.label,
+                row.samples,
+                row.share * 100.0,
+                row.mean_nanos,
+                row.p50_nanos,
+                row.p99_nanos
+            );
+        }
+        let doc = ProfileReport {
+            mode: mode.label().to_string(),
+            sample_every: SAMPLE_EVERY,
+            profile_sim_seconds: profile_secs,
+            rows,
+        };
+        std::fs::write(
+            &profile_out,
+            serde_json::to_string_pretty(&doc).expect("serialise profile") + "\n",
+        )
+        .expect("write profile");
+        println!("  wrote {profile_out}");
+    }
+
+    if overhead_check {
+        println!("\nbench_engine: telemetry overhead check (interleaved off/on, best of 3)");
+        let ratio = overhead_ratio();
+        println!("  geomean enabled/disabled events-per-sec ratio x{ratio:.3} (floor x0.97)");
+        if ratio < 0.97 {
+            eprintln!(
+                "TELEMETRY OVERHEAD: enabling the dispatch registry costs more than the \
+                 ~2% contract (plus ~1% timing-noise allowance) permits"
+            );
+            std::process::exit(3);
+        }
+        println!("  overhead check passed");
     }
 }

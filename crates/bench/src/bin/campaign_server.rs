@@ -83,8 +83,8 @@ use serde::{Deserialize, Serialize, Value};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Read as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 use wlan_core::fault::{self, FaultSite};
 use wlan_core::{job_key, max_job_attempts, ResultCache, Scenario, ScenarioResult};
@@ -125,6 +125,10 @@ struct Outcome {
     result: ScenarioResult,
     cached: bool,
     resumed: bool,
+    /// Kernel events processed by the final claim (0 for a cache hit).
+    events: u64,
+    /// Wall-clock the final claim spent computing (zero for a cache hit).
+    wall: Duration,
 }
 
 /// Terminal status of one job slot, sent to the in-order emitter.
@@ -276,7 +280,11 @@ fn advance_job(
     limits: &Limits,
 ) -> Disposition {
     let scenario = &job.scenario;
+    let telemetry = wlan_core::metrics_enabled();
     let mut sim = scenario.build_simulator();
+    if telemetry {
+        sim.enable_metrics();
+    }
     let mut resumed = false;
     let path = ckpt.dir.join(format!("{}.ckpt", job.key));
     if item.resume {
@@ -291,6 +299,9 @@ fn advance_job(
                     path.display()
                 );
                 sim = scenario.build_simulator();
+                if telemetry {
+                    sim.enable_metrics();
+                }
             }
         }
     }
@@ -298,6 +309,7 @@ fn advance_job(
     // Supervision needs slice boundaries even without periodic snapshots.
     let slice = ckpt.every.unwrap_or(SimDuration::from_secs(1));
     let claimed = Instant::now();
+    let events_at_claim = sim.events_processed();
     let mut writes = 0u32;
     while sim.now() < end {
         let next = (sim.now() + slice).min(end);
@@ -321,6 +333,12 @@ fn advance_job(
             write_snapshot(&sim, &path, &job.key, &mut writes);
         }
     }
+    let wall = claimed.elapsed();
+    let events = sim.events_processed() - events_at_claim;
+    wlan_core::metrics::global().record_job(events, wall);
+    if let Some(report) = sim.metrics_report() {
+        wlan_core::metrics::global().record_engine_report(&report);
+    }
     let result = scenario.collect(&sim);
     if let Some(cache) = cache {
         if let Err(e) = cache.store(&job.key, &result) {
@@ -332,6 +350,8 @@ fn advance_job(
         result,
         cached: false,
         resumed,
+        events,
+        wall,
     }))
 }
 
@@ -356,6 +376,8 @@ fn run_job(
                 result,
                 cached: true,
                 resumed: false,
+                events: 0,
+                wall: Duration::ZERO,
             }));
         }
     }
@@ -422,11 +444,19 @@ fn emit_status(
                 Ok(job) => job.key.clone(),
                 Err(_) => unreachable!("only parsed jobs produce results"),
             };
+            let wall_secs = outcome.wall.as_secs_f64();
+            let events_per_sec = if wall_secs > 0.0 {
+                outcome.events as f64 / wall_secs
+            } else {
+                0.0
+            };
             let line = Value::Map(vec![
                 ("job".to_string(), Value::U64(index as u64)),
                 ("key".to_string(), Value::Str(key)),
                 ("cached".to_string(), Value::Bool(outcome.cached)),
                 ("resumed".to_string(), Value::Bool(outcome.resumed)),
+                ("wall_secs".to_string(), Value::F64(wall_secs)),
+                ("events_per_sec".to_string(), Value::F64(events_per_sec)),
                 ("result".to_string(), outcome.result.to_value()),
             ]);
             match serde_json::to_string(&line) {
@@ -600,13 +630,41 @@ fn main() {
     let mut completed = 0u64;
     let mut errors = 0u64;
     let cache_ref = cache.as_ref();
+    let campaign_started = Instant::now();
+    let claimed_jobs = AtomicU64::new(0);
+    // Heartbeat stop signal: flipped (and notified) after the pool drains so
+    // the beat thread exits promptly instead of sleeping out its period.
+    let heartbeat_stop = (Mutex::new(false), Condvar::new());
     std::thread::scope(|scope| {
+        let beat = wlan_core::metrics::heartbeat_period().map(|period| {
+            let stop = &heartbeat_stop;
+            let claimed = &claimed_jobs;
+            scope.spawn(move || {
+                let mut guard = stop.0.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    let (next_guard, _timeout) = stop
+                        .1
+                        .wait_timeout(guard, period)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    guard = next_guard;
+                    if *guard {
+                        break;
+                    }
+                    let line = wlan_core::metrics::global().snapshot().heartbeat_line(
+                        wlan_core::metrics::unix_secs(),
+                        claimed.load(Ordering::Relaxed),
+                    );
+                    wlan_core::metrics::emit_heartbeat(&line);
+                }
+            })
+        });
         for _ in 0..threads.min(runnable.max(1)) {
             let tx = tx.clone();
             let jobs = &jobs;
             let queue = &queue;
             let ckpt = &ckpt;
             let limits = &limits;
+            let claimed_jobs = &claimed_jobs;
             scope.spawn(move || loop {
                 if DRAINING.load(Ordering::SeqCst) {
                     break; // stop claiming; unclaimed items count as drained
@@ -616,6 +674,7 @@ fn main() {
                     .unwrap_or_else(PoisonError::into_inner)
                     .pop_front();
                 let Some(mut item) = item else { break };
+                claimed_jobs.fetch_add(1, Ordering::Relaxed);
                 let Ok(job) = &jobs[item.index] else {
                     unreachable!("only parsed jobs are queued");
                 };
@@ -674,6 +733,14 @@ fn main() {
         for (i, status) in pending {
             emit_status(i, status, &jobs, &mut completed, &mut errors);
         }
+        *heartbeat_stop
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = true;
+        heartbeat_stop.1.notify_all();
+        if let Some(beat) = beat {
+            let _ = beat.join();
+        }
     });
 
     let drained = jobs.len() as u64 - completed - errors;
@@ -685,6 +752,10 @@ fn main() {
         ("drained".to_string(), Value::U64(drained)),
         ("cache_hits".to_string(), Value::U64(stats.hits)),
         ("cache_misses".to_string(), Value::U64(stats.misses)),
+        (
+            "wall_secs".to_string(),
+            Value::F64(campaign_started.elapsed().as_secs_f64()),
+        ),
     ]);
     match serde_json::to_string(&summary) {
         Ok(text) => println!("{text}"),
@@ -692,6 +763,20 @@ fn main() {
             eprintln!("campaign_server: cannot serialise summary line: {e}");
             std::process::exit(1);
         }
+    }
+    // Final process-wide metrics dump — one coherent JSON document a service
+    // supervisor can scrape after the run (cache traffic, retries, per-kind
+    // event totals when WLAN_METRICS=1).
+    let metrics_path = format!("{results_dir}/metrics.json");
+    let dump = std::fs::create_dir_all(&results_dir).and_then(|()| {
+        let snapshot = wlan_core::metrics::global().snapshot();
+        let text = serde_json::to_string_pretty(&snapshot)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(&metrics_path, text + "\n")
+    });
+    match dump {
+        Ok(()) => eprintln!("campaign_server: metrics written to {metrics_path}"),
+        Err(e) => eprintln!("campaign_server: warning: cannot write {metrics_path}: {e}"),
     }
     if drained > 0 {
         eprintln!(

@@ -64,7 +64,7 @@ use std::sync::OnceLock;
 /// computes (event ordering, RNG stream consumption, statistics definitions,
 /// result serialisation). Purely additive changes (new binaries, docs,
 /// faster-but-identical code) keep the fingerprint, preserving the cache.
-pub const ENGINE_FINGERPRINT: &str = "wlan-engine/1";
+pub const ENGINE_FINGERPRINT: &str = "wlan-engine/2";
 
 /// Hit/miss counters of a [`ResultCache`], serialisable for run reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -126,15 +126,18 @@ impl ResultCache {
         // every other read failure — is simply a miss.
         if fault::trips(FaultSite::CacheRead, key, 0) {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            crate::metrics::global().record_cache_miss();
             return None;
         }
         match self.read_verified(key) {
             Some(result) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::global().record_cache_hit();
                 Some(result)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::global().record_cache_miss();
                 None
             }
         }
@@ -196,12 +199,13 @@ impl ResultCache {
     /// counted silently. Campaigns call this instead of aborting, so a broken
     /// cache degrades to compute-only.
     pub fn note_degraded(&self, key: &str, err: &std::io::Error) {
+        crate::metrics::global().record_cache_degraded();
         if self.store_failures.fetch_add(1, Ordering::Relaxed) == 0 {
-            eprintln!(
-                "warning: result cache at {} is unwritable ({err}) — \
+            crate::metrics::warn(&format!(
+                "result cache at {} is unwritable ({err}) — \
                  continuing compute-only (first failed key: {key})",
                 self.dir.display()
-            );
+            ));
         }
     }
 
@@ -328,7 +332,9 @@ pub fn install_from_env() -> Option<&'static ResultCache> {
     match ResultCache::open(&dir) {
         Ok(cache) => Some(install(cache)),
         Err(e) => {
-            eprintln!("warning: WLAN_CACHE_DIR={dir} is unusable ({e}) — running without cache");
+            crate::metrics::warn(&format!(
+                "WLAN_CACHE_DIR={dir} is unusable ({e}) — running without cache"
+            ));
             None
         }
     }

@@ -50,7 +50,7 @@ use crate::scenario::{Scenario, ScenarioResult, TopologySpec};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 use wlan_sim::{SimDuration, TrafficSpec};
 
@@ -127,7 +127,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// the job's content-addressed cache key, so the schedule is independent of
 /// thread scheduling).
 fn run_one_supervised(scenario: &Scenario, attempts: u32) -> Result<ScenarioResult, JobError> {
+    let metrics = crate::metrics::global();
     if let Err(e) = scenario.validate() {
+        metrics.record_job_failure();
         return Err(JobError::InvalidScenario(e));
     }
     let plan = fault::active();
@@ -140,6 +142,7 @@ fn run_one_supervised(scenario: &Scenario, attempts: u32) -> Result<ScenarioResu
     let mut last_panic = String::new();
     for attempt in 0..attempts.max(1) {
         if attempt > 0 {
+            metrics.record_retry();
             std::thread::sleep(retry_backoff(attempt));
         }
         if let (Some(plan), Some(scope)) = (plan.as_deref(), scope.as_deref()) {
@@ -147,19 +150,25 @@ fn run_one_supervised(scenario: &Scenario, attempts: u32) -> Result<ScenarioResu
                 std::thread::sleep(plan.stall());
             }
         }
+        let started = std::time::Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if let (Some(plan), Some(scope)) = (plan.as_deref(), scope.as_deref()) {
                 if plan.should_fault(FaultSite::JobPanic, scope, attempt) {
                     panic!("injected fault: job_panic (scope {scope}, attempt {attempt})");
                 }
             }
-            scenario.run()
+            scenario.run_counted()
         }));
         match outcome {
-            Ok(result) => return Ok(result),
+            Ok((result, events)) => {
+                metrics.record_job(events, started.elapsed());
+                return Ok(result);
+            }
             Err(payload) => last_panic = panic_message(payload),
         }
     }
+    metrics.record_quarantine();
+    metrics.record_job_failure();
     Err(JobError::Panicked {
         attempts: attempts.max(1),
         message: last_panic,
@@ -227,6 +236,45 @@ fn collect_checked(
     }
 }
 
+/// Run `body` with a heartbeat thread alongside it when `WLAN_HEARTBEAT_SECS`
+/// is set: one JSON line on stderr per period —
+/// `{"heartbeat":<unix_secs>,"claimed":N,"done":N,"errors":N}` — where
+/// `claimed` reads the pool's job-claim counter. Off by default (unset or
+/// `0`), in which case `body` runs with zero added machinery. The heartbeat
+/// thread only reads atomics and the metrics registry; it cannot influence
+/// job scheduling or results.
+fn with_heartbeat<R>(claimed: &AtomicUsize, total: usize, body: impl FnOnce() -> R) -> R {
+    let Some(period) = crate::metrics::heartbeat_period() else {
+        return body();
+    };
+    let stop = Mutex::new(false);
+    let stopped = Condvar::new();
+    std::thread::scope(|scope| {
+        let beat = scope.spawn(|| {
+            let mut guard = stop.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                let (next_guard, _timeout) = stopped
+                    .wait_timeout(guard, period)
+                    .unwrap_or_else(PoisonError::into_inner);
+                guard = next_guard;
+                if *guard {
+                    break;
+                }
+                let line = crate::metrics::global().snapshot().heartbeat_line(
+                    crate::metrics::unix_secs(),
+                    claimed.load(Ordering::Relaxed).min(total) as u64,
+                );
+                crate::metrics::emit_heartbeat(&line);
+            }
+        });
+        let result = body();
+        *stop.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        stopped.notify_all();
+        let _ = beat.join();
+        result
+    })
+}
+
 /// The supervised thread-pool executor: one `Result` per input scenario, in
 /// input order. A quarantined job occupies its own error slot; every other
 /// job's result is bit-identical to a run in which the failure never
@@ -238,29 +286,36 @@ pub fn run_scenarios_checked(
 ) -> Vec<Result<ScenarioResult, JobError>> {
     let n = scenarios.len();
     let attempts = max_job_attempts();
-    if threads <= 1 || n <= 1 {
-        return scenarios
-            .iter()
-            .map(|s| run_one_supervised(s, attempts))
-            .collect();
-    }
     let next = AtomicUsize::new(0);
+    if threads <= 1 || n <= 1 {
+        return with_heartbeat(&next, n, || {
+            scenarios
+                .iter()
+                .map(|s| {
+                    next.fetch_add(1, Ordering::Relaxed);
+                    run_one_supervised(s, attempts)
+                })
+                .collect()
+        });
+    }
     type Slot = Mutex<Option<Result<ScenarioResult, JobError>>>;
     let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                // run_one_supervised never unwinds (panics are caught and
-                // converted), so a worker can never poison a slot or tear
-                // down the scope.
-                let result = run_one_supervised(&scenarios[i], attempts);
-                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
-            });
-        }
+    with_heartbeat(&next, n, || {
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // run_one_supervised never unwinds (panics are caught and
+                    // converted), so a worker can never poison a slot or tear
+                    // down the scope.
+                    let result = run_one_supervised(&scenarios[i], attempts);
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+                });
+            }
+        })
     });
     slots
         .into_iter()

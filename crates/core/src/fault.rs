@@ -343,7 +343,7 @@ pub fn install_from_env() -> Option<Arc<FaultPlan>> {
     match FaultPlan::from_spec(&spec) {
         Ok(plan) => Some(install(plan)),
         Err(e) => {
-            eprintln!("warning: ignoring malformed WLAN_FAULT_PLAN: {e}");
+            crate::metrics::warn(&format!("ignoring malformed WLAN_FAULT_PLAN: {e}"));
             None
         }
     }

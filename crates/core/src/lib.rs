@@ -46,6 +46,7 @@
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod cache;
 pub mod campaign;
@@ -53,6 +54,7 @@ pub mod dynamics;
 pub mod error;
 pub mod fault;
 pub mod idlesense;
+pub mod metrics;
 pub mod protocol;
 pub mod scenario;
 pub mod tora;
@@ -69,8 +71,12 @@ pub use dynamics::{run_dynamic, DynamicResult, MembershipChange, MembershipSched
 pub use error::{CampaignError, JobError, ScenarioError};
 pub use fault::{FaultPlan, FaultPlanBuilder, FaultSite};
 pub use idlesense::{IdleSenseConfig, IdleSensePolicy};
+pub use metrics::{metrics_enabled, MetricsRegistry, MetricsSnapshot};
 pub use protocol::Protocol;
-pub use scenario::{mean_throughput, Scenario, ScenarioResult, TopologySpec, TrafficSummary};
+pub use scenario::{
+    mean_throughput, ControllerTelemetry, SaEpochRecord, Scenario, ScenarioResult, TopologySpec,
+    TrafficSummary,
+};
 pub use tora::{ToraConfig, ToraController};
 pub use wlan_sim::{ArrivalProcess, TrafficSpec};
 pub use wtop::{WtopConfig, WtopController};

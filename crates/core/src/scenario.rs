@@ -8,8 +8,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use wlan_sim::{
-    CaptureModel, PhyParams, SimDuration, SimStats, SimTime, Simulator, SimulatorBuilder,
-    ThroughputSample, Topology, TrafficSpec,
+    CaptureModel, ControlEpoch, PhyParams, SimDuration, SimStats, SimTime, Simulator,
+    SimulatorBuilder, ThroughputSample, Topology, TrafficSpec,
 };
 
 /// How the stations are laid out around the AP.
@@ -231,10 +231,33 @@ impl Scenario {
     }
 
     /// Run the scenario: warm up, reset measurements, measure, and summarise.
+    ///
+    /// With `WLAN_METRICS=1` the simulator runs with the kernel dispatch
+    /// registry enabled, the result carries the controller's SA telemetry
+    /// section, and the kernel report is folded into the process-wide
+    /// [`metrics`](crate::metrics) registry. Telemetry is purely
+    /// observational: every statistic of the result is byte-identical either
+    /// way (only the extra `controller_telemetry` key is added).
     pub fn run(&self) -> ScenarioResult {
+        self.run_counted().0
+    }
+
+    /// [`run`](Self::run), additionally returning the number of kernel events
+    /// the job processed (always counted — the scheduler tallies it whether or
+    /// not telemetry is on). The campaign executor uses the count to attribute
+    /// events/sec to each job without touching the result's serialised form.
+    pub fn run_counted(&self) -> (ScenarioResult, u64) {
+        let telemetry = crate::metrics::metrics_enabled();
         let mut sim = self.build_simulator();
+        if telemetry {
+            sim.enable_metrics();
+        }
         self.advance_until(&mut sim, self.end_time());
-        self.collect(&sim)
+        if let Some(report) = sim.metrics_report() {
+            crate::metrics::global().record_engine_report(&report);
+        }
+        let events = sim.events_processed();
+        (self.collect_with_telemetry(&sim, telemetry), events)
     }
 
     /// The simulated time at which this scenario's run completes
@@ -272,7 +295,23 @@ impl Scenario {
     /// Summarise a simulator this scenario built and ran (through
     /// [`run`](Self::run), or through [`advance_until`](Self::advance_until)
     /// with or without checkpoint/resume cycles) into a [`ScenarioResult`].
+    /// The controller-telemetry section follows the process-wide
+    /// `WLAN_METRICS` knob; use
+    /// [`collect_with_telemetry`](Self::collect_with_telemetry) to control it
+    /// explicitly.
     pub fn collect(&self, sim: &Simulator) -> ScenarioResult {
+        self.collect_with_telemetry(sim, crate::metrics::metrics_enabled())
+    }
+
+    /// [`collect`](Self::collect) with the controller-telemetry section
+    /// explicitly on or off. Off (the default path) serialises exactly as
+    /// before the telemetry layer existed — the key is absent, so golden
+    /// fixtures and cached results are unchanged.
+    pub fn collect_with_telemetry(
+        &self,
+        sim: &Simulator,
+        controller_telemetry: bool,
+    ) -> ScenarioResult {
         let hidden_pairs = sim.topology().num_hidden_pairs();
         let stats = sim.stats();
         let traffic = if sim.has_finite_load() {
@@ -290,7 +329,7 @@ impl Scenario {
         let station_attempt_probabilities = (0..self.n)
             .map(|i| sim.station_attempt_probability(i))
             .collect();
-        ScenarioResult::from_stats(
+        let mut result = ScenarioResult::from_stats(
             self.protocol.label().to_string(),
             self.n,
             hidden_pairs,
@@ -299,7 +338,20 @@ impl Scenario {
             control_trace,
             station_attempt_probabilities,
             traffic,
-        )
+        );
+        if controller_telemetry {
+            let epochs = sim.ap_algorithm().telemetry();
+            if !epochs.is_empty() {
+                result.controller_telemetry = Some(ControllerTelemetry {
+                    controller: sim.ap_algorithm().name().to_string(),
+                    epochs: epochs
+                        .iter()
+                        .map(|&(t, e)| SaEpochRecord::at(t.as_secs_f64(), e))
+                        .collect(),
+                });
+            }
+        }
+        result
     }
 }
 
@@ -444,6 +496,62 @@ pub struct ScenarioResult {
     /// Finite-load metrics; `None` for saturated runs (and then omitted from
     /// the serialised form entirely).
     pub traffic: Option<TrafficSummary>,
+    /// Controller SA-iterate telemetry; populated only when telemetry is
+    /// requested (`WLAN_METRICS=1` or
+    /// [`Scenario::collect_with_telemetry`]) *and* the protocol has an
+    /// adaptive controller. Omitted from the serialised form when `None`, so
+    /// default runs serialise exactly as before the telemetry layer existed.
+    pub controller_telemetry: Option<ControllerTelemetry>,
+}
+
+/// The stochastic-approximation telemetry section of a [`ScenarioResult`]:
+/// the controller's iterate trajectory, one record per completed measurement
+/// segment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ControllerTelemetry {
+    /// The controller's name ([`wlan_sim::ApAlgorithm::name`]).
+    pub controller: String,
+    /// Per-update-epoch records, oldest first.
+    pub epochs: Vec<SaEpochRecord>,
+}
+
+/// One serialised controller update epoch: a timestamped
+/// [`wlan_sim::ControlEpoch`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SaEpochRecord {
+    /// Segment-close time in seconds of simulated time.
+    pub time_s: f64,
+    /// Optimiser iteration counter `k` after the segment.
+    pub iteration: u64,
+    /// Estimate of the optimal control variable (`pval`).
+    pub estimate: f64,
+    /// Probe value advertised for the next segment.
+    pub probe: f64,
+    /// Step gain `a_k` in effect after the segment.
+    pub gain: f64,
+    /// Perturbation width `b_k` in effect after the segment.
+    pub perturbation: f64,
+    /// Mean of the normalised observable over the segment window.
+    pub window_mean: f64,
+    /// Estimate change applied by the update; `None` for plus-side halves
+    /// (awaiting the minus measurement).
+    pub delta: Option<f64>,
+}
+
+impl SaEpochRecord {
+    /// Timestamp a [`ControlEpoch`] for serialisation.
+    pub fn at(time_s: f64, e: ControlEpoch) -> Self {
+        SaEpochRecord {
+            time_s,
+            iteration: e.iteration,
+            estimate: e.estimate,
+            probe: e.probe,
+            gain: e.gain,
+            perturbation: e.perturbation,
+            window_mean: e.window_mean,
+            delta: e.delta,
+        }
+    }
 }
 
 impl Serialize for ScenarioResult {
@@ -478,6 +586,9 @@ impl Serialize for ScenarioResult {
         if let Some(traffic) = &self.traffic {
             m.push(("traffic".into(), traffic.to_value()));
         }
+        if let Some(telemetry) = &self.controller_telemetry {
+            m.push(("controller_telemetry".into(), telemetry.to_value()));
+        }
         serde::Value::Map(m)
     }
 }
@@ -508,6 +619,11 @@ impl Deserialize for ScenarioResult {
             )?)?,
             // Absent key (pre-traffic dumps, saturated runs) => None.
             traffic: match field("traffic") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => None,
+            },
+            // Absent key (untelemetered runs, older dumps) => None.
+            controller_telemetry: match field("controller_telemetry") {
                 Ok(v) => Deserialize::from_value(v)?,
                 Err(_) => None,
             },
@@ -548,6 +664,7 @@ impl ScenarioResult {
             control_trace,
             station_attempt_probabilities,
             traffic,
+            controller_telemetry: None,
         }
     }
 }
@@ -569,6 +686,54 @@ mod tests {
             .durations(SimDuration::from_millis(300), SimDuration::from_millis(700))
             .update_period(SimDuration::from_millis(50))
             .seed(7)
+    }
+
+    #[test]
+    fn controller_telemetry_is_optional_and_purely_observational() {
+        let scenario = short(Protocol::WTopCsma, TopologySpec::FullyConnected, 6);
+        // Default path: no telemetry section (WLAN_METRICS unset under test).
+        let baseline = scenario.run();
+        assert!(baseline.controller_telemetry.is_none(), "off by default");
+
+        // Instrumented run: kernel metrics on, telemetry section requested.
+        let mut sim = scenario.build_simulator();
+        sim.enable_metrics();
+        scenario.advance_until(&mut sim, scenario.end_time());
+        let result = scenario.collect_with_telemetry(&sim, true);
+        let telemetry = result
+            .controller_telemetry
+            .clone()
+            .expect("wTOP-CSMA records SA telemetry");
+        assert_eq!(telemetry.controller, "wTOP-CSMA");
+        assert!(!telemetry.epochs.is_empty());
+        // Finite-difference pairs: plus-side halves carry no delta, completed
+        // iterations do; gains and perturbations are always positive.
+        assert!(telemetry.epochs.iter().any(|e| e.delta.is_none()));
+        assert!(telemetry.epochs.iter().any(|e| e.delta.is_some()));
+        for e in &telemetry.epochs {
+            assert!(e.probe > 0.0 && e.gain > 0.0 && e.perturbation > 0.0);
+            assert!(e.estimate > 0.0 && e.iteration >= 2);
+        }
+
+        // Purely observational: stripping the section yields byte-identical
+        // JSON to the untelemetered run.
+        let mut stripped = result.clone();
+        stripped.controller_telemetry = None;
+        assert_eq!(
+            serde_json::to_string_pretty(&stripped).unwrap(),
+            serde_json::to_string_pretty(&baseline).unwrap()
+        );
+
+        // The section round-trips through the serde layer.
+        let json = serde_json::to_string_pretty(&result).unwrap();
+        let value: serde::Value = serde_json::from_str(&json).unwrap();
+        let back = ScenarioResult::from_value(&value).unwrap();
+        let back_t = back.controller_telemetry.expect("section survives");
+        assert_eq!(back_t.epochs.len(), telemetry.epochs.len());
+        assert_eq!(
+            back_t.epochs.last().unwrap().iteration,
+            telemetry.epochs.last().unwrap().iteration
+        );
     }
 
     #[test]

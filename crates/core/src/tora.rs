@@ -17,7 +17,9 @@ use serde::{Deserialize, Serialize};
 use stochastic_approx::{KieferWolfowitz, PowerLawGains};
 use wlan_sim::backoff::RandomReset;
 use wlan_sim::snapshot::{SnapshotError, StateReader, StateWriter};
-use wlan_sim::{ApAlgorithm, ControlPayload, PhyParams, Policy, SimDuration, SimTime};
+use wlan_sim::{
+    ApAlgorithm, ControlEpoch, ControlPayload, PhyParams, Policy, SimDuration, SimTime,
+};
 
 /// Configuration of the TORA-CSMA controller.
 #[derive(Debug, Clone)]
@@ -82,6 +84,8 @@ pub struct ToraController {
     /// discarding the oldest half at the cap instead.
     stage_trace: Vec<(SimTime, u8)>,
     trace_cap: usize,
+    /// Per-segment SA telemetry ([`ControlEpoch`]), bounded like `p0_trace`.
+    sa_epochs: BoundedTrace<ControlEpoch>,
 }
 
 impl ToraController {
@@ -109,6 +113,7 @@ impl ToraController {
             p0_trace: BoundedTrace::new(config.trace_cap),
             stage_trace: Vec::new(),
             trace_cap: config.trace_cap,
+            sa_epochs: BoundedTrace::new(config.trace_cap),
         }
     }
 
@@ -146,6 +151,10 @@ impl ToraController {
         }
         let throughput = self.bits_received as f64 / elapsed / self.scale;
         let step = self.kw.record(throughput);
+        let delta = match step {
+            stochastic_approx::KwStep::AwaitingMinus => None,
+            stochastic_approx::KwStep::Updated { delta, .. } => Some(delta),
+        };
         self.bits_received = 0;
         self.segment_start = Some(now);
 
@@ -165,6 +174,18 @@ impl ToraController {
         }
         self.advertised_p0 = self.kw.probe();
         self.p0_trace.push(now, self.kw.estimate());
+        self.sa_epochs.push(
+            now,
+            ControlEpoch {
+                iteration: self.kw.iteration(),
+                estimate: self.kw.estimate(),
+                probe: self.advertised_p0,
+                gain: self.kw.gain(),
+                perturbation: self.kw.perturbation(),
+                window_mean: throughput,
+                delta,
+            },
+        );
     }
 
     fn push_stage(&mut self, now: SimTime) {
@@ -216,6 +237,10 @@ impl ApAlgorithm for ToraController {
         self.p0_trace.as_slice()
     }
 
+    fn telemetry(&self) -> &[(SimTime, ControlEpoch)] {
+        self.sa_epochs.as_slice()
+    }
+
     fn save_state(&self, writer: &mut StateWriter) {
         writer.put_value(&self.kw.to_value());
         writer.put_u8(self.stage);
@@ -234,6 +259,8 @@ impl ApAlgorithm for ToraController {
             writer.put_time(t);
             writer.put_u8(stage);
         }
+        self.sa_epochs
+            .save_state_with(writer, crate::trace::put_epoch);
     }
 
     fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
@@ -256,6 +283,8 @@ impl ApAlgorithm for ToraController {
             let stage = reader.get_u8()?;
             self.stage_trace.push((t, stage));
         }
+        self.sa_epochs
+            .load_state_with(reader, crate::trace::get_epoch)?;
         Ok(())
     }
 }

@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 use stochastic_approx::{KieferWolfowitz, PowerLawGains};
 use wlan_sim::backoff::PPersistent;
 use wlan_sim::snapshot::{SnapshotError, StateReader, StateWriter};
-use wlan_sim::{ApAlgorithm, ControlPayload, PhyParams, Policy, SimDuration, SimTime};
+use wlan_sim::{
+    ApAlgorithm, ControlEpoch, ControlPayload, PhyParams, Policy, SimDuration, SimTime,
+};
 
 /// Configuration of the wTOP-CSMA controller.
 #[derive(Debug, Clone)]
@@ -115,6 +117,9 @@ pub struct WtopController {
     /// push sequences, so their stride gates stay in lockstep.
     probe_trace: BoundedTrace<f64>,
     estimate_trace: BoundedTrace<f64>,
+    /// Per-segment SA telemetry ([`ControlEpoch`]), bounded like the probe/
+    /// estimate traces and recorded by the same push sequence.
+    sa_epochs: BoundedTrace<ControlEpoch>,
 }
 
 impl WtopController {
@@ -147,6 +152,7 @@ impl WtopController {
             advertised_p: 0.0,
             probe_trace: BoundedTrace::new(config.trace_cap),
             estimate_trace: BoundedTrace::new(config.trace_cap),
+            sa_epochs: BoundedTrace::new(config.trace_cap),
         };
         controller.advertised_p = controller.domain_to_p(controller.kw.probe());
         controller
@@ -205,6 +211,10 @@ impl WtopController {
         let throughput_bps = self.bits_received as f64 / elapsed;
         let measurement = throughput_bps / self.scale;
         let step = self.kw.record(measurement);
+        let delta = match step {
+            stochastic_approx::KwStep::AwaitingMinus => None,
+            stochastic_approx::KwStep::Updated { delta, .. } => Some(delta),
+        };
         match step {
             stochastic_approx::KwStep::AwaitingMinus => {
                 self.last_plus_measurement = Some(measurement);
@@ -231,6 +241,18 @@ impl WtopController {
         self.advertised_p = self.domain_to_p(self.kw.probe());
         self.probe_trace.push(now, self.advertised_p);
         self.estimate_trace.push(now, self.estimate());
+        self.sa_epochs.push(
+            now,
+            ControlEpoch {
+                iteration: self.kw.iteration(),
+                estimate: self.estimate(),
+                probe: self.advertised_p,
+                gain: self.kw.gain(),
+                perturbation: self.kw.perturbation(),
+                window_mean: measurement,
+                delta,
+            },
+        );
     }
 }
 
@@ -268,6 +290,10 @@ impl ApAlgorithm for WtopController {
         self.estimate_trace.as_slice()
     }
 
+    fn telemetry(&self) -> &[(SimTime, ControlEpoch)] {
+        self.sa_epochs.as_slice()
+    }
+
     fn save_state(&self, writer: &mut StateWriter) {
         // The Kiefer–Wolfowitz iterate carries its whole mutable state and
         // derives the serde traits, so it rides the Value codec; the
@@ -293,6 +319,8 @@ impl ApAlgorithm for WtopController {
         writer.put_f64(self.advertised_p);
         self.probe_trace.save_state(writer);
         self.estimate_trace.save_state(writer);
+        self.sa_epochs
+            .save_state_with(writer, crate::trace::put_epoch);
     }
 
     fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
@@ -312,6 +340,8 @@ impl ApAlgorithm for WtopController {
         self.advertised_p = reader.get_f64()?;
         self.probe_trace.load_state(reader)?;
         self.estimate_trace.load_state(reader)?;
+        self.sa_epochs
+            .load_state_with(reader, crate::trace::get_epoch)?;
         Ok(())
     }
 }

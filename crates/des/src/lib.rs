@@ -82,10 +82,23 @@
 //! ([`Simulation::add_timer_tier`]) for cancellable per-index timers, and
 //! per-component RNG streams ([`Simulation::set_component_rng`]) derived
 //! from a [`StreamMaster`].
+//!
+//! # Observability
+//!
+//! The kernel carries a zero-cost-when-off telemetry layer ([`metrics`]):
+//! per-component/per-event-kind dispatch counters
+//! ([`Simulation::enable_metrics`] → [`Simulation::metrics_report`]),
+//! always-available scheduler and queue tallies
+//! ([`EventQueue::counters`], [`CalendarQueue::stats`]), derived RNG draw
+//! accounting, and a sampled wall-clock self-profiler
+//! ([`Simulation::set_profiler`]). No telemetry path draws RNG or perturbs
+//! the `(time, seq)` order, so traces stay byte-identical at any verbosity.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod sched;
@@ -94,6 +107,9 @@ pub mod slab;
 pub mod snapshot;
 pub mod time;
 
+pub use metrics::{
+    CalendarStats, ComponentDispatch, MetricsReport, ProfileSample, QueueCounters, TierCounters,
+};
 pub use queue::{EventQueue, QueueSnapshot, TierId};
 pub use rng::StreamMaster;
 pub use sched::{BinaryHeapScheduler, CalendarQueue, Scheduler};

@@ -30,6 +30,7 @@
 //! same-instant rule in MAC-style models), while `cancel_timer` removes a
 //! timer physically.
 
+use crate::metrics::{CalendarStats, QueueCounters, TierCounters};
 use crate::sched::{CalendarQueue, Scheduler};
 use crate::simulation::ComponentId;
 use crate::time::SimTime;
@@ -123,16 +124,19 @@ impl TimerSet {
         };
     }
 
-    /// Cancel `index`'s timer if armed (no-op otherwise).
+    /// Cancel `index`'s timer if armed (no-op otherwise); reports whether a
+    /// timer was actually removed so the tier's cancel tally counts physical
+    /// removals only.
     #[inline]
-    fn cancel(&mut self, index: usize) {
+    fn cancel(&mut self, index: usize) -> bool {
         let Some(&i) = self.pos.get(index) else {
-            return;
+            return false;
         };
         if i == NOT_ARMED {
-            return;
+            return false;
         }
         self.remove_at(i as usize);
+        true
     }
 
     /// Remove the entry at position `i` (swap-remove, patching the position
@@ -214,6 +218,7 @@ struct TimerTier<E> {
     set: TimerSet,
     owner: ComponentId,
     make: fn(usize, u64) -> E,
+    counters: TierCounters,
 }
 
 impl<E> std::fmt::Debug for TimerTier<E> {
@@ -233,6 +238,7 @@ pub struct EventQueue<E> {
     general: CalendarQueue<(ComponentId, E)>,
     tiers: Vec<TimerTier<E>>,
     next_seq: u64,
+    counters: QueueCounters,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -248,6 +254,7 @@ impl<E> EventQueue<E> {
             general: CalendarQueue::new(),
             tiers: Vec::new(),
             next_seq: 0,
+            counters: QueueCounters::default(),
         }
     }
 
@@ -265,6 +272,7 @@ impl<E> EventQueue<E> {
             set: TimerSet::with_capacity(capacity),
             owner,
             make,
+            counters: TierCounters::default(),
         });
         TierId(self.tiers.len() - 1)
     }
@@ -274,6 +282,7 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, time: SimTime, target: ComponentId, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.counters.schedules += 1;
         self.general.schedule(time, seq, (target, event));
     }
 
@@ -287,7 +296,10 @@ impl<E> EventQueue<E> {
     pub fn arm_timer(&mut self, tier: TierId, index: usize, gen: u64, time: SimTime) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.tiers[tier.0].set.arm(Timer {
+        self.counters.timer_arms += 1;
+        let tier = &mut self.tiers[tier.0];
+        tier.counters.arms += 1;
+        tier.set.arm(Timer {
             time,
             seq,
             index,
@@ -300,7 +312,13 @@ impl<E> EventQueue<E> {
     /// and never surfaces as a stale pop.
     #[inline]
     pub fn cancel_timer(&mut self, tier: TierId, index: usize) {
-        self.tiers[tier.0].set.cancel(index);
+        let tier = &mut self.tiers[tier.0];
+        if tier.set.cancel(index) {
+            self.counters.timer_cancels += 1;
+            tier.counters.cancels += 1;
+        } else {
+            tier.counters.noop_cancels += 1;
+        }
     }
 
     /// Key of the earliest pending event across all tiers.
@@ -334,12 +352,17 @@ impl<E> EventQueue<E> {
             (_, _, Source::Tier(i)) => {
                 let tier = &mut self.tiers[i];
                 let timer = tier.set.extract_min().expect("peeked timer vanished");
+                self.counters.timer_fires += 1;
+                tier.counters.fires += 1;
                 Some((timer.time, tier.owner, (tier.make)(timer.index, timer.gen)))
             }
-            (_, _, Source::General) => self
-                .general
-                .pop()
-                .map(|(t, _, (target, ev))| (t, target, ev)),
+            (_, _, Source::General) => {
+                let popped = self.general.pop();
+                if popped.is_some() {
+                    self.counters.general_pops += 1;
+                }
+                popped.map(|(t, _, (target, ev))| (t, target, ev))
+            }
         }
     }
 
@@ -419,8 +442,43 @@ impl<E> EventQueue<E> {
                     gen,
                 });
             }
+            // Reset the tier's tallies to the fresh history implied by the
+            // restored contents, keeping the reconciliation identity intact.
+            tier.counters = TierCounters {
+                arms: tier.set.len() as u64,
+                ..TierCounters::default()
+            };
         }
+        self.counters = QueueCounters {
+            schedules: self.general.len() as u64,
+            timer_arms: self.tiers.iter().map(|t| t.set.len() as u64).sum(),
+            ..QueueCounters::default()
+        };
         self.next_seq = snapshot.next_seq;
+    }
+
+    /// Lifetime operation tallies (see [`QueueCounters`] for the
+    /// reconciliation identity they satisfy).
+    pub fn counters(&self) -> QueueCounters {
+        self.counters
+    }
+
+    /// Per-tier timer tallies, in tier registration order, with the current
+    /// armed count filled in.
+    pub fn tier_counters(&self) -> Vec<TierCounters> {
+        self.tiers
+            .iter()
+            .map(|t| TierCounters {
+                armed: t.set.len() as u64,
+                ..t.counters
+            })
+            .collect()
+    }
+
+    /// Structure and adaptation counters of the general tier's calendar
+    /// queue.
+    pub fn scheduler_stats(&self) -> CalendarStats {
+        self.general.stats()
     }
 }
 
@@ -786,6 +844,59 @@ mod tests {
                 prop_assert_eq!(q.len(), 0);
             }
 
+            /// The queue's lifetime tallies reconcile after any interleaving
+            /// of schedule / arm / cancel / pop: every entry ever admitted
+            /// is accounted for as popped, physically cancelled, or still
+            /// pending — and the per-tier tallies close the same books.
+            #[test]
+            fn counters_reconcile_pushes_pops_cancels_remaining(
+                ops in proptest::collection::vec(
+                    (0u64..4, 0u64..8, 0u64..80, 0u64..9_000), 1..400),
+            ) {
+                const INDICES: usize = 8;
+                let mut q: EventQueue<Ev> = EventQueue::new();
+                let timers = q.add_tier(0, INDICES, make_timer);
+                let mut floor = SimTime::ZERO;
+                let mut gen = 0u64;
+                let mut target = 0usize;
+                for (op, index, slots, jitter_ns) in ops {
+                    let index = index as usize;
+                    let time = floor
+                        + crate::time::SimDuration::from_micros(9) * slots
+                        + crate::time::SimDuration::from_nanos(jitter_ns);
+                    match op {
+                        0 => {
+                            q.schedule(time, target, Ev::Tick);
+                            target += 1;
+                        }
+                        1 => {
+                            gen += 1;
+                            q.cancel_timer(timers, index);
+                            q.arm_timer(timers, index, gen, time);
+                        }
+                        2 => q.cancel_timer(timers, index),
+                        _ => {
+                            if let Some((t, _, _)) = q.pop() {
+                                floor = t;
+                            }
+                        }
+                    }
+                    let c = q.counters();
+                    prop_assert_eq!(
+                        c.pushes(),
+                        c.pops() + c.timer_cancels + q.len() as u64,
+                        "queue tallies must reconcile after every op"
+                    );
+                    let t = &q.tier_counters()[0];
+                    prop_assert_eq!(t.arms, t.fires + t.cancels + t.armed);
+                }
+                // Drain and close the books completely.
+                while q.pop().is_some() {}
+                let c = q.counters();
+                prop_assert_eq!(c.pushes(), c.pops() + c.timer_cancels);
+                prop_assert_eq!(q.len(), 0);
+            }
+
             /// Snapshot/restore taken after an arbitrary interleaving of
             /// schedule / arm / cancel / pop is pop-order identical to the
             /// original queue, including sequence-counter continuation
@@ -830,6 +941,11 @@ mod tests {
                 restored.add_tier(0, INDICES, make_timer);
                 restored.restore(snap);
                 prop_assert_eq!(restored.len(), q.len());
+                // Restore resets the tallies to a fresh history in which the
+                // restored entries count as the pushes.
+                let rc = restored.counters();
+                prop_assert_eq!(rc.pops() + rc.timer_cancels, 0);
+                prop_assert_eq!(rc.pushes(), restored.len() as u64);
                 // Post-restore scheduling draws the same sequence numbers.
                 q.schedule(floor, target, Ev::Tick);
                 restored.schedule(floor, target, Ev::Tick);

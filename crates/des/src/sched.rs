@@ -20,6 +20,7 @@
 //! The equivalence of the two implementations over arbitrary operation
 //! interleavings is property-tested at the bottom of this file.
 
+use crate::metrics::CalendarStats;
 use crate::time::SimTime;
 
 /// A priority-queue tier ordered by the kernel's `(time, seq)` total order.
@@ -197,6 +198,26 @@ pub struct CalendarQueue<E> {
     /// the bucket width is far below the actual event spacing, so the width
     /// is re-estimated from the live span.
     rotation_misses: u32,
+    /// Current long-jump streak for telemetry (unlike `rotation_misses`, not
+    /// reset when a width retune fires, so the true streak length survives).
+    long_jump_streak: u32,
+    /// Lifetime adaptation tallies (cold paths only; see
+    /// [`CalendarStats`]).
+    tallies: CalendarTallies,
+}
+
+/// Lifetime counts of the calendar queue's adaptation events. All
+/// increments sit on cold paths — a migration, resize, retune or long-jump
+/// happens at most once per occupancy regime change or sparse streak, never
+/// on an ordinary push or pop.
+#[derive(Debug, Clone, Copy, Default)]
+struct CalendarTallies {
+    migrations_to_buckets: u64,
+    migrations_to_small: u64,
+    resizes: u64,
+    width_retunes: u64,
+    long_jumps: u64,
+    max_long_jump_streak: u32,
 }
 
 impl<E> Default for CalendarQueue<E> {
@@ -218,6 +239,8 @@ impl<E> CalendarQueue<E> {
             cursor: 0,
             day_end: 0,
             rotation_misses: 0,
+            long_jump_streak: 0,
+            tallies: CalendarTallies::default(),
         };
         q.buckets = (0..MIN_BUCKETS).map(|_| Vec::new()).collect();
         q.day_end = q.width();
@@ -228,6 +251,7 @@ impl<E> CalendarQueue<E> {
     /// sizing the bucket count to the population and the width to the span.
     fn migrate_to_buckets(&mut self) {
         self.bucketed = true;
+        self.tallies.migrations_to_buckets += 1;
         let entries = std::mem::take(&mut self.small);
         let nb = entries.len().next_power_of_two().max(MIN_BUCKETS);
         // Width from the live span (the entries are sorted descending, so
@@ -257,6 +281,7 @@ impl<E> CalendarQueue<E> {
     /// the sorted small tier.
     fn migrate_to_small(&mut self) {
         self.bucketed = false;
+        self.tallies.migrations_to_small += 1;
         let mut entries: Vec<Entry<E>> = Vec::with_capacity(self.size);
         for b in &mut self.buckets {
             entries.append(b);
@@ -309,6 +334,7 @@ impl<E> CalendarQueue<E> {
                     self.cursor = cursor;
                     self.day_end = day_end;
                     self.rotation_misses = 0;
+                    self.long_jump_streak = 0;
                     return Some(cursor);
                 }
             }
@@ -318,6 +344,10 @@ impl<E> CalendarQueue<E> {
         // A streak of misses: the width is badly below the event spacing.
         // Re-estimate it so subsequent scans hit within a day or two.
         self.rotation_misses += 1;
+        self.tallies.long_jumps += 1;
+        self.long_jump_streak += 1;
+        self.tallies.max_long_jump_streak =
+            self.tallies.max_long_jump_streak.max(self.long_jump_streak);
         if self.rotation_misses >= 4 {
             self.rotation_misses = 0;
             self.retune_width();
@@ -392,8 +422,37 @@ impl<E> CalendarQueue<E> {
         if let Some(shift) = self.estimated_width_shift() {
             if shift != self.width_shift {
                 self.width_shift = shift;
+                self.tallies.width_retunes += 1;
                 self.redistribute(self.mask + 1);
             }
+        }
+    }
+
+    /// A point-in-time structure snapshot plus the lifetime adaptation
+    /// tallies. The occupancy scan is O(buckets) and runs only when a report
+    /// is assembled, never during scheduling.
+    pub fn stats(&self) -> CalendarStats {
+        let (buckets, max_occupancy, len) = if self.bucketed {
+            (
+                (self.mask + 1) as u64,
+                self.buckets.iter().map(Vec::len).max().unwrap_or(0) as u64,
+                self.size as u64,
+            )
+        } else {
+            (1, self.small.len() as u64, self.small.len() as u64)
+        };
+        CalendarStats {
+            bucketed: self.bucketed,
+            buckets,
+            width_shift: self.width_shift,
+            len,
+            max_bucket_occupancy: max_occupancy,
+            migrations_to_buckets: self.tallies.migrations_to_buckets,
+            migrations_to_small: self.tallies.migrations_to_small,
+            resizes: self.tallies.resizes,
+            width_retunes: self.tallies.width_retunes,
+            long_jumps: self.tallies.long_jumps,
+            max_long_jump_streak: self.tallies.max_long_jump_streak,
         }
     }
 
@@ -406,6 +465,7 @@ impl<E> CalendarQueue<E> {
             return;
         }
         let new_nb = if grow { nb * 2 } else { nb / 2 };
+        self.tallies.resizes += 1;
         if let Some(shift) = self.estimated_width_shift() {
             self.width_shift = shift;
         }

@@ -25,6 +25,9 @@ use std::marker::PhantomData;
 
 use rand_chacha::ChaCha8Rng;
 
+use crate::metrics::{
+    rng_word_position, ComponentDispatch, Metrics, MetricsReport, ProfileSample, Profiler,
+};
 use crate::queue::{EventQueue, TierId};
 use crate::time::{SimDuration, SimTime};
 
@@ -237,6 +240,12 @@ pub struct Simulation<W, E> {
     queue: EventQueue<E>,
     now: SimTime,
     events_processed: u64,
+    /// Per-component/per-kind dispatch counters; `None` (the default) keeps
+    /// the dispatch loop at a single never-taken branch.
+    metrics: Option<Box<Metrics<E>>>,
+    /// Sampled wall-clock profiler; `None` (the default) keeps the run loop
+    /// untouched (checked once per `run_until`, not per event).
+    profiler: Option<Profiler<E>>,
 }
 
 impl<W: 'static, E: 'static> Simulation<W, E> {
@@ -249,6 +258,8 @@ impl<W: 'static, E: 'static> Simulation<W, E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             events_processed: 0,
+            metrics: None,
+            profiler: None,
         }
     }
 
@@ -346,6 +357,74 @@ impl<W: 'static, E: 'static> Simulation<W, E> {
             .expect("component handle names a different concrete type")
     }
 
+    /// Turn on the per-component/per-event-kind dispatch registry.
+    ///
+    /// `classify` maps an event to a `&'static str` kind label (typically a
+    /// match over the model's event enum); the registry interns labels in
+    /// first-seen order. Recording draws no RNG, schedules nothing, and
+    /// consumes no sequence numbers, so results stay byte-identical — see
+    /// the [metrics module docs](crate::metrics) for the full cost contract.
+    pub fn enable_metrics(&mut self, classify: fn(&E) -> &'static str) {
+        self.metrics = Some(Box::new(Metrics::new(classify)));
+    }
+
+    /// Whether the dispatch registry is enabled.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Assemble the kernel's full telemetry report, or `None` when the
+    /// registry was never enabled. Queue, scheduler, tier, and RNG sections
+    /// are derived from state the kernel keeps anyway; only the dispatch
+    /// rows depend on the registry having been on.
+    pub fn metrics_report(&self) -> Option<MetricsReport> {
+        let metrics = self.metrics.as_deref()?;
+        let kinds: Vec<String> = metrics.kinds().iter().map(|k| k.to_string()).collect();
+        let dispatch = (0..self.components.len())
+            .map(|id| {
+                let mut by_kind = metrics.counts().get(id).cloned().unwrap_or_default();
+                by_kind.resize(kinds.len(), 0);
+                ComponentDispatch {
+                    component: id,
+                    total: by_kind.iter().sum(),
+                    by_kind,
+                }
+            })
+            .collect();
+        Some(MetricsReport {
+            events_processed: self.events_processed,
+            kinds,
+            dispatch,
+            queue: self.queue.counters(),
+            scheduler: self.queue.scheduler_stats(),
+            tiers: self.queue.tier_counters(),
+            rng_words: self
+                .rngs
+                .iter()
+                .map(|r| r.as_deref().map(rng_word_position))
+                .collect(),
+        })
+    }
+
+    /// Install the sampled self-profiler: every `sample_every`-th event, the
+    /// run loop times the scheduler pop and the component handler separately
+    /// and feeds both to `sink` (see [`ProfileSample`]). Sampling is a
+    /// deterministic countdown and timing never reorders dispatch, so a
+    /// profiled run still produces byte-identical results.
+    pub fn set_profiler(
+        &mut self,
+        sample_every: u32,
+        classify: fn(&E) -> &'static str,
+        sink: Box<dyn FnMut(ProfileSample) + Send>,
+    ) {
+        self.profiler = Some(Profiler::new(sample_every, classify, sink));
+    }
+
+    /// Remove the profiler, restoring the untimed run loop.
+    pub fn clear_profiler(&mut self) {
+        self.profiler = None;
+    }
+
     /// Run a closure with the same view a dispatched component gets — world,
     /// all components (as [`Peers`] with no self excluded), and a context
     /// for scheduling — without consuming an event. This is how facades
@@ -372,6 +451,9 @@ impl<W: 'static, E: 'static> Simulation<W, E> {
     /// Process every event with timestamp `<= t_end` in `(time, seq)`
     /// order, then advance the clock to `t_end`.
     pub fn run_until(&mut self, t_end: SimTime) {
+        if self.profiler.is_some() {
+            return self.run_until_profiled(t_end);
+        }
         while let Some(t) = self.queue.peek_time() {
             if t > t_end {
                 break;
@@ -387,6 +469,61 @@ impl<W: 'static, E: 'static> Simulation<W, E> {
         }
     }
 
+    /// The profiled twin of [`run_until`](Self::run_until): identical event
+    /// flow, with every `sample_every`-th iteration bracketed by wall-clock
+    /// timestamps. Unsampled iterations skip both `Instant` reads.
+    fn run_until_profiled(&mut self, t_end: SimTime) {
+        loop {
+            let profiler = self
+                .profiler
+                .as_mut()
+                .expect("profiled loop without profiler");
+            let classify = profiler.classify;
+            if !profiler.tick() {
+                let Some(t) = self.queue.peek_time() else {
+                    break;
+                };
+                if t > t_end {
+                    break;
+                }
+                let (time, target, event) = self.queue.pop().expect("peeked event vanished");
+                self.now = time;
+                self.events_processed += 1;
+                self.dispatch(target, event);
+                continue;
+            }
+            let pop_start = std::time::Instant::now();
+            let Some(t) = self.queue.peek_time() else {
+                break;
+            };
+            if t > t_end {
+                break;
+            }
+            let (time, target, event) = self.queue.pop().expect("peeked event vanished");
+            let pop_nanos = pop_start.elapsed().as_nanos() as u64;
+            let kind = classify(&event);
+            self.now = time;
+            self.events_processed += 1;
+            let handle_start = std::time::Instant::now();
+            self.dispatch(target, event);
+            let handle_nanos = handle_start.elapsed().as_nanos() as u64;
+            let profiler = self.profiler.as_mut().expect("profiler vanished mid-run");
+            (profiler.sink)(ProfileSample {
+                component: None,
+                kind: "sched.pop",
+                nanos: pop_nanos,
+            });
+            (profiler.sink)(ProfileSample {
+                component: Some(target),
+                kind,
+                nanos: handle_nanos,
+            });
+        }
+        if t_end > self.now {
+            self.now = t_end;
+        }
+    }
+
     /// Run for an additional duration.
     pub fn run_for(&mut self, d: SimDuration) {
         let t_end = self.now + d;
@@ -395,6 +532,9 @@ impl<W: 'static, E: 'static> Simulation<W, E> {
 
     #[inline]
     fn dispatch(&mut self, target: ComponentId, event: E) {
+        if let Some(metrics) = self.metrics.as_deref_mut() {
+            metrics.record(target, &event);
+        }
         let (before, rest) = self.components.split_at_mut(target);
         let (component, after) = rest
             .split_first_mut()
@@ -565,6 +705,97 @@ mod tests {
         for &(_, _, draw) in fired {
             assert_eq!(draw, expect.gen::<u64>());
         }
+    }
+
+    /// Build the timer-tier + RNG simulation used by the telemetry-purity
+    /// tests: two interleaved self-re-arming timers drawing from a private
+    /// ChaCha8 stream on every fire.
+    fn rng_timer_sim() -> (Simulation<World, Ev>, Handle<TimerLog>) {
+        let mut sim: Simulation<World, Ev> = Simulation::new(Vec::new());
+        let log = sim.add_component(TimerLog {
+            tier: TierId::default_for_test(),
+            fired: Vec::new(),
+        });
+        let tier = sim.add_timer_tier(log.id(), 4, |index, gen| Ev::Timer { index, gen });
+        sim.component_mut(log).tier = tier;
+        sim.set_component_rng(log.id(), rand_chacha::ChaCha8Rng::seed_from_u64(1));
+        sim.access(|_, _, ctx| {
+            ctx.arm_timer(tier, 2, 1, SimTime::from_micros(9));
+            ctx.arm_timer(tier, 0, 1, SimTime::from_micros(9));
+        });
+        (sim, log)
+    }
+
+    fn classify(e: &Ev) -> &'static str {
+        match e {
+            Ev::Ping => "ping",
+            Ev::Pong => "pong",
+            Ev::Timer { .. } => "timer",
+        }
+    }
+
+    #[test]
+    fn telemetry_at_max_verbosity_draws_zero_rng_and_is_byte_identical() {
+        // Twin runs: telemetry off vs metrics + profiler both on. The
+        // instrumented run must visit the identical event sequence and leave
+        // every RNG stream at the identical position.
+        let (mut plain, plain_log) = rng_timer_sim();
+        let (mut full, full_log) = rng_timer_sim();
+        full.enable_metrics(classify);
+        full.set_profiler(1, classify, Box::new(|_| {}));
+        plain.run_for(SimDuration::from_millis(1));
+        full.run_for(SimDuration::from_millis(1));
+        assert_eq!(
+            full.component(full_log).fired,
+            plain.component(plain_log).fired,
+            "instrumented run must fire the identical (index, gen, draw) sequence"
+        );
+        assert_eq!(full.events_processed(), plain.events_processed());
+        assert_eq!(full.now(), plain.now());
+        let plain_pos =
+            crate::metrics::rng_word_position(plain.component_rng(plain_log.id()).unwrap());
+        let full_pos =
+            crate::metrics::rng_word_position(full.component_rng(full_log.id()).unwrap());
+        assert_eq!(
+            full_pos, plain_pos,
+            "telemetry must not draw from any RNG stream"
+        );
+        // The report sees exactly the draws the component made: 6 fires x
+        // one u64 (two words) each.
+        let report = full.metrics_report().expect("metrics enabled");
+        assert_eq!(report.rng_words, vec![Some(12)]);
+        assert_eq!(report.events_processed, 6);
+        assert_eq!(report.kinds, vec!["timer".to_string()]);
+        assert_eq!(report.dispatch[0].total, 6);
+        assert_eq!(report.dispatch[0].by_kind, vec![6]);
+        let c = report.queue;
+        assert_eq!(c.pushes(), c.pops() + c.timer_cancels);
+        assert_eq!(report.tiers[0].fires, 6);
+    }
+
+    #[test]
+    fn profiler_sink_receives_paired_sched_and_handler_samples() {
+        use std::sync::{Arc, Mutex};
+        type Sampled = Vec<(Option<ComponentId>, &'static str)>;
+        let samples: Arc<Mutex<Sampled>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_samples = Arc::clone(&samples);
+        let (mut sim, _) = rng_timer_sim();
+        sim.set_profiler(
+            2,
+            classify,
+            Box::new(move |s| sink_samples.lock().unwrap().push((s.component, s.kind))),
+        );
+        sim.run_for(SimDuration::from_millis(1));
+        let got = samples.lock().unwrap();
+        // 6 events, sampled every 2nd: 3 sampled events x 2 samples each.
+        assert_eq!(got.len(), 6);
+        for pair in got.chunks(2) {
+            assert_eq!(pair[0], (None, "sched.pop"));
+            assert_eq!(pair[1], (Some(0), "timer"));
+        }
+        drop(got);
+        sim.clear_profiler();
+        assert!(sim.metrics_report().is_none(), "metrics never enabled");
     }
 
     #[test]

@@ -140,6 +140,13 @@ impl KieferWolfowitz {
         self.gains.b(self.k)
     }
 
+    /// Current step gain `a_k` (the factor the next finite-difference
+    /// gradient will be scaled by). Exposed for telemetry: the controller
+    /// trajectory is only interpretable alongside the gains it was driven by.
+    pub fn gain(&self) -> f64 {
+        self.gains.a(self.k)
+    }
+
     /// The control-variable value the system should be operated at for the next
     /// measurement: `x_k + b_k` or `x_k - b_k`, clamped to the probe bounds.
     pub fn probe(&self) -> f64 {

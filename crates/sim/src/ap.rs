@@ -9,7 +9,35 @@
 use crate::control::ControlPayload;
 use crate::time::SimTime;
 use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
 use wlan_des::snapshot::{SnapshotError, StateReader, StateWriter};
+
+/// One completed controller measurement segment, as reported through
+/// [`ApAlgorithm::telemetry`]: the stochastic-approximation iterate and the
+/// quantities that drove it. Purely observational — capturing epochs draws no
+/// RNG and schedules nothing, so an instrumented run is identical to an
+/// uninstrumented one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlEpoch {
+    /// The optimiser's iteration counter `k` after this segment was folded in.
+    pub iteration: u64,
+    /// Estimate of the optimal control variable (`pval`), in control-variable
+    /// units (a probability, even for log-domain controllers).
+    pub estimate: f64,
+    /// The probe value advertised for the *next* segment.
+    pub probe: f64,
+    /// Step gain `a_k` in effect after the segment.
+    pub gain: f64,
+    /// Perturbation width `b_k` in effect after the segment.
+    pub perturbation: f64,
+    /// Mean of the observable over the segment window (throughput normalised
+    /// by the controller's measurement scale).
+    pub window_mean: f64,
+    /// Change the update applied to the estimate, in the optimiser's working
+    /// domain. `None` when the segment was the plus-side half of a
+    /// finite-difference pair (no update yet — awaiting the minus side).
+    pub delta: Option<f64>,
+}
 
 /// A controller running at the access point.
 ///
@@ -50,6 +78,15 @@ pub trait ApAlgorithm: Send {
     /// clone-per-call signature showed up as avoidable allocation in the
     /// large-N campaign profiles.
     fn control_trace(&self) -> &[(SimTime, f64)] {
+        &[]
+    }
+
+    /// Per-update-epoch telemetry of the controller's stochastic-
+    /// approximation iterate (see [`ControlEpoch`]), timestamped with the
+    /// segment-close instant. Empty for controllers without one (the
+    /// default). Surfaced on scenario results only when telemetry is
+    /// requested, so the default serialised form is unchanged.
+    fn telemetry(&self) -> &[(SimTime, ControlEpoch)] {
         &[]
     }
 
@@ -133,6 +170,13 @@ impl ApAlgorithm for Controller {
         match self {
             Controller::Null(c) => c.control_trace(),
             Controller::Custom(c) => c.control_trace(),
+        }
+    }
+
+    fn telemetry(&self) -> &[(SimTime, ControlEpoch)] {
+        match self {
+            Controller::Null(c) => c.telemetry(),
+            Controller::Custom(c) => c.telemetry(),
         }
     }
 

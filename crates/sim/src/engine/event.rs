@@ -49,6 +49,22 @@ pub(crate) enum Event {
 }
 
 impl Event {
+    /// Stable telemetry label of this event's kind, used as the dispatch-
+    /// counter key by the kernel metrics registry
+    /// ([`wlan_des::Simulation::enable_metrics`]). Labels are part of the
+    /// metrics-report format; renaming one changes `MetricsReport` JSON.
+    pub(crate) fn kind(&self) -> &'static str {
+        match self {
+            Event::TxStart { .. } => "tx_start",
+            Event::TxEnd { .. } => "tx_end",
+            Event::AckStart { .. } => "ack_start",
+            Event::AckEnd { .. } => "ack_end",
+            Event::AckTimeout { .. } => "ack_timeout",
+            Event::FrameArrival { .. } => "frame_arrival",
+            Event::StatsTick => "stats_tick",
+        }
+    }
+
     /// Append the event to a checkpoint (used for the pending events of the
     /// kernel's general queue; timer-tier entries are reconstructed through
     /// their tier constructors instead).

@@ -62,8 +62,11 @@ mod channel;
 mod event;
 mod snapshot;
 mod station;
+mod telemetry;
 #[cfg(test)]
 mod tests;
+
+pub use telemetry::{EngineMetrics, COMPONENT_NAMES, TIER_NAMES};
 
 use crate::ap::{ApAlgorithm, Controller, NullController};
 use crate::backoff::{BackoffPolicy, Policy};

@@ -54,6 +54,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod ap;
 pub mod backoff;
@@ -84,11 +85,16 @@ const _: () = {
 /// [`BackoffPolicy`] and [`ApAlgorithm`].
 pub use wlan_des::snapshot;
 
-pub use ap::{ApAlgorithm, Controller, NullController};
+/// Kernel telemetry types (re-exported from `wlan-des`): the report returned
+/// by [`Simulator::metrics_report`] and the samples handed to a
+/// [`Simulator::set_profiler`] sink.
+pub use wlan_des::{MetricsReport, ProfileSample};
+
+pub use ap::{ApAlgorithm, ControlEpoch, Controller, NullController};
 pub use backoff::{BackoffPolicy, Policy};
 pub use capture::CaptureModel;
 pub use control::{BusyOutcome, ChannelObservation, ControlPayload};
-pub use engine::{Simulator, SimulatorBuilder};
+pub use engine::{EngineMetrics, Simulator, SimulatorBuilder, COMPONENT_NAMES, TIER_NAMES};
 pub use phy::PhyParams;
 pub use stats::{DelayHistogram, NodeStats, SimStats, ThroughputSample, TrafficStats};
 pub use time::{SimDuration, SimTime};

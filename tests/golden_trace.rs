@@ -113,3 +113,63 @@ fn scenario_results_match_pre_refactor_fixtures() {
          determinism contract)."
     );
 }
+
+/// The telemetry layer's zero-perturbation contract, checked end to end: every
+/// golden case re-run with observability at maximum verbosity — kernel
+/// dispatch counters on *and* the wall-clock self-profiler sampling every
+/// single event — must serialise byte-for-byte to the same fixture as the
+/// uninstrumented run. Telemetry draws no RNG and schedules nothing, so the
+/// `(time, seq)` order and every statistic are untouched.
+#[test]
+fn telemetry_at_max_verbosity_is_byte_identical_to_fixtures() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let dir = golden_dir();
+    let mut failures = Vec::new();
+    for (name, scenario) in cases() {
+        let samples = Arc::new(AtomicU64::new(0));
+        let sink_samples = Arc::clone(&samples);
+        let mut sim = scenario.build_simulator();
+        sim.enable_metrics();
+        sim.set_profiler(
+            1,
+            Box::new(move |_sample| {
+                sink_samples.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        scenario.advance_until(&mut sim, scenario.end_time());
+        let result = scenario.collect(&sim);
+        let json = serde_json::to_string_pretty(&result).expect("serialise ScenarioResult");
+        let path = dir.join(format!("{name}.json"));
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run with WLAN_GOLDEN_REGEN=1",
+                path.display()
+            )
+        });
+        if json != expected {
+            failures.push(name);
+        }
+        // The instrumentation really was live: the dispatch registry saw
+        // every event and the profiler (sampling every event, scheduler and
+        // handler timed separately) streamed two samples per event.
+        let report = sim.metrics_report().expect("metrics were enabled");
+        let processed = report.kernel.events_processed;
+        assert!(processed > 0, "{name}: no events counted");
+        let dispatched: u64 = report.kernel.dispatch.iter().map(|d| d.total).sum();
+        assert_eq!(dispatched, processed, "{name}: dispatch rows disagree");
+        assert_eq!(
+            samples.load(Ordering::Relaxed),
+            2 * processed,
+            "{name}: profiler sample count"
+        );
+        assert!(report.tx_slab_high_water > 0, "{name}: slab untouched");
+    }
+    assert!(
+        failures.is_empty(),
+        "telemetry at max verbosity perturbed the trace for: {failures:?}\n\
+         Observability must be a pure observer: no RNG draws, no scheduling,\n\
+         no `(time, seq)` consumption (see crates/des/src/metrics.rs)."
+    );
+}
